@@ -1,0 +1,358 @@
+// Package bench holds the experiment harness: one benchmark per table
+// and figure of the paper's evaluation, each regenerating the experiment
+// from a shared full-window dataset, plus ablation benchmarks for the
+// design choices DESIGN.md calls out (inactivity timeout, peer-visibility
+// threshold, restoration on/off).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Add -v to also print each experiment's rows (the b.Log output).
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/pipeline"
+	"parallellives/internal/registry"
+	"parallellives/internal/report"
+	"parallellives/internal/restore"
+)
+
+var (
+	dsOnce sync.Once
+	ds     *pipeline.Dataset
+	dsErr  error
+)
+
+// dataset lazily builds the shared full-window dataset (2003-10-09 to
+// 2021-03-01 at the default scale). The first benchmark to run pays the
+// construction cost outside its timer.
+func dataset(b *testing.B) *pipeline.Dataset {
+	b.Helper()
+	dsOnce.Do(func() {
+		ds, dsErr = pipeline.Run(pipeline.DefaultOptions())
+	})
+	if dsErr != nil {
+		b.Fatal(dsErr)
+	}
+	return ds
+}
+
+func BenchmarkTable1DelegationInventory(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var t report.Table1
+	for i := 0; i < b.N; i++ {
+		t = report.BuildTable1(d.Archive)
+	}
+	b.StopTimer()
+	b.Log("\n" + t.Text())
+}
+
+func BenchmarkFigure3TimeoutSensitivity(b *testing.B) {
+	d := dataset(b)
+	timeouts := []int{1, 5, 15, 30, 50, 100, 365}
+	b.ResetTimer()
+	var f report.Figure3
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure3(d.Activity, d.Admin, timeouts, 30)
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkFigure4AliveSeries(b *testing.B) {
+	d := dataset(b)
+	start, end := d.World.Config.Start, d.World.Config.End
+	b.ResetTimer()
+	var f report.Figure4
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure4(d.Joint, start, end, 365)
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkTable2LifetimesPerASN(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var t report.Table2
+	for i := 0; i < b.N; i++ {
+		t = report.BuildTable2(d.Joint)
+	}
+	b.StopTimer()
+	b.Log("\n" + t.Text())
+}
+
+func BenchmarkFigure5AdminDurationCDF(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var f report.Figure5
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure5(d.Admin)
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkTable3Taxonomy(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var t report.Table3
+	for i := 0; i < b.N; i++ {
+		t = report.BuildTable3(d.Joint)
+	}
+	b.StopTimer()
+	b.Log("\n" + t.Text())
+}
+
+func BenchmarkFigure7UsageCDF(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var f report.Figure7
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure7(d.Joint)
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkFigure8DormantSquats(b *testing.B) {
+	d := dataset(b)
+	start, end := d.World.Config.Start, d.World.Config.End
+	b.ResetTimer()
+	var f report.Figure8
+	for i := 0; i < b.N; i++ {
+		findings := d.Joint.DetectDormantSquats(core.DefaultSquatParams())
+		f = report.BuildFigure8(d.Joint, findings, 6, 30, start, end)
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkFigure9UnusedDurationCDF(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var f report.Figure9
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure9(d.Joint.Unused())
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkFigure10BirthRate(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var f report.Figure10
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure10(d.Admin)
+	}
+	b.StopTimer()
+	peak, n := f.PeakQuarter(asn.RIPENCC)
+	b.Logf("RIPE NCC peak birth quarter: %s (%d births)", peak, n)
+}
+
+func BenchmarkFigure11BirthDeathBalance(b *testing.B) {
+	d := dataset(b)
+	start, end := d.World.Config.Start, d.World.Config.End
+	b.ResetTimer()
+	var f report.Figure11
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure11(d.Admin, start, end)
+	}
+	b.StopTimer()
+	_ = f
+}
+
+func BenchmarkFigure12BitSplit(b *testing.B) {
+	d := dataset(b)
+	start, end := d.World.Config.Start, d.World.Config.End
+	b.ResetTimer()
+	var f report.Figure12
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure12(d.Restored, start, end, 365)
+	}
+	b.StopTimer()
+	b.Log("\n" + f.Text())
+}
+
+func BenchmarkFigure14LifeByBirthYear(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var f report.Figure14
+	for i := 0; i < b.N; i++ {
+		f = report.BuildFigure14(d.Admin, 2004, 2021)
+	}
+	b.StopTimer()
+	_ = f
+}
+
+func BenchmarkTable4APNICCountries(b *testing.B) {
+	d := dataset(b)
+	snaps := []dates.Day{
+		dates.MustParse("2010-01-01"),
+		dates.MustParse("2015-01-01"),
+		dates.MustParse("2021-03-01"),
+	}
+	b.ResetTimer()
+	var t report.Table4
+	for i := 0; i < b.N; i++ {
+		t = report.BuildTable4(d.Joint, snaps, 5)
+	}
+	b.StopTimer()
+	b.Log("\n" + t.Text())
+}
+
+func BenchmarkTable5TimeoutTaxonomy(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var t report.Table5
+	for i := 0; i < b.N; i++ {
+		t = report.BuildTable5(d.Admin, d.Activity, []int{15, 30, 50}, 30)
+	}
+	b.StopTimer()
+	b.Log("\n" + t.Text())
+}
+
+func BenchmarkSection61Overlap(b *testing.B) {
+	d := dataset(b)
+	end := d.World.Config.End
+	b.ResetTimer()
+	var s report.Section61
+	for i := 0; i < b.N; i++ {
+		s = report.BuildSection61(d.Joint, end, core.DefaultSquatParams())
+	}
+	b.StopTimer()
+	b.Log("\n" + s.Text())
+}
+
+func BenchmarkSection62PartialOverlap(b *testing.B) {
+	d := dataset(b)
+	cones := d.Cones()
+	b.ResetTimer()
+	var s report.Section62
+	for i := 0; i < b.N; i++ {
+		s = report.BuildSection62(d.Joint, cones)
+	}
+	b.StopTimer()
+	b.Log("\n" + s.Text())
+}
+
+func BenchmarkSection63Unused(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var s report.Section63
+	for i := 0; i < b.N; i++ {
+		s = report.BuildSection63(d.Joint)
+	}
+	b.StopTimer()
+	b.Log("\n" + s.Text())
+}
+
+func BenchmarkSection64Outside(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var s report.Section64
+	for i := 0; i < b.N; i++ {
+		s = report.BuildSection64(d.Joint)
+	}
+	b.StopTimer()
+	b.Log("\n" + s.Text())
+}
+
+func BenchmarkAppendixA16BitExhaustion(b *testing.B) {
+	d := dataset(b)
+	start, end := d.World.Config.Start, d.World.Config.End
+	b.ResetTimer()
+	var a report.AppendixA16Bit
+	for i := 0; i < b.N; i++ {
+		a = report.BuildAppendixA16Bit(d.Restored, start, end)
+	}
+	b.StopTimer()
+	b.Log("\n" + a.Text())
+}
+
+func BenchmarkExtensionRolesAndPrefixAware(b *testing.B) {
+	d := dataset(b)
+	b.ResetTimer()
+	var e report.Extensions
+	for i := 0; i < b.N; i++ {
+		e = report.BuildExtensions(d.Activity, d.Ops)
+	}
+	b.StopTimer()
+	b.Log("\n" + e.Text())
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationVisibilityThreshold re-runs the joint classification
+// with the >1-peer rule disabled (minPeers=1): spurious single-peer
+// observations inflate the ASN population, which the paper's threshold
+// exists to prevent.
+func BenchmarkAblationVisibilityThreshold(b *testing.B) {
+	d := dataset(b)
+	naiveOnce.Do(func() {
+		opts := d.Options
+		opts.Visibility = 1
+		naiveDS, naiveErr = pipeline.Run(opts)
+	})
+	if naiveErr != nil {
+		b.Fatal(naiveErr)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.Analyze(naiveDS.Admin, naiveDS.Ops).Taxonomy()
+	}
+	b.StopTimer()
+	b.Logf("ASNs in BGP: visibility>=2: %d, visibility>=1: %d (spurious inflation: %d)",
+		len(d.Activity.ASNs), len(naiveDS.Activity.ASNs),
+		len(naiveDS.Activity.ASNs)-len(d.Activity.ASNs))
+}
+
+var (
+	naiveOnce sync.Once
+	naiveDS   *pipeline.Dataset
+	naiveErr  error
+
+	rawOnce sync.Once
+	rawRes  *restore.Result
+)
+
+// BenchmarkAblationRestorationOff rebuilds administrative lifetimes with
+// the §3.1 repairs disabled: lifetime fragmentation and spurious
+// reallocations appear.
+func BenchmarkAblationRestorationOff(b *testing.B) {
+	d := dataset(b)
+	rawOnce.Do(func() {
+		rawRes = restore.RestoreWithOptions(naiveSources(d), nil, restore.Options{
+			NoRegularRecovery: true,
+			NoDateRepair:      true,
+			NoInterRIRFix:     true,
+		})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lifetimes, _ := core.BuildAdminLifetimes(rawRes)
+		_ = lifetimes
+	}
+	b.StopTimer()
+	rawLifetimes, _ := core.BuildAdminLifetimes(rawRes)
+	restoredLifetimes := d.Admin.Lifetimes
+	b.Logf("lifetimes with restoration: %d, without: %d (spurious extra: %d)",
+		len(restoredLifetimes), len(rawLifetimes), len(rawLifetimes)-len(restoredLifetimes))
+}
+
+func naiveSources(d *pipeline.Dataset) []registry.Source {
+	out := make([]registry.Source, 0, asn.NumRIRs)
+	for _, r := range asn.All() {
+		out = append(out, d.Archive.Source(r))
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Command delegdump inspects, validates and diffs RIR delegation files.
+//
+// Usage:
+//
+//	delegdump file                 summarize one file
+//	delegdump -records file        also list the asn records
+//	delegdump -strict file         fail on the first malformed line
+//	delegdump -diff fileA fileB    show asn record differences
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/delegation"
+)
+
+var (
+	records = flag.Bool("records", false, "list asn records")
+	strict  = flag.Bool("strict", false, "fail on the first malformed line")
+	diff    = flag.Bool("diff", false, "diff two files' asn records")
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	switch {
+	case *diff && len(args) == 2:
+		if err := runDiff(args[0], args[1]); err != nil {
+			fail(err)
+		}
+	case len(args) >= 1:
+		for _, path := range args {
+			if err := runSummary(path); err != nil {
+				fail(err)
+			}
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: delegdump [-records|-strict] file ... | delegdump -diff fileA fileB")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "delegdump:", err)
+	os.Exit(1)
+}
+
+func parse(path string) (*delegation.File, []delegation.LineError, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	if *strict {
+		parsed, err := delegation.Parse(f)
+		return parsed, nil, err
+	}
+	parsed, errs := delegation.ParseLenient(f)
+	if parsed == nil {
+		return nil, errs, fmt.Errorf("%s: unusable file (%d errors)", path, len(errs))
+	}
+	return parsed, errs, nil
+}
+
+func runSummary(path string) error {
+	f, errs, err := parse(path)
+	if err != nil {
+		return err
+	}
+	format := "regular"
+	if f.Extended {
+		format = "extended"
+	}
+	fmt.Printf("%s: %s %s file, serial %s, window %s..%s\n",
+		path, f.Registry, format, f.Serial, f.Start, f.End)
+	var byStatus [4]int
+	units := 0
+	for _, rec := range f.ASNs {
+		byStatus[rec.Status] += rec.Count
+		units += rec.Count
+	}
+	fmt.Printf("  asn records: %d (%d ASNs) — allocated %d, assigned %d, reserved %d, available %d\n",
+		len(f.ASNs), units,
+		byStatus[delegation.StatusAllocated], byStatus[delegation.StatusAssigned],
+		byStatus[delegation.StatusReserved], byStatus[delegation.StatusAvailable])
+	if len(f.Other) > 0 {
+		fmt.Printf("  other resource lines: %d\n", len(f.Other))
+	}
+	for _, e := range errs {
+		fmt.Printf("  malformed: %v\n", e)
+	}
+	if *records {
+		for _, rec := range f.ASNs {
+			fmt.Printf("  %s\n", rec.Line(f.Extended))
+		}
+	}
+	return nil
+}
+
+func runDiff(pathA, pathB string) error {
+	fa, _, err := parse(pathA)
+	if err != nil {
+		return err
+	}
+	fb, _, err := parse(pathB)
+	if err != nil {
+		return err
+	}
+	a := index(fa)
+	b := index(fb)
+	added, removed, changed := 0, 0, 0
+	for x, rb := range b {
+		ra, ok := a[x]
+		switch {
+		case !ok:
+			fmt.Printf("+ %s\n", rb.Line(true))
+			added++
+		case ra != rb:
+			fmt.Printf("~ %s -> %s\n", ra.Line(true), rb.Line(true))
+			changed++
+		}
+	}
+	for x, ra := range a {
+		if _, ok := b[x]; !ok {
+			fmt.Printf("- %s\n", ra.Line(true))
+			removed++
+		}
+	}
+	fmt.Printf("diff: %d added, %d removed, %d changed\n", added, removed, changed)
+	return nil
+}
+
+func index(f *delegation.File) map[asn.ASN]delegation.Record {
+	out := make(map[asn.ASN]delegation.Record, len(f.ASNs))
+	for _, rec := range f.Expand() {
+		rec.Registry = f.Registry
+		out[rec.ASN] = rec
+	}
+	return out
+}

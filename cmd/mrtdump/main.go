@@ -1,0 +1,154 @@
+// Command mrtdump prints MRT archives (RFC 6396) in a human-readable
+// form, in the spirit of bgpdump: TABLE_DUMP_V2 peer index tables and RIB
+// entries, and BGP4MP update messages.
+//
+// Usage:
+//
+//	mrtdump [-brief] [-count] file.mrt [file2.mrt ...]
+//	cat file.mrt | mrtdump
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgp"
+	"parallellives/internal/mrt"
+)
+
+var (
+	brief = flag.Bool("brief", false, "one line per route")
+	count = flag.Bool("count", false, "print record counts only")
+)
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		if err := dump(os.Stdin, "stdin"); err != nil {
+			fail(err)
+		}
+		return
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		err = dump(f, path)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mrtdump:", err)
+	os.Exit(1)
+}
+
+func dump(r io.Reader, name string) error {
+	reader := mrt.NewReader(r)
+	var tbl mrt.PeerIndexTable
+	var rec mrt.RIBRecord
+	var msg mrt.BGP4MPMessage
+	var upd bgp.Update
+	havePeers := false
+	counts := map[string]int{}
+
+	for {
+		h, body, err := reader.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ts := time.Unix(int64(h.Timestamp), 0).UTC().Format("2006-01-02 15:04:05")
+		switch h.Type {
+		case mrt.TypeTableDumpV2:
+			switch h.Subtype {
+			case mrt.SubtypePeerIndexTable:
+				counts["peer-index-table"]++
+				if err := mrt.DecodePeerIndexTable(&tbl, body); err != nil {
+					return err
+				}
+				havePeers = true
+				if *count {
+					continue
+				}
+				fmt.Printf("%s PEER_INDEX_TABLE view=%q peers=%d\n", ts, tbl.ViewName, len(tbl.Peers))
+				if !*brief {
+					for i, p := range tbl.Peers {
+						fmt.Printf("  peer %d: AS%s %s\n", i, p.AS, p.Addr)
+					}
+				}
+			case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv6Unicast:
+				counts["rib-entry"]++
+				v6 := h.Subtype == mrt.SubtypeRIBIPv6Unicast
+				if err := mrt.DecodeRIBRecord(&rec, body, v6); err != nil {
+					return err
+				}
+				if *count {
+					continue
+				}
+				for _, e := range rec.Entries {
+					upd.Reset()
+					if err := bgp.DecodeAttrs(&upd, e.Attrs, true); err != nil {
+						fmt.Printf("%s RIB %v peer=%d <attr decode error: %v>\n",
+							ts, rec.Prefix, e.PeerIndex, err)
+						continue
+					}
+					peer := "?"
+					if havePeers && int(e.PeerIndex) < len(tbl.Peers) {
+						peer = "AS" + tbl.Peers[e.PeerIndex].AS.String()
+					}
+					fmt.Printf("%s RIB %v from=%s path=%s\n", ts, rec.Prefix, peer, pathString(&upd))
+				}
+			}
+		case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
+			if h.Subtype != mrt.SubtypeBGP4MPMessage && h.Subtype != mrt.SubtypeBGP4MPMessageAS4 {
+				counts["bgp4mp-other"]++
+				continue
+			}
+			counts["bgp4mp-message"]++
+			if err := mrt.DecodeBGP4MPMessage(&msg, body, h.Subtype); err != nil {
+				return err
+			}
+			if *count {
+				continue
+			}
+			if err := bgp.DecodeUpdate(&upd, msg.Data, msg.FourByte); err != nil {
+				fmt.Printf("%s UPDATE peer=AS%s <decode error: %v>\n", ts, msg.PeerAS, err)
+				continue
+			}
+			fmt.Printf("%s UPDATE peer=AS%s announce=%v withdraw=%v path=%s\n",
+				ts, msg.PeerAS, upd.Announced, upd.Withdrawn, pathString(&upd))
+		default:
+			counts[fmt.Sprintf("type-%d", h.Type)]++
+		}
+	}
+	if *count {
+		fmt.Printf("%s:\n", name)
+		for k, v := range counts {
+			fmt.Printf("  %-18s %d\n", k, v)
+		}
+	}
+	return nil
+}
+
+func pathString(u *bgp.Update) string {
+	var flat [64]asn.ASN
+	parts := make([]string, 0, 8)
+	for _, a := range u.FlatPath(flat[:0]) {
+		parts = append(parts, a.String())
+	}
+	return strings.Join(parts, " ")
+}

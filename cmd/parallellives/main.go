@@ -1,0 +1,344 @@
+// Command parallellives runs the full reproduction pipeline (Figure 1 of
+// the paper): it simulates the ground-truth world, renders and restores
+// the delegation archive, scans the simulated collectors, builds both
+// lifetime dimensions, and regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	parallellives [flags]
+//
+// Useful flags:
+//
+//	-scale 0.04          world scale (fraction of real allocation volume)
+//	-seed 1              simulation seed
+//	-start/-end          observation window (YYYY-MM-DD)
+//	-wire                route BGP data through binary MRT encode/decode
+//	-direct-files        skip the delegation text round trip
+//	-timeout 30          operational inactivity timeout (days)
+//	-visibility 2        minimum distinct peers per active ASN-day
+//	-experiments all     comma list: table1..table5, figure3..figure14,
+//	                     s61..s64, appendixa, extensions, restoration
+//	-datasets DIR        write Listing-1 JSON datasets into DIR
+//	-export-mrt DATE     write one day's MRT archives into -out
+//	-export-files DATE   write one day's delegation files into -out
+//	-out DIR             output directory for exports (default ".")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/collector"
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/pipeline"
+	"parallellives/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "parallellives:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scale       = flag.Float64("scale", 0.04, "world scale")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		start       = flag.String("start", "2003-10-09", "window start")
+		end         = flag.String("end", "2021-03-01", "window end")
+		wire        = flag.Bool("wire", false, "route BGP data through MRT encode/decode")
+		directFiles = flag.Bool("direct-files", false, "skip the delegation text round trip")
+		timeout     = flag.Int("timeout", core.DefaultInactivityTimeout, "inactivity timeout (days)")
+		visibility  = flag.Int("visibility", 2, "minimum distinct peers per ASN-day")
+		experiments = flag.String("experiments", "all", "comma list of experiments, or 'all'")
+		datasets    = flag.String("datasets", "", "directory for Listing-1 JSON datasets")
+		exportMRT   = flag.String("export-mrt", "", "export one day's MRT archives (YYYY-MM-DD)")
+		exportFiles = flag.String("export-files", "", "export one day's delegation files (YYYY-MM-DD)")
+		outDir      = flag.String("out", ".", "output directory for exports")
+		lookupASN   = flag.Uint64("asn", 0, "print one ASN's parallel lives and exit")
+	)
+	flag.Parse()
+
+	opts := pipeline.DefaultOptions()
+	opts.World.Scale = *scale
+	opts.World.Seed = *seed
+	opts.Wire = *wire
+	opts.TextFiles = !*directFiles
+	opts.Timeout = *timeout
+	opts.Visibility = *visibility
+	var err error
+	if opts.World.Start, err = dates.Parse(*start); err != nil {
+		return err
+	}
+	if opts.World.End, err = dates.Parse(*end); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	fmt.Fprintf(os.Stderr, "building dataset (scale=%g, %s..%s, wire=%v)...\n",
+		*scale, *start, *end, *wire)
+	ds, err := pipeline.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dataset ready in %v: %d admin lifetimes (%d ASNs), %d op lifetimes (%d ASNs)\n",
+		time.Since(t0).Round(time.Millisecond),
+		len(ds.Admin.Lifetimes), ds.AdminStats.ASNs,
+		len(ds.Ops.Lifetimes), ds.Ops.ASNs())
+
+	if *datasets != "" {
+		if err := writeDatasets(ds, *datasets); err != nil {
+			return err
+		}
+	}
+	if *exportMRT != "" {
+		if err := doExportMRT(ds, *exportMRT, *outDir); err != nil {
+			return err
+		}
+	}
+	if *exportFiles != "" {
+		if err := doExportFiles(ds, *exportFiles, *outDir); err != nil {
+			return err
+		}
+	}
+
+	if *lookupASN != 0 {
+		printASN(ds, asn.ASN(*lookupASN))
+		return nil
+	}
+
+	want := map[string]bool{}
+	all := *experiments == "all"
+	for _, e := range strings.Split(*experiments, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(name string) bool { return all || want[name] }
+	printExperiments(ds, sel)
+	return nil
+}
+
+func printExperiments(ds *pipeline.Dataset, sel func(string) bool) {
+	wStart, wEnd := ds.World.Config.Start, ds.World.Config.End
+	out := os.Stdout
+	p := func(s string) { fmt.Fprintln(out, s) }
+
+	if sel("table1") {
+		p(report.BuildTable1(ds.Archive).Text())
+	}
+	if sel("figure3") {
+		f := report.BuildFigure3(ds.Activity, ds.Admin,
+			[]int{1, 2, 5, 10, 15, 20, 30, 50, 75, 100, 150, 365}, ds.Options.Timeout)
+		p(f.Text())
+	}
+	if sel("figure4") {
+		p(report.BuildFigure4(ds.Joint, wStart, wEnd, 180).Text())
+	}
+	if sel("table2") {
+		p(report.BuildTable2(ds.Joint).Text())
+	}
+	if sel("figure5") {
+		p(report.BuildFigure5(ds.Admin).Text())
+	}
+	if sel("table3") {
+		p(report.BuildTable3(ds.Joint).Text())
+	}
+	if sel("figure7") {
+		p(report.BuildFigure7(ds.Joint).Text())
+	}
+	if sel("figure8") {
+		findings := ds.Joint.DetectDormantSquats(core.DefaultSquatParams())
+		p(report.BuildFigure8(ds.Joint, findings, 6, 30, wStart, wEnd).Text())
+	}
+	if sel("figure9") {
+		p(report.BuildFigure9(ds.Joint.Unused()).Text())
+	}
+	if sel("figure10") {
+		p(report.BuildFigure10(ds.Admin).Text())
+	}
+	if sel("figure11") {
+		p(report.BuildFigure11(ds.Admin, wStart, wEnd).Text())
+	}
+	if sel("figure12") {
+		p(report.BuildFigure12(ds.Restored, wStart, wEnd, 180).Text())
+	}
+	if sel("figure14") {
+		p(report.BuildFigure14(ds.Admin, wStart.Year(), wEnd.Year()).Text())
+	}
+	if sel("table4") {
+		snaps := table4Snapshots(wStart, wEnd)
+		p(report.BuildTable4(ds.Joint, snaps, 5).Text())
+	}
+	if sel("table5") {
+		p(report.BuildTable5(ds.Admin, ds.Activity, []int{15, 30, 50}, 30).Text())
+	}
+	if sel("s61") {
+		p(report.BuildSection61(ds.Joint, wEnd, core.DefaultSquatParams()).Text())
+	}
+	if sel("s62") {
+		p(report.BuildSection62(ds.Joint, ds.Cones()).Text())
+	}
+	if sel("s63") {
+		p(report.BuildSection63(ds.Joint).Text())
+	}
+	if sel("s64") {
+		p(report.BuildSection64(ds.Joint).Text())
+	}
+	if sel("appendixa") {
+		p(report.BuildAppendixA16Bit(ds.Restored, wStart, wEnd).Text())
+	}
+	if sel("extensions") {
+		p(report.BuildExtensions(ds.Activity, ds.Ops).Text())
+	}
+	if sel("restoration") {
+		fmt.Fprintf(out, "Restoration report: %+v\n\n", ds.Restored.Report)
+	}
+}
+
+// printASN prints one ASN's parallel lives — the Listing 1 view.
+func printASN(ds *pipeline.Dataset, a asn.ASN) {
+	admins := ds.Admin.Of(a)
+	ops := ds.Ops.Of(a)
+	if len(admins) == 0 && len(ops) == 0 {
+		fmt.Printf("AS%s: never allocated and never seen in BGP\n", a)
+		return
+	}
+	fmt.Printf("AS%s\n", a)
+	for _, ai := range admins {
+		al := ds.Admin.Lifetimes[ai]
+		fmt.Printf("  administrative life (%s, %s): regDate=%s, %s .. %s, open=%v, category=%s\n",
+			al.RIR, al.CC, al.RegDate, al.Span.Start, al.Span.End, al.Open,
+			ds.Joint.AdminCat[ai])
+	}
+	for _, oi := range ops {
+		ol := ds.Ops.Lifetimes[oi]
+		fmt.Printf("  operational life: %s .. %s (%d days), category=%s\n",
+			ol.Span.Start, ol.Span.End, ol.Span.Days(), ds.Joint.OpCat[oi])
+	}
+	if act := ds.Activity.ASNs[a]; act != nil && len(act.Upstreams) > 0 {
+		fmt.Printf("  observed upstreams:")
+		for up := range act.Upstreams {
+			fmt.Printf(" AS%s", up)
+		}
+		fmt.Println()
+	}
+}
+
+// table4Snapshots picks the paper's 2010/2015/2021 snapshots when they
+// fall inside the window, else three evenly spaced dates.
+func table4Snapshots(start, end dates.Day) []dates.Day {
+	paper := []dates.Day{
+		dates.MustParse("2010-01-01"),
+		dates.MustParse("2015-01-01"),
+		dates.MustParse("2021-03-01"),
+	}
+	var out []dates.Day
+	for _, d := range paper {
+		if d >= start && d <= end {
+			out = append(out, d)
+		}
+	}
+	if len(out) >= 2 {
+		return out
+	}
+	span := end.Sub(start)
+	return []dates.Day{start.AddDays(span / 3), start.AddDays(2 * span / 3), end}
+}
+
+func writeDatasets(ds *pipeline.Dataset, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	admin, err := os.Create(filepath.Join(dir, "administrative.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer admin.Close()
+	if err := ds.WriteAdminJSON(admin); err != nil {
+		return err
+	}
+	op, err := os.Create(filepath.Join(dir, "operational.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer op.Close()
+	if err := ds.WriteOpJSON(op); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "datasets written to %s\n", dir)
+	return nil
+}
+
+func doExportMRT(ds *pipeline.Dataset, dateStr, dir string) error {
+	day, err := dates.Parse(dateStr)
+	if err != nil {
+		return err
+	}
+	inf := collector.New(ds.World)
+	it := inf.Iter()
+	for it.Next() {
+		if it.Day() != day {
+			continue
+		}
+		ribs, updates, err := it.MRT()
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		for i := range ribs {
+			name := fmt.Sprintf("rrc%02d.rib.%s.mrt", i, day.Compact())
+			if err := os.WriteFile(filepath.Join(dir, name), ribs[i], 0o644); err != nil {
+				return err
+			}
+			name = fmt.Sprintf("rrc%02d.updates.%s.mrt", i, day.Compact())
+			if err := os.WriteFile(filepath.Join(dir, name), updates[i], 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "MRT archives for %s written to %s\n", day, dir)
+		return nil
+	}
+	return fmt.Errorf("day %s outside the window", day)
+}
+
+func doExportFiles(ds *pipeline.Dataset, dateStr, dir string) error {
+	day, err := dates.Parse(dateStr)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range asn.All() {
+		for _, ext := range []bool{false, true} {
+			f := ds.Archive.File(r, day, ext)
+			if f == nil {
+				continue
+			}
+			suffix := ""
+			if ext {
+				suffix = "-extended"
+			}
+			name := fmt.Sprintf("delegated-%s%s-%s", r.Token(), suffix, day.Compact())
+			out, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if _, err := f.WriteTo(out); err != nil {
+				out.Close()
+				return err
+			}
+			out.Close()
+		}
+	}
+	fmt.Fprintf(os.Stderr, "delegation files for %s written to %s\n", day, dir)
+	return nil
+}

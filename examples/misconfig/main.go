@@ -1,0 +1,85 @@
+// Misconfig: the §6.4 outside-delegation walkthrough — classify every
+// operational life with no administrative life into post-deallocation
+// abuse, fat-finger origins (failed prepends and mistyped MOAS origins),
+// large internal-ASN leaks, and leftovers, then verify each class against
+// the simulation's planted ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallellives/internal/core"
+	"parallellives/internal/pipeline"
+	"parallellives/internal/worldsim"
+)
+
+func main() {
+	opts := pipeline.DefaultOptions()
+	opts.World.Scale = 0.02
+	ds, err := pipeline.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := ds.Joint.Outside()
+	fmt.Printf("outside-delegation operational lives: %d findings\n", len(out.Findings))
+	fmt.Printf("  post-deallocation ASNs: %d (hijack pattern: %d)\n",
+		out.ASNsPostDealloc, out.HijackEvents)
+	fmt.Printf("  never-allocated ASNs:   %d\n\n", out.ASNsNeverAllocated)
+
+	fmt.Println("sample classified findings:")
+	shown := map[core.OutsideKind]int{}
+	for _, f := range out.Findings {
+		if f.Bogon || shown[f.Kind] >= 3 {
+			continue
+		}
+		shown[f.Kind]++
+		switch f.Kind {
+		case core.OutPostDealloc:
+			flag := ""
+			if f.Hijack {
+				flag = "  ** hijack pattern"
+			}
+			fmt.Printf("  AS%-11s %s  %s..%s  dealloc+%dd, quiet %dd%s\n",
+				f.ASN, f.Kind, f.Span.Start, f.Span.End,
+				f.DaysSinceDealloc, f.DaysSincePrevOp, flag)
+		case core.OutFatFingerPrepend, core.OutFatFingerMOAS:
+			fmt.Printf("  AS%-11s %s  %s..%s  resembles AS%s\n",
+				f.ASN, f.Kind, f.Span.Start, f.Span.End, f.Victim)
+		default:
+			fmt.Printf("  AS%-11s %s  %s..%s\n", f.ASN, f.Kind, f.Span.Start, f.Span.End)
+		}
+	}
+
+	// Ground-truth comparison per class.
+	fmt.Println("\nplanted vs classified:")
+	checkClass(ds, out, "post-dealloc hijacks", ds.World.PostDeallocHijacks,
+		func(f core.OutsideFinding) bool { return f.Kind == core.OutPostDealloc && f.Hijack })
+	var planted []worldsim.Segment
+	for _, s := range ds.World.FatFingers {
+		if s.VictimASN != 0 {
+			planted = append(planted, s)
+		}
+	}
+	checkClass(ds, out, "fat-finger origins", planted,
+		func(f core.OutsideFinding) bool {
+			return f.Kind == core.OutFatFingerPrepend || f.Kind == core.OutFatFingerMOAS
+		})
+	checkClass(ds, out, "large internal leaks", ds.World.LargeLeaks,
+		func(f core.OutsideFinding) bool { return f.Kind == core.OutLargeLeak })
+}
+
+func checkClass(ds *pipeline.Dataset, out core.OutsideProfile, name string,
+	planted []worldsim.Segment, match func(core.OutsideFinding) bool) {
+	hit := 0
+	for _, seg := range planted {
+		for _, f := range out.Findings {
+			if f.ASN == seg.ASN && match(f) {
+				hit++
+				break
+			}
+		}
+	}
+	fmt.Printf("  %-22s planted %3d, classified %3d\n", name, len(planted), hit)
+}

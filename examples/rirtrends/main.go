@@ -1,0 +1,48 @@
+// RIR trends: the §5 bird's-eye view — per-registry alive counts in both
+// dimensions (Figure 4), the RIPE-overtakes-ARIN crossovers, lifetime
+// duration contrasts (Figure 5), re-allocation behaviour (Table 2), and
+// the 16→32-bit transition (Figure 12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/pipeline"
+	"parallellives/internal/report"
+)
+
+func main() {
+	opts := pipeline.DefaultOptions()
+	opts.World.Scale = 0.02
+	ds, err := pipeline.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start, end := ds.World.Config.Start, ds.World.Config.End
+
+	f4 := report.BuildFigure4(ds.Joint, start, end, 365)
+	fmt.Println(f4.Text())
+
+	fmt.Println(report.BuildTable2(ds.Joint).Text())
+	fmt.Println(report.BuildFigure5(ds.Admin).Text())
+
+	// The 32-bit transition, sampled yearly: watch ARIN lag the younger
+	// registries.
+	f12 := report.BuildFigure12(ds.Restored, start, end, 365)
+	last := len(f12.Days) - 1
+	fmt.Println("32-bit share of allocated ASNs at window end:")
+	for _, r := range asn.All() {
+		n16, n32 := f12.Bit16[r][last], f12.Bit32[r][last]
+		share := 0.0
+		if n16+n32 > 0 {
+			share = float64(n32) / float64(n16+n32)
+		}
+		fmt.Printf("  %-9s 16-bit %5d  32-bit %5d  (32-bit share %.1f%%)\n",
+			r, n16, n32, 100*share)
+	}
+
+	fmt.Println()
+	fmt.Println(report.BuildFigure10(ds.Admin).Text())
+}

@@ -1,0 +1,81 @@
+// Squatting: apply the paper's §6.1.2 dormant-ASN squat filter — 1000+
+// days of dormancy followed by an operational life under 5% of the
+// administrative life — and inspect the findings: prefix spikes, shared
+// upstreams (the hijack-factory pattern), and recall against the
+// simulation's planted ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"parallellives/internal/core"
+	"parallellives/internal/pipeline"
+)
+
+func main() {
+	opts := pipeline.DefaultOptions()
+	opts.World.Scale = 0.02
+	ds, err := pipeline.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := core.DefaultSquatParams()
+	findings := ds.Joint.DetectDormantSquats(params)
+	fmt.Printf("filter (dormancy >= %dd, relative duration <= %.0f%%) matched %d operational lives\n\n",
+		params.MinDormancyDays, params.MaxRelDuration*100, len(findings))
+
+	// Rank by prefix spike, the Figure 8 visual.
+	sort.Slice(findings, func(i, j int) bool {
+		return findings[i].PeakPrefixCount > findings[j].PeakPrefixCount
+	})
+	fmt.Println("top findings by daily prefix spike:")
+	for i, f := range findings {
+		if i >= 8 {
+			break
+		}
+		up := "-"
+		if len(f.Upstreams) > 0 {
+			up = "AS" + f.Upstreams[0].String()
+		}
+		fmt.Printf("  AS%-10s woke %s after %4d dormant days, active %3d days (%.1f%% of life), peak %3d prefixes/day, upstream %s\n",
+			f.ASN, f.OpSpan.Start, f.DormantDays, f.OpSpan.Days(), 100*f.RelDuration,
+			f.PeakPrefixCount, up)
+	}
+
+	// Coordination: multiple squats sharing the same dominant upstream.
+	groups := core.CoordinatedGroups(findings, 2)
+	fmt.Printf("\ncoordinated groups (same dominant upstream, >=2 members): %d\n", len(groups))
+	for up, group := range groups {
+		fmt.Printf("  upstream AS%s carries %d squatted origins", up, len(group))
+		if up == ds.World.HijackFactory {
+			fmt.Printf("  <- the simulation's hijack factory")
+		}
+		fmt.Println()
+	}
+
+	// Recall against the planted ground truth (available only because
+	// this is a simulation; the paper cross-validated against NANOG,
+	// Spamhaus and BGPmon reports instead).
+	detected := 0
+	for _, seg := range ds.World.DormantSquats {
+		for _, f := range findings {
+			if f.ASN == seg.ASN && f.OpSpan.Overlaps(seg.Span) {
+				detected++
+				break
+			}
+		}
+	}
+	fmt.Printf("\nground truth: %d squats planted, %d recovered by the filter (%.0f%% recall)\n",
+		len(ds.World.DormantSquats), detected,
+		100*float64(detected)/float64(max(1, len(ds.World.DormantSquats))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module parallellives
+
+go 1.22

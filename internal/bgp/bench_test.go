@@ -1,0 +1,63 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+
+	"parallellives/internal/asn"
+)
+
+func benchUpdate(b *testing.B) []byte {
+	b.Helper()
+	u := &Update{
+		Announced: []netip.Prefix{
+			netip.MustParsePrefix("203.0.113.0/24"),
+			netip.MustParsePrefix("198.51.100.0/24"),
+			netip.MustParsePrefix("2001:db8::/32"),
+		},
+		Path:      []Segment{{Type: SegmentSequence, ASNs: []asn.ASN{3356, 174, 2914, 64500}}},
+		HasOrigin: true,
+	}
+	msg, err := u.Marshal(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return msg
+}
+
+func BenchmarkUpdateDecode(b *testing.B) {
+	msg := benchUpdate(b)
+	var u Update
+	b.ReportAllocs()
+	b.SetBytes(int64(len(msg)))
+	for i := 0; i < b.N; i++ {
+		if err := DecodeUpdate(&u, msg, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateEncode(b *testing.B) {
+	msg := benchUpdate(b)
+	var u Update
+	if err := DecodeUpdate(&u, msg, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.Marshal(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHasLoop(b *testing.B) {
+	u := &Update{Path: []Segment{{Type: SegmentSequence,
+		ASNs: []asn.ASN{3356, 174, 2914, 64500, 64500, 64500}}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if u.HasLoop() {
+			b.Fatal("unexpected loop")
+		}
+	}
+}

@@ -1,0 +1,560 @@
+// Package bgp implements the subset of the BGP-4 wire protocol (RFC 4271,
+// RFC 4760, RFC 6793) needed to produce and analyze routing data: UPDATE
+// message encoding and decoding with 2- and 4-octet AS paths, IPv4 NLRI,
+// and IPv6 reachability via MP_REACH_NLRI / MP_UNREACH_NLRI.
+//
+// In the style of gopacket's DecodingLayerParser, decoding fills a
+// caller-owned Update value in place so that a scanner processing millions
+// of MRT records performs no per-message allocations beyond slice growth
+// on the reused buffers.
+package bgp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"parallellives/internal/asn"
+)
+
+// Message types (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Path attribute type codes.
+const (
+	AttrOrigin         = 1
+	AttrASPath         = 2
+	AttrNextHop        = 3
+	AttrMED            = 4
+	AttrLocalPref      = 5
+	AttrAtomicAggr     = 6
+	AttrAggregator     = 7
+	AttrCommunities    = 8
+	AttrMPReachNLRI    = 14
+	AttrMPUnreachNLRI  = 15
+	AttrAS4Path        = 17
+	AttrAS4Aggregator  = 18
+	AttrLargeCommunity = 32
+)
+
+// Origin attribute values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS_PATH segment types.
+const (
+	SegmentSet      = 1
+	SegmentSequence = 2
+)
+
+// AFI/SAFI values used by MP-BGP attributes.
+const (
+	AFIIPv4     = 1
+	AFIIPv6     = 2
+	SAFIUnicast = 1
+)
+
+// HeaderLen is the fixed BGP message header size.
+const HeaderLen = 19
+
+// MaxMessageLen is the largest legal BGP message (RFC 4271).
+const MaxMessageLen = 4096
+
+var (
+	// ErrTruncated is returned when a message or attribute is shorter
+	// than its declared length.
+	ErrTruncated = errors.New("bgp: truncated message")
+	// ErrMalformed is returned for structurally invalid data.
+	ErrMalformed = errors.New("bgp: malformed message")
+)
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type byte // SegmentSet or SegmentSequence
+	ASNs []asn.ASN
+}
+
+// Update is a decoded BGP UPDATE message. The slices are reused across
+// Decode calls on the same value; callers must copy anything they retain.
+type Update struct {
+	Withdrawn []netip.Prefix
+	Announced []netip.Prefix // IPv4 NLRI plus MP_REACH_NLRI prefixes
+	Path      []Segment
+	Origin    byte
+	HasOrigin bool
+	NextHop   netip.Addr
+}
+
+// Reset clears the update for reuse without freeing slice capacity.
+// DecodeUpdate and DecodeUpdateBody call it implicitly; callers feeding
+// raw attribute blocks to DecodeAttrs must call it themselves.
+func (u *Update) Reset() { u.reset() }
+
+// reset clears the update for reuse without freeing capacity.
+func (u *Update) reset() {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.Announced = u.Announced[:0]
+	u.Path = u.Path[:0]
+	u.Origin = 0
+	u.HasOrigin = false
+	u.NextHop = netip.Addr{}
+}
+
+// OriginAS returns the origin AS of the update — the last ASN of the last
+// AS_SEQUENCE segment — and false if the path is empty or ends in an
+// AS_SET (in which case the origin is ambiguous, per RFC 4271 aggregation
+// semantics; the paper's pipeline skips those for origination analysis).
+func (u *Update) OriginAS() (asn.ASN, bool) {
+	if len(u.Path) == 0 {
+		return 0, false
+	}
+	last := u.Path[len(u.Path)-1]
+	if last.Type != SegmentSequence || len(last.ASNs) == 0 {
+		return 0, false
+	}
+	return last.ASNs[len(last.ASNs)-1], true
+}
+
+// FirstAS returns the neighbor-most ASN on the path (the peer that sent
+// the route to the collector) and false for an empty path.
+func (u *Update) FirstAS() (asn.ASN, bool) {
+	if len(u.Path) == 0 || len(u.Path[0].ASNs) == 0 {
+		return 0, false
+	}
+	return u.Path[0].ASNs[0], true
+}
+
+// FlatPath appends all ASNs on the path, in order, to dst and returns it.
+func (u *Update) FlatPath(dst []asn.ASN) []asn.ASN {
+	for _, seg := range u.Path {
+		dst = append(dst, seg.ASNs...)
+	}
+	return dst
+}
+
+// HasLoop reports whether any ASN appears in two non-adjacent positions
+// of the flattened path. Legitimate prepending repeats an ASN in adjacent
+// positions only; a non-adjacent repeat is a routing loop, which the
+// paper's sanitization discards (§3.2).
+func (u *Update) HasLoop() bool {
+	var flat [64]asn.ASN
+	path := u.FlatPath(flat[:0])
+	for i := 0; i < len(path); i++ {
+		for j := i + 1; j < len(path); j++ {
+			if path[i] == path[j] && j != i+1 {
+				// Allow runs of the same ASN (prepending): the repeat is
+				// benign if every element between i and j equals path[i].
+				run := true
+				for k := i + 1; k < j; k++ {
+					if path[k] != path[i] {
+						run = false
+						break
+					}
+				}
+				if !run {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// appendPrefix encodes one NLRI prefix.
+func appendPrefix(dst []byte, p netip.Prefix) []byte {
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	nbytes := (bits + 7) / 8
+	addr := p.Addr().AsSlice()
+	return append(dst, addr[:nbytes]...)
+}
+
+// decodePrefix reads one NLRI prefix for the given address family.
+func decodePrefix(b []byte, v6 bool) (netip.Prefix, int, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, 0, ErrTruncated
+	}
+	bits := int(b[0])
+	maxBits := 32
+	if v6 {
+		maxBits = 128
+	}
+	if bits > maxBits {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: prefix length %d", ErrMalformed, bits)
+	}
+	nbytes := (bits + 7) / 8
+	if len(b) < 1+nbytes {
+		return netip.Prefix{}, 0, ErrTruncated
+	}
+	var addr netip.Addr
+	if v6 {
+		var a [16]byte
+		copy(a[:], b[1:1+nbytes])
+		addr = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], b[1:1+nbytes])
+		addr = netip.AddrFrom4(a)
+	}
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return p, 1 + nbytes, nil
+}
+
+// Marshal encodes the update as a full BGP message (header included).
+// fourByte selects 4-octet AS number encoding in AS_PATH, as negotiated
+// by the capability in real sessions and recorded by MRT subtypes.
+// IPv6 prefixes in Announced are carried in an MP_REACH_NLRI attribute;
+// IPv6 prefixes in Withdrawn in MP_UNREACH_NLRI.
+func (u *Update) Marshal(fourByte bool) ([]byte, error) {
+	body := make([]byte, 0, 128)
+
+	// Withdrawn routes (IPv4 only in the classic field).
+	var withdrawn4, withdrawn6 []netip.Prefix
+	for _, p := range u.Withdrawn {
+		if p.Addr().Is4() {
+			withdrawn4 = append(withdrawn4, p)
+		} else {
+			withdrawn6 = append(withdrawn6, p)
+		}
+	}
+	var announced4, announced6 []netip.Prefix
+	for _, p := range u.Announced {
+		if p.Addr().Is4() {
+			announced4 = append(announced4, p)
+		} else {
+			announced6 = append(announced6, p)
+		}
+	}
+
+	var wbuf []byte
+	for _, p := range withdrawn4 {
+		wbuf = appendPrefix(wbuf, p)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(wbuf)))
+	body = append(body, wbuf...)
+
+	// Path attributes.
+	var attrs []byte
+	if u.HasOrigin || len(u.Path) > 0 || len(announced4) > 0 || len(announced6) > 0 {
+		attrs = appendAttr(attrs, 0x40, AttrOrigin, []byte{u.Origin})
+	}
+	if len(u.Path) > 0 || len(announced4) > 0 || len(announced6) > 0 {
+		attrs = appendAttr(attrs, 0x40, AttrASPath, marshalASPath(u.Path, fourByte))
+	}
+	if len(announced4) > 0 {
+		nh := u.NextHop
+		if !nh.IsValid() || !nh.Is4() {
+			nh = netip.AddrFrom4([4]byte{192, 0, 2, 1})
+		}
+		a := nh.As4()
+		attrs = appendAttr(attrs, 0x40, AttrNextHop, a[:])
+	}
+	if len(announced6) > 0 {
+		var mp []byte
+		mp = binary.BigEndian.AppendUint16(mp, AFIIPv6)
+		mp = append(mp, SAFIUnicast)
+		nh := u.NextHop
+		if !nh.IsValid() || !nh.Is6() || nh.Is4() {
+			nh = netip.MustParseAddr("2001:db8::1")
+		}
+		nh16 := nh.As16()
+		mp = append(mp, 16)
+		mp = append(mp, nh16[:]...)
+		mp = append(mp, 0) // reserved / SNPA count
+		for _, p := range announced6 {
+			mp = appendPrefix(mp, p)
+		}
+		attrs = appendAttr(attrs, 0x80, AttrMPReachNLRI, mp)
+	}
+	if len(withdrawn6) > 0 {
+		var mp []byte
+		mp = binary.BigEndian.AppendUint16(mp, AFIIPv6)
+		mp = append(mp, SAFIUnicast)
+		for _, p := range withdrawn6 {
+			mp = appendPrefix(mp, p)
+		}
+		attrs = appendAttr(attrs, 0x80, AttrMPUnreachNLRI, mp)
+	}
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+
+	for _, p := range announced4 {
+		body = appendPrefix(body, p)
+	}
+
+	total := HeaderLen + len(body)
+	if total > MaxMessageLen {
+		return nil, fmt.Errorf("%w: message length %d exceeds %d", ErrMalformed, total, MaxMessageLen)
+	}
+	msg := make([]byte, HeaderLen, total)
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff
+	}
+	binary.BigEndian.PutUint16(msg[16:18], uint16(total))
+	msg[18] = TypeUpdate
+	return append(msg, body...), nil
+}
+
+// MarshalAttrs encodes just the ORIGIN, AS_PATH and (for an IPv4 next
+// hop) NEXT_HOP attributes of u as a raw attribute block — the form MRT
+// TABLE_DUMP_V2 RIB entries embed. RIB entries always use the 4-octet
+// AS_PATH encoding, but the parameter is exposed for symmetric testing.
+func (u *Update) MarshalAttrs(fourByte bool) []byte {
+	var attrs []byte
+	attrs = appendAttr(attrs, 0x40, AttrOrigin, []byte{u.Origin})
+	attrs = appendAttr(attrs, 0x40, AttrASPath, marshalASPath(u.Path, fourByte))
+	if u.NextHop.IsValid() && u.NextHop.Is4() {
+		a := u.NextHop.As4()
+		attrs = appendAttr(attrs, 0x40, AttrNextHop, a[:])
+	}
+	return attrs
+}
+
+// appendAttr encodes one path attribute, using the extended-length form
+// when the value exceeds 255 bytes.
+func appendAttr(dst []byte, flags, typ byte, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= 0x10 // extended length
+		dst = append(dst, flags, typ)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	} else {
+		dst = append(dst, flags, typ, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+func marshalASPath(segs []Segment, fourByte bool) []byte {
+	var out []byte
+	for _, s := range segs {
+		out = append(out, s.Type, byte(len(s.ASNs)))
+		for _, a := range s.ASNs {
+			if fourByte {
+				out = binary.BigEndian.AppendUint32(out, uint32(a))
+			} else {
+				v := a
+				if v.Is32Bit() {
+					v = asn.ASTrans // RFC 6793 substitution
+				}
+				out = binary.BigEndian.AppendUint16(out, uint16(v))
+			}
+		}
+	}
+	return out
+}
+
+// DecodeUpdate parses a full BGP message (with header) into u, resetting
+// it first. It returns an error for non-UPDATE message types.
+func DecodeUpdate(u *Update, msg []byte, fourByte bool) error {
+	if len(msg) < HeaderLen {
+		return ErrTruncated
+	}
+	l := int(binary.BigEndian.Uint16(msg[16:18]))
+	if l < HeaderLen || l > len(msg) {
+		return fmt.Errorf("%w: declared %d, have %d", ErrTruncated, l, len(msg))
+	}
+	if msg[18] != TypeUpdate {
+		return fmt.Errorf("%w: message type %d is not UPDATE", ErrMalformed, msg[18])
+	}
+	return DecodeUpdateBody(u, msg[HeaderLen:l], fourByte)
+}
+
+// DecodeUpdateBody parses an UPDATE body (header stripped) into u.
+func DecodeUpdateBody(u *Update, b []byte, fourByte bool) error {
+	u.reset()
+	if len(b) < 2 {
+		return ErrTruncated
+	}
+	wlen := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	if len(b) < wlen {
+		return ErrTruncated
+	}
+	wd := b[:wlen]
+	b = b[wlen:]
+	for len(wd) > 0 {
+		p, n, err := decodePrefix(wd, false)
+		if err != nil {
+			return err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wd = wd[n:]
+	}
+
+	if len(b) < 2 {
+		return ErrTruncated
+	}
+	alen := int(binary.BigEndian.Uint16(b[:2]))
+	b = b[2:]
+	if len(b) < alen {
+		return ErrTruncated
+	}
+	attrs := b[:alen]
+	nlri := b[alen:]
+
+	if err := DecodeAttrs(u, attrs, fourByte); err != nil {
+		return err
+	}
+
+	for len(nlri) > 0 {
+		p, n, err := decodePrefix(nlri, false)
+		if err != nil {
+			return err
+		}
+		u.Announced = append(u.Announced, p)
+		nlri = nlri[n:]
+	}
+	return nil
+}
+
+// DecodeAttrs parses a raw path-attribute block into u without resetting
+// it. It is used both for UPDATE bodies and for the attribute blocks
+// embedded in MRT TABLE_DUMP_V2 RIB entries (which always use 4-octet AS
+// numbers, so those callers pass fourByte=true).
+func DecodeAttrs(u *Update, attrs []byte, fourByte bool) error {
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return ErrTruncated
+		}
+		flags, typ := attrs[0], attrs[1]
+		var vlen, hlen int
+		if flags&0x10 != 0 { // extended length
+			if len(attrs) < 4 {
+				return ErrTruncated
+			}
+			vlen = int(binary.BigEndian.Uint16(attrs[2:4]))
+			hlen = 4
+		} else {
+			vlen = int(attrs[2])
+			hlen = 3
+		}
+		if len(attrs) < hlen+vlen {
+			return ErrTruncated
+		}
+		val := attrs[hlen : hlen+vlen]
+		attrs = attrs[hlen+vlen:]
+
+		switch typ {
+		case AttrOrigin:
+			if vlen != 1 {
+				return fmt.Errorf("%w: ORIGIN length %d", ErrMalformed, vlen)
+			}
+			u.Origin = val[0]
+			u.HasOrigin = true
+		case AttrASPath:
+			if err := decodeASPath(u, val, fourByte); err != nil {
+				return err
+			}
+		case AttrNextHop:
+			if vlen == 4 {
+				u.NextHop = netip.AddrFrom4([4]byte(val))
+			}
+		case AttrMPReachNLRI:
+			if err := decodeMPReach(u, val); err != nil {
+				return err
+			}
+		case AttrMPUnreachNLRI:
+			if err := decodeMPUnreach(u, val); err != nil {
+				return err
+			}
+		default:
+			// Unrecognized attributes are skipped; the analysis pipeline
+			// only consumes paths and prefixes.
+		}
+	}
+	return nil
+}
+
+func decodeASPath(u *Update, b []byte, fourByte bool) error {
+	width := 2
+	if fourByte {
+		width = 4
+	}
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return ErrTruncated
+		}
+		segType, count := b[0], int(b[1])
+		if segType != SegmentSet && segType != SegmentSequence {
+			return fmt.Errorf("%w: AS_PATH segment type %d", ErrMalformed, segType)
+		}
+		need := 2 + count*width
+		if len(b) < need {
+			return ErrTruncated
+		}
+		seg := Segment{Type: segType, ASNs: make([]asn.ASN, count)}
+		for i := 0; i < count; i++ {
+			off := 2 + i*width
+			if fourByte {
+				seg.ASNs[i] = asn.ASN(binary.BigEndian.Uint32(b[off:]))
+			} else {
+				seg.ASNs[i] = asn.ASN(binary.BigEndian.Uint16(b[off:]))
+			}
+		}
+		u.Path = append(u.Path, seg)
+		b = b[need:]
+	}
+	return nil
+}
+
+func decodeMPReach(u *Update, b []byte) error {
+	if len(b) < 4 {
+		return ErrTruncated
+	}
+	afi := binary.BigEndian.Uint16(b[:2])
+	safi := b[2]
+	nhLen := int(b[3])
+	if len(b) < 4+nhLen+1 {
+		return ErrTruncated
+	}
+	if nhLen == 16 || nhLen == 32 { // global (+ link-local)
+		u.NextHop = netip.AddrFrom16([16]byte(b[4:20]))
+	}
+	rest := b[4+nhLen+1:] // skip reserved byte
+	if safi != SAFIUnicast {
+		return nil
+	}
+	v6 := afi == AFIIPv6
+	for len(rest) > 0 {
+		p, n, err := decodePrefix(rest, v6)
+		if err != nil {
+			return err
+		}
+		u.Announced = append(u.Announced, p)
+		rest = rest[n:]
+	}
+	return nil
+}
+
+func decodeMPUnreach(u *Update, b []byte) error {
+	if len(b) < 3 {
+		return ErrTruncated
+	}
+	afi := binary.BigEndian.Uint16(b[:2])
+	safi := b[2]
+	rest := b[3:]
+	if safi != SAFIUnicast {
+		return nil
+	}
+	v6 := afi == AFIIPv6
+	for len(rest) > 0 {
+		p, n, err := decodePrefix(rest, v6)
+		if err != nil {
+			return err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		rest = rest[n:]
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parallellives/internal/asn"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func seq(asns ...asn.ASN) Segment { return Segment{Type: SegmentSequence, ASNs: asns} }
+
+func TestMarshalDecodeRoundTripIPv4(t *testing.T) {
+	for _, fourByte := range []bool{false, true} {
+		u := &Update{
+			Announced: []netip.Prefix{mustPrefix("203.0.113.0/24"), mustPrefix("198.51.0.0/16")},
+			Withdrawn: []netip.Prefix{mustPrefix("192.0.2.0/24")},
+			Path:      []Segment{seq(64500, 64501, 64502)},
+			Origin:    OriginIGP,
+			HasOrigin: true,
+			NextHop:   netip.MustParseAddr("10.0.0.1"),
+		}
+		msg, err := u.Marshal(fourByte)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Update
+		if err := DecodeUpdate(&got, msg, fourByte); err != nil {
+			t.Fatalf("fourByte=%v: %v", fourByte, err)
+		}
+		if !reflect.DeepEqual(got.Announced, u.Announced) {
+			t.Errorf("Announced = %v, want %v", got.Announced, u.Announced)
+		}
+		if !reflect.DeepEqual(got.Withdrawn, u.Withdrawn) {
+			t.Errorf("Withdrawn = %v, want %v", got.Withdrawn, u.Withdrawn)
+		}
+		if !reflect.DeepEqual(got.Path, u.Path) {
+			t.Errorf("Path = %v, want %v", got.Path, u.Path)
+		}
+		if got.NextHop != u.NextHop {
+			t.Errorf("NextHop = %v", got.NextHop)
+		}
+	}
+}
+
+func TestMarshalDecodeRoundTripIPv6(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{mustPrefix("2001:db8:1::/48")},
+		Withdrawn: []netip.Prefix{mustPrefix("2001:db8:2::/48")},
+		Path:      []Segment{seq(64500, 64501)},
+		HasOrigin: true,
+	}
+	msg, err := u.Marshal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Update
+	if err := DecodeUpdate(&got, msg, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Announced) != 1 || got.Announced[0] != u.Announced[0] {
+		t.Errorf("Announced = %v", got.Announced)
+	}
+	if len(got.Withdrawn) != 1 || got.Withdrawn[0] != u.Withdrawn[0] {
+		t.Errorf("Withdrawn = %v", got.Withdrawn)
+	}
+}
+
+func TestTwoByteEncodingSubstitutesASTrans(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{mustPrefix("203.0.113.0/24")},
+		Path:      []Segment{seq(64500, 4200000100)},
+		HasOrigin: true,
+	}
+	msg, err := u.Marshal(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Update
+	if err := DecodeUpdate(&got, msg, false); err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{seq(64500, asn.ASTrans)}
+	if !reflect.DeepEqual(got.Path, want) {
+		t.Errorf("Path = %v, want %v (AS_TRANS substitution)", got.Path, want)
+	}
+}
+
+func TestOriginAS(t *testing.T) {
+	u := &Update{Path: []Segment{seq(1, 2, 3)}}
+	o, ok := u.OriginAS()
+	if !ok || o != 3 {
+		t.Errorf("OriginAS = %v, %v", o, ok)
+	}
+	f, ok := u.FirstAS()
+	if !ok || f != 1 {
+		t.Errorf("FirstAS = %v, %v", f, ok)
+	}
+	// Path ending in AS_SET: ambiguous origin.
+	u = &Update{Path: []Segment{seq(1, 2), {Type: SegmentSet, ASNs: []asn.ASN{3, 4}}}}
+	if _, ok := u.OriginAS(); ok {
+		t.Error("AS_SET origin should be ambiguous")
+	}
+	if _, ok := (&Update{}).OriginAS(); ok {
+		t.Error("empty path has no origin")
+	}
+}
+
+func TestHasLoop(t *testing.T) {
+	cases := []struct {
+		path []asn.ASN
+		want bool
+	}{
+		{[]asn.ASN{1, 2, 3}, false},
+		{[]asn.ASN{1, 2, 2, 2, 3}, false},       // prepending
+		{[]asn.ASN{1, 2, 3, 2}, true},           // loop
+		{[]asn.ASN{5, 1, 2, 1, 3}, true},        // loop
+		{[]asn.ASN{7, 7, 7}, false},             // pure prepend
+		{[]asn.ASN{1}, false},                   // single hop
+		{nil, false},                            // empty
+		{[]asn.ASN{9, 8, 9, 8}, true},           // alternation
+		{[]asn.ASN{1, 2, 3, 3, 3, 4, 3}, true},  // prepend then loop back
+		{[]asn.ASN{1, 2, 3, 3, 3, 4, 5}, false}, // prepend mid-path
+	}
+	for _, c := range cases {
+		u := &Update{Path: []Segment{seq(c.path...)}}
+		if got := u.HasLoop(); got != c.want {
+			t.Errorf("HasLoop(%v) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	var u Update
+	if err := DecodeUpdate(&u, []byte{1, 2, 3}, true); err == nil {
+		t.Error("expected error for short message")
+	}
+	// Valid header claiming a longer body than present.
+	msg := make([]byte, HeaderLen)
+	for i := 0; i < 16; i++ {
+		msg[i] = 0xff
+	}
+	msg[16], msg[17] = 0x01, 0x00 // length 256
+	msg[18] = TypeUpdate
+	if err := DecodeUpdate(&u, msg, true); err == nil {
+		t.Error("expected truncation error")
+	}
+	// KEEPALIVE is not an UPDATE.
+	msg[16], msg[17] = 0, HeaderLen
+	msg[18] = TypeKeepalive
+	if err := DecodeUpdate(&u, msg, true); err == nil {
+		t.Error("expected type error")
+	}
+}
+
+func TestDecodeRejectsBadPrefixLength(t *testing.T) {
+	u := &Update{Announced: []netip.Prefix{mustPrefix("203.0.113.0/24")}, HasOrigin: true,
+		Path: []Segment{seq(64500)}}
+	msg, err := u.Marshal(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the NLRI prefix length byte (last prefix is at the tail).
+	msg[len(msg)-4] = 96 // impossible for IPv4
+	var got Update
+	if err := DecodeUpdate(&got, msg, true); err == nil {
+		t.Error("expected malformed-prefix error")
+	}
+}
+
+func TestUpdateReuseResets(t *testing.T) {
+	u1 := &Update{
+		Announced: []netip.Prefix{mustPrefix("203.0.113.0/24")},
+		Path:      []Segment{seq(64500, 64501)},
+		HasOrigin: true,
+	}
+	msg1, _ := u1.Marshal(true)
+	u2 := &Update{
+		Withdrawn: []netip.Prefix{mustPrefix("192.0.2.0/24")},
+	}
+	msg2, _ := u2.Marshal(true)
+
+	var got Update
+	if err := DecodeUpdate(&got, msg1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeUpdate(&got, msg2, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Announced) != 0 || len(got.Path) != 0 || got.HasOrigin {
+		t.Error("Update not reset between decodes")
+	}
+	if len(got.Withdrawn) != 1 {
+		t.Error("second decode lost withdrawal")
+	}
+}
+
+func randomPrefix(r *rand.Rand, v6 bool) netip.Prefix {
+	if v6 {
+		var a [16]byte
+		r.Read(a[:])
+		a[0] = 0x20
+		bits := 8 + r.Intn(57) // /8../64
+		return netip.PrefixFrom(netip.AddrFrom16(a), bits).Masked()
+	}
+	var a [4]byte
+	r.Read(a[:])
+	if a[0] == 0 {
+		a[0] = 10
+	}
+	bits := 8 + r.Intn(17) // /8../24
+	return netip.PrefixFrom(netip.AddrFrom4(a), bits).Masked()
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := &Update{HasOrigin: true, Origin: byte(r.Intn(3))}
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			u.Announced = append(u.Announced, randomPrefix(r, r.Intn(2) == 0))
+		}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			u.Withdrawn = append(u.Withdrawn, randomPrefix(r, r.Intn(2) == 0))
+		}
+		nhops := 1 + r.Intn(6)
+		hops := make([]asn.ASN, nhops)
+		for i := range hops {
+			hops[i] = asn.ASN(r.Intn(400000) + 1)
+		}
+		u.Path = []Segment{seq(hops...)}
+
+		msg, err := u.Marshal(true)
+		if err != nil {
+			return false
+		}
+		var got Update
+		if err := DecodeUpdate(&got, msg, true); err != nil {
+			return false
+		}
+		// Announced/Withdrawn preserved as sets (v4 and v6 may reorder
+		// relative to each other since v6 travels in MP attributes).
+		if !samePrefixSet(got.Announced, u.Announced) || !samePrefixSet(got.Withdrawn, u.Withdrawn) {
+			return false
+		}
+		return reflect.DeepEqual(got.Path, u.Path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func samePrefixSet(a, b []netip.Prefix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[netip.Prefix]int{}
+	for _, p := range a {
+		m[p]++
+	}
+	for _, p := range b {
+		m[p]--
+		if m[p] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,488 @@
+// Package bgpscan turns raw BGP data into per-ASN daily activity — this
+// project's replacement for the CAIDA BGPStream stage of the paper's
+// pipeline (§3.2). It consumes either MRT archives (TABLE_DUMP_V2 RIB
+// dumps and BGP4MP update dumps) or pre-parsed route observations, and
+// applies the paper's sanitization:
+//
+//   - IPv4 prefixes outside /8../24 and IPv6 prefixes outside /8../64 are
+//     discarded (they should not propagate globally);
+//   - paths containing loops are discarded (misconfigurations);
+//   - an ASN counts as active on a day only when strictly more than one
+//     distinct peer AS shares paths containing it that day.
+//
+// Activity is accumulated as day intervals per ASN, plus the daily count
+// of distinct prefixes each ASN originates (the series behind Figure 8).
+package bgpscan
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"net/netip"
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgp"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+	"parallellives/internal/mrt"
+)
+
+// Limits for globally propagated prefixes (§3.2).
+const (
+	MinV4Bits = 8
+	MaxV4Bits = 24
+	MinV6Bits = 8
+	MaxV6Bits = 64
+)
+
+// MinPeerVisibility is the paper's default visibility threshold: strictly
+// more than one peer.
+const MinPeerVisibility = 2
+
+// Stats counts the scanner's processing and sanitization outcomes.
+type Stats struct {
+	RIBRecords     int64
+	UpdateMessages int64
+	Routes         int64 // observations accepted into the day state
+	DropPrefixLen  int64
+	DropLoop       int64
+	DropMalformed  int64
+	DropLowVis     int64 // ASN-days rejected by the visibility threshold
+}
+
+// PrefixRun is a run of days over which an origin announced a constant
+// set of distinct prefixes: Count prefixes whose order-independent
+// signature is Sig. The signature lets analyses distinguish "same number
+// of prefixes" from "same prefixes" — the prefix-aware lifetime
+// refinement the paper's §8 suggests.
+type PrefixRun struct {
+	From, To dates.Day
+	Count    int
+	Sig      uint64
+}
+
+// ASNActivity is one ASN's observable footprint.
+type ASNActivity struct {
+	// Days are the days the ASN passed the visibility threshold.
+	Days intervals.Set
+	// PrefixRuns compress the daily distinct-prefix origination counts.
+	PrefixRuns []PrefixRun
+	// Upstreams counts, for each neighbor AS observed immediately before
+	// this ASN as an origin, the number of sanitized routes carrying
+	// that adjacency. The §6.4 misconfiguration classifier and the
+	// §6.1.2 squat analysis both key on these adjacencies.
+	Upstreams map[asn.ASN]int64
+	// OriginDays are the visible days on which the ASN actually
+	// originated prefixes (as opposed to appearing only in transit) —
+	// the §9 origination/transit role split.
+	OriginDays intervals.Set
+}
+
+// RoleOn classifies the ASN's role on day d.
+//
+//	origin:  originated at least one prefix that day
+//	transit: visible on paths but originating nothing
+//	absent:  not visible at all
+func (a *ASNActivity) RoleOn(d dates.Day) string {
+	if a.OriginDays.Contains(d) {
+		return "origin"
+	}
+	if a.Days.Contains(d) {
+		return "transit"
+	}
+	return "absent"
+}
+
+// PrefixCountOn returns the number of distinct prefixes the ASN
+// originated on day d (0 when inactive).
+func (a *ASNActivity) PrefixCountOn(d dates.Day) int {
+	i := sort.Search(len(a.PrefixRuns), func(i int) bool { return a.PrefixRuns[i].To >= d })
+	if i < len(a.PrefixRuns) && a.PrefixRuns[i].From <= d {
+		return a.PrefixRuns[i].Count
+	}
+	return 0
+}
+
+// Activity is the scan result.
+type Activity struct {
+	Start, End dates.Day
+	ASNs       map[asn.ASN]*ASNActivity
+	Stats      Stats
+}
+
+// ActiveOn reports whether an ASN was active (visible) on day d.
+func (a *Activity) ActiveOn(x asn.ASN, d dates.Day) bool {
+	aa := a.ASNs[x]
+	return aa != nil && aa.Days.Contains(d)
+}
+
+// Scanner accumulates daily BGP activity. Use BeginDay / Observe (or
+// ObserveMRT) / EndDay for each day in order, then Finish.
+type Scanner struct {
+	minPeers int
+	stats    Stats
+
+	start, end dates.Day
+	curDay     dates.Day
+	inDay      bool
+
+	// Per-day state: for each ASN on a path, the set of distinct peer
+	// ASes that shared it (as a bitmask over registered peers), and for
+	// each origin the distinct prefixes announced.
+	peerIdx   map[asn.ASN]int
+	dayPeers  map[asn.ASN]uint64
+	dayOrigin map[asn.ASN]map[netip.Prefix]struct{}
+
+	// Accumulated per-ASN runs.
+	building map[asn.ASN]*builder
+
+	// Reusable decode scratch.
+	one  [1]netip.Prefix
+	keep []netip.Prefix
+	upd  bgp.Update
+	tbl  mrt.PeerIndexTable
+	rib  mrt.RIBRecord
+	b4mp mrt.BGP4MPMessage
+}
+
+type builder struct {
+	days       []intervals.Interval
+	originDays []intervals.Interval
+	prefixRuns []PrefixRun
+	upstreams  map[asn.ASN]int64
+}
+
+// NewScanner returns a scanner with the paper's default visibility
+// threshold (>1 peer).
+func NewScanner() *Scanner { return NewScannerWithVisibility(MinPeerVisibility) }
+
+// NewScannerWithVisibility returns a scanner requiring at least minPeers
+// distinct peer ASes per day. minPeers=1 reproduces the naive pipeline
+// the paper warns against (the ablation benchmark exercises it).
+func NewScannerWithVisibility(minPeers int) *Scanner {
+	if minPeers < 1 {
+		minPeers = 1
+	}
+	return &Scanner{
+		minPeers:  minPeers,
+		peerIdx:   make(map[asn.ASN]int),
+		dayPeers:  make(map[asn.ASN]uint64),
+		dayOrigin: make(map[asn.ASN]map[netip.Prefix]struct{}),
+		building:  make(map[asn.ASN]*builder),
+		start:     dates.None,
+		end:       dates.None,
+	}
+}
+
+// BeginDay opens a new day; days must be fed in ascending order.
+func (s *Scanner) BeginDay(d dates.Day) error {
+	if s.inDay {
+		return fmt.Errorf("bgpscan: BeginDay(%v) before EndDay", d)
+	}
+	if s.start != dates.None && d <= s.end {
+		return fmt.Errorf("bgpscan: day %v not after %v", d, s.end)
+	}
+	if s.start == dates.None {
+		s.start = d
+	}
+	s.curDay = d
+	s.inDay = true
+	clear(s.dayPeers)
+	clear(s.dayOrigin)
+	return nil
+}
+
+// peerBit registers (or finds) the bitmask bit for a peer AS.
+func (s *Scanner) peerBit(peer asn.ASN) uint64 {
+	i, ok := s.peerIdx[peer]
+	if !ok {
+		i = len(s.peerIdx)
+		if i >= 64 {
+			i = 63 // clamp: more than 64 peers collapse onto one bit
+		}
+		s.peerIdx[peer] = i
+	}
+	return 1 << uint(i)
+}
+
+// prefixOK applies the propagation-length sanitization.
+func prefixOK(p netip.Prefix) bool {
+	if p.Addr().Is4() {
+		return p.Bits() >= MinV4Bits && p.Bits() <= MaxV4Bits
+	}
+	return p.Bits() >= MinV6Bits && p.Bits() <= MaxV6Bits
+}
+
+// Observe feeds one route observation: a path for a prefix shared by a
+// peer AS. The path must start at the peer.
+func (s *Scanner) Observe(prefix netip.Prefix, path []asn.ASN) {
+	s.ObserveRoutes([]netip.Prefix{prefix}, path)
+}
+
+// ObserveRoutes feeds one path carrying several prefixes — the grouped
+// form the collectors produce. Prefixes failing the length sanitization
+// are dropped individually; the path contributes activity if at least
+// one prefix survives.
+func (s *Scanner) ObserveRoutes(prefixes []netip.Prefix, path []asn.ASN) {
+	if !s.inDay || len(path) == 0 {
+		return
+	}
+	s.keep = s.keep[:0]
+	for _, p := range prefixes {
+		if prefixOK(p) {
+			s.keep = append(s.keep, p)
+		} else {
+			s.stats.DropPrefixLen++
+		}
+	}
+	kept := s.keep
+	if len(kept) == 0 {
+		return
+	}
+	s.upd.Reset()
+	s.upd.Path = append(s.upd.Path[:0], bgp.Segment{Type: bgp.SegmentSequence, ASNs: path})
+	if s.upd.HasLoop() {
+		s.stats.DropLoop++
+		return
+	}
+	s.observePath(kept, &s.upd)
+}
+
+// observePath records a sanitized path's ASNs and origin prefixes. The
+// prefixes must already have passed the length sanitization.
+func (s *Scanner) observePath(prefixes []netip.Prefix, u *bgp.Update) {
+	first, ok := u.FirstAS()
+	if !ok {
+		return
+	}
+	bit := s.peerBit(first)
+	var flat [64]asn.ASN
+	for _, a := range u.FlatPath(flat[:0]) {
+		s.dayPeers[a] |= bit
+	}
+	if origin, ok := u.OriginAS(); ok {
+		set := s.dayOrigin[origin]
+		if set == nil {
+			set = make(map[netip.Prefix]struct{}, 4)
+			s.dayOrigin[origin] = set
+		}
+		for _, p := range prefixes {
+			set[p] = struct{}{}
+		}
+		if up, ok := s.upstreamOf(u, origin); ok {
+			b := s.building[origin]
+			if b == nil {
+				b = &builder{}
+				s.building[origin] = b
+			}
+			if b.upstreams == nil {
+				b.upstreams = make(map[asn.ASN]int64, 2)
+			}
+			b.upstreams[up]++
+		}
+	}
+	s.stats.Routes++
+}
+
+// upstreamOf returns the neighbor AS immediately preceding the origin's
+// (possibly prepended) run at the end of the path.
+func (s *Scanner) upstreamOf(u *bgp.Update, origin asn.ASN) (asn.ASN, bool) {
+	var flat [64]asn.ASN
+	path := u.FlatPath(flat[:0])
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] != origin {
+			return path[i], true
+		}
+	}
+	return 0, false
+}
+
+// ObserveMRT feeds one MRT archive (an io-free byte slice) for the
+// current day: TABLE_DUMP_V2 RIB dumps and/or BGP4MP update dumps.
+func (s *Scanner) ObserveMRT(data []byte) error {
+	if !s.inDay {
+		return fmt.Errorf("bgpscan: ObserveMRT outside a day")
+	}
+	r := mrt.NewReader(bytes.NewReader(data))
+	havePeers := false
+	for {
+		h, body, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		switch h.Type {
+		case mrt.TypeTableDumpV2:
+			switch h.Subtype {
+			case mrt.SubtypePeerIndexTable:
+				if err := mrt.DecodePeerIndexTable(&s.tbl, body); err != nil {
+					s.stats.DropMalformed++
+					continue
+				}
+				havePeers = true
+			case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv6Unicast:
+				if !havePeers {
+					s.stats.DropMalformed++
+					continue
+				}
+				v6 := h.Subtype == mrt.SubtypeRIBIPv6Unicast
+				if err := mrt.DecodeRIBRecord(&s.rib, body, v6); err != nil {
+					s.stats.DropMalformed++
+					continue
+				}
+				s.stats.RIBRecords++
+				s.scanRIBRecord()
+			}
+		case mrt.TypeBGP4MP, mrt.TypeBGP4MPET:
+			if h.Subtype != mrt.SubtypeBGP4MPMessage && h.Subtype != mrt.SubtypeBGP4MPMessageAS4 {
+				continue
+			}
+			if err := mrt.DecodeBGP4MPMessage(&s.b4mp, body, h.Subtype); err != nil {
+				s.stats.DropMalformed++
+				continue
+			}
+			s.stats.UpdateMessages++
+			s.scanBGP4MP()
+		}
+	}
+	return nil
+}
+
+func (s *Scanner) scanRIBRecord() {
+	if !prefixOK(s.rib.Prefix) {
+		s.stats.DropPrefixLen++
+		return
+	}
+	for _, e := range s.rib.Entries {
+		s.upd.Reset()
+		if err := bgp.DecodeAttrs(&s.upd, e.Attrs, true); err != nil {
+			s.stats.DropMalformed++
+			continue
+		}
+		if s.upd.HasLoop() {
+			s.stats.DropLoop++
+			continue
+		}
+		s.observePath(s.onePrefix(s.rib.Prefix), &s.upd)
+	}
+}
+
+func (s *Scanner) scanBGP4MP() {
+	if err := bgp.DecodeUpdate(&s.upd, s.b4mp.Data, s.b4mp.FourByte); err != nil {
+		s.stats.DropMalformed++
+		return
+	}
+	if s.upd.HasLoop() {
+		s.stats.DropLoop++
+		return
+	}
+	for _, p := range s.upd.Announced {
+		if !prefixOK(p) {
+			s.stats.DropPrefixLen++
+			continue
+		}
+		// Single-prefix view so origin counting sees each prefix once.
+		s.observePath(s.onePrefix(p), &s.upd)
+	}
+}
+
+// EndDay commits the day's visibility decisions into the per-ASN runs.
+func (s *Scanner) EndDay() error {
+	if !s.inDay {
+		return fmt.Errorf("bgpscan: EndDay without BeginDay")
+	}
+	s.inDay = false
+	s.end = s.curDay
+	d := s.curDay
+	for a, mask := range s.dayPeers {
+		if popcount(mask) < s.minPeers {
+			s.stats.DropLowVis++
+			continue
+		}
+		b := s.building[a]
+		if b == nil {
+			b = &builder{}
+			s.building[a] = b
+		}
+		if n := len(b.days); n > 0 && b.days[n-1].End+1 == d {
+			b.days[n-1].End = d
+		} else {
+			b.days = append(b.days, intervals.Interval{Start: d, End: d})
+		}
+		if set := s.dayOrigin[a]; len(set) > 0 {
+			count := len(set)
+			sig := prefixSetSig(set)
+			if n := len(b.originDays); n > 0 && b.originDays[n-1].End+1 == d {
+				b.originDays[n-1].End = d
+			} else {
+				b.originDays = append(b.originDays, intervals.Interval{Start: d, End: d})
+			}
+			if n := len(b.prefixRuns); n > 0 && b.prefixRuns[n-1].To+1 == d &&
+				b.prefixRuns[n-1].Count == count && b.prefixRuns[n-1].Sig == sig {
+				b.prefixRuns[n-1].To = d
+			} else {
+				b.prefixRuns = append(b.prefixRuns, PrefixRun{From: d, To: d, Count: count, Sig: sig})
+			}
+		}
+	}
+	return nil
+}
+
+// Finish returns the accumulated activity. The scanner must not be used
+// afterwards.
+func (s *Scanner) Finish() *Activity {
+	act := &Activity{
+		Start: s.start,
+		End:   s.end,
+		ASNs:  make(map[asn.ASN]*ASNActivity, len(s.building)),
+		Stats: s.stats,
+	}
+	for a, b := range s.building {
+		if len(b.days) == 0 {
+			continue // upstream bookkeeping only; never passed visibility
+		}
+		act.ASNs[a] = &ASNActivity{
+			Days:       intervals.Set(b.days),
+			OriginDays: intervals.Set(b.originDays),
+			PrefixRuns: b.prefixRuns,
+			Upstreams:  b.upstreams,
+		}
+	}
+	s.building = nil
+	return act
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// prefixSetSig computes an order-independent signature of a prefix set.
+func prefixSetSig(set map[netip.Prefix]struct{}) uint64 {
+	var sig uint64
+	for p := range set {
+		sig ^= prefixHash(p)
+	}
+	return sig
+}
+
+// prefixHash is a per-prefix FNV-1a hash.
+func prefixHash(p netip.Prefix) uint64 {
+	h := uint64(14695981039346656037)
+	a := p.Addr().As16()
+	for _, b := range a {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(p.Bits())
+	h *= 1099511628211
+	return h
+}
+
+// onePrefix wraps a single prefix in the scanner's reusable buffer.
+func (s *Scanner) onePrefix(p netip.Prefix) []netip.Prefix {
+	s.one[0] = p
+	return s.one[:]
+}

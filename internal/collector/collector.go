@@ -1,0 +1,534 @@
+// Package collector simulates the RouteViews / RIPE RIS collection
+// infrastructure over the generated world: a set of collectors, each with
+// full-feed peer ASes, that observe the announcements implied by the
+// world's ground-truth BGP segments and export them as daily MRT archives
+// (a TABLE_DUMP_V2 RIB dump per collector plus BGP4MP update dumps), the
+// same shape the paper's pipeline consumes via BGPStream (§3.2).
+//
+// The infrastructure also exposes the observations directly (pre-wire),
+// so large experiments can skip MRT encoding while the wire path stays
+// covered by tests and the wire-mode pipeline.
+package collector
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgp"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+	"parallellives/internal/mrt"
+	"parallellives/internal/worldsim"
+)
+
+// Observation is one peer's view of one origin's routes on one day: all
+// prefixes sharing the same AS path are grouped, which keeps the
+// observation stream (and the scanner's per-day work) proportional to
+// routes rather than to prefixes.
+type Observation struct {
+	Collector int
+	Peer      int // peer index within the collector
+	Prefixes  []netip.Prefix
+	Path      []asn.ASN
+}
+
+// PeerASN returns the AS of the observing peer.
+func (o Observation) PeerASN() asn.ASN {
+	if len(o.Path) == 0 {
+		return 0
+	}
+	return o.Path[0]
+}
+
+// Collector describes one simulated collector.
+type Collector struct {
+	Name  string
+	ID    [4]byte
+	Peers []mrt.Peer
+}
+
+// Infrastructure is the simulated collection infrastructure.
+type Infrastructure struct {
+	world      *worldsim.World
+	collectors []Collector
+	segments   []worldsim.Segment // sorted by start (worldsim guarantees it)
+	seed       int64
+}
+
+// New builds the infrastructure for a world using the world's collector
+// configuration.
+func New(w *worldsim.World) *Infrastructure {
+	inf := &Infrastructure{world: w, segments: w.Segments, seed: w.Config.Seed}
+	nPeers := w.Config.Collectors * w.Config.PeersPerCollector
+	if nPeers > len(w.TransitASNs)-1 {
+		nPeers = len(w.TransitASNs) - 1
+	}
+	peerIdx := 0
+	for c := 0; c < w.Config.Collectors; c++ {
+		col := Collector{
+			Name: fmt.Sprintf("rrc%02d", c),
+			ID:   [4]byte{198, 51, 100, byte(c + 1)},
+		}
+		for p := 0; p < w.Config.PeersPerCollector && peerIdx < nPeers; p++ {
+			a := w.TransitASNs[peerIdx]
+			col.Peers = append(col.Peers, mrt.Peer{
+				BGPID: [4]byte{192, 0, 2, byte(peerIdx + 1)},
+				Addr:  netip.AddrFrom4([4]byte{192, 0, 2, byte(peerIdx + 1)}),
+				AS:    a,
+			})
+			peerIdx++
+		}
+		inf.collectors = append(inf.collectors, col)
+	}
+	return inf
+}
+
+// Collectors returns the simulated collectors.
+func (inf *Infrastructure) Collectors() []Collector { return inf.collectors }
+
+// hash64 is a seeded FNV-1a over (asn, day, salt) used for deterministic
+// per-day jitter without shared RNG state.
+func (inf *Infrastructure) hash64(a asn.ASN, d dates.Day, salt uint32) uint64 {
+	h := uint64(14695981039346656037) ^ uint64(inf.seed)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(v & 0xff)
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	mix(uint32(a))
+	mix(uint32(d))
+	mix(salt)
+	return h
+}
+
+// outageSchedule derives a segment's transient disappearances — the
+// per-ASN activity gaps behind Figure 3's CDF. Two populations exist:
+// frequent 1–3 day flaps and rarer 4–28 day outages (both shorter than
+// the 30-day lifetime timeout, which must bridge them; the mid-length
+// ones are exactly what breaks apart under the 15-day timeout of the
+// paper's sensitivity analysis).
+func (inf *Infrastructure) outageSchedule(seg *worldsim.Segment) intervals.Set {
+	rng := rand.New(rand.NewSource(int64(inf.hash64(seg.ASN, seg.Span.Start, 0x0bad))))
+	var out []intervals.Interval
+	cur := seg.Span.Start
+	for {
+		// Outage inter-arrival: exponential with a ~2200-day mean.
+		cur = cur.AddDays(1 + int(rng.ExpFloat64()*2200))
+		if cur > seg.Span.End {
+			break
+		}
+		dur := 1 + rng.Intn(3)
+		if rng.Float64() < 0.45 {
+			dur = 4 + rng.Intn(25)
+		}
+		end := dates.Min(cur.AddDays(dur-1), seg.Span.End)
+		out = append(out, intervals.New(cur, end))
+		cur = end.AddDays(1)
+	}
+	return intervals.Normalize(out)
+}
+
+// attrsForPath encodes the raw path-attribute block for a RIB entry.
+func attrsForPath(path []asn.ASN) []byte {
+	u := bgp.Update{
+		Path:      []bgp.Segment{{Type: bgp.SegmentSequence, ASNs: path}},
+		NextHop:   netip.AddrFrom4([4]byte{192, 0, 2, 254}),
+		HasOrigin: true,
+	}
+	return u.MarshalAttrs(true)
+}
+
+// updateForPath encodes a full BGP UPDATE message announcing prefix.
+func updateForPath(path []asn.ASN, prefix netip.Prefix) ([]byte, error) {
+	u := bgp.Update{
+		Announced: []netip.Prefix{prefix},
+		Path:      []bgp.Segment{{Type: bgp.SegmentSequence, ASNs: path}},
+		HasOrigin: true,
+	}
+	return u.Marshal(true)
+}
+
+const prefixBitsDefault = 24
+
+// prefixFor derives the i-th IPv4 prefix of an origin deterministically.
+func prefixFor(owner asn.ASN, i int, bits int) netip.Prefix {
+	v := uint32(owner)*2654435761 + uint32(i)*0x00010003 + 0x9e3779b9
+	o1 := byte(1 + (v>>24)%126) // 1..126, stays within globally-routable-looking space
+	o2 := byte(v >> 16)
+	o3 := byte(v >> 8)
+	addr := netip.AddrFrom4([4]byte{o1, o2, o3, 0})
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// prefix6For derives an IPv6 prefix for an origin.
+func prefix6For(owner asn.ASN, i int) netip.Prefix {
+	v := uint32(owner)*2654435761 + uint32(i)*40503
+	var a [16]byte
+	a[0], a[1] = 0x20, 0x01
+	a[2], a[3] = 0x0d, 0xb8
+	a[4], a[5] = byte(v>>24), byte(v>>16)
+	a[6], a[7] = byte(v>>8), byte(v)
+	p, err := netip.AddrFrom16(a).Prefix(48)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// pathFor builds the AS path a peer sees for a segment's announcements.
+func (inf *Infrastructure) pathFor(seg *worldsim.Segment, peer asn.ASN, d dates.Day) []asn.ASN {
+	path := make([]asn.ASN, 0, 5)
+	path = append(path, peer)
+	if seg.Upstream != peer && seg.Upstream != seg.ASN {
+		// Occasionally route through an extra transit hop.
+		if inf.hash64(seg.ASN, d, uint32(peer))%5 == 0 {
+			mid := inf.world.TransitASNs[inf.hash64(seg.ASN, d, 7)%uint64(len(inf.world.TransitASNs)-1)]
+			if mid != peer && mid != seg.Upstream && mid != seg.ASN {
+				path = append(path, mid)
+			}
+		}
+		path = append(path, seg.Upstream)
+	}
+	// Prepending: some origins announce with the origin repeated.
+	reps := 1
+	if inf.hash64(seg.ASN, 0, 3)%10 == 0 {
+		reps = 2 + int(inf.hash64(seg.ASN, 0, 4)%2)
+	}
+	for i := 0; i < reps; i++ {
+		path = append(path, seg.ASN)
+	}
+	return path
+}
+
+// Iter walks the window day by day.
+type Iter struct {
+	inf  *Infrastructure
+	day  dates.Day
+	next int // index of first segment not yet activated
+	// active segments, compacted lazily.
+	active []int
+	obs    []Observation
+	// segCache holds each active segment's announced prefix set (constant
+	// over the segment's life) and its outage schedule.
+	segCache map[int]*segState
+}
+
+// segState is the cached per-segment rendering state.
+type segState struct {
+	prefixes []netip.Prefix
+	outages  intervals.Set
+}
+
+// Iter returns a day iterator positioned before the window start.
+func (inf *Infrastructure) Iter() *Iter {
+	return &Iter{
+		inf:      inf,
+		day:      inf.world.Config.Start.AddDays(-1),
+		segCache: make(map[int]*segState),
+	}
+}
+
+// Next advances to the next day; false past the window end.
+func (it *Iter) Next() bool {
+	it.day = it.day.AddDays(1)
+	if it.day > it.inf.world.Config.End {
+		return false
+	}
+	for it.next < len(it.inf.segments) && it.inf.segments[it.next].Span.Start <= it.day {
+		it.active = append(it.active, it.next)
+		it.next++
+	}
+	// Compact expired segments.
+	kept := it.active[:0]
+	for _, si := range it.active {
+		if it.inf.segments[si].Span.End >= it.day {
+			kept = append(kept, si)
+		} else {
+			delete(it.segCache, si)
+		}
+	}
+	it.active = kept
+	it.obs = it.obs[:0]
+	it.buildObservations()
+	return true
+}
+
+// Day returns the current day.
+func (it *Iter) Day() dates.Day { return it.day }
+
+// Observations returns the day's per-peer route observations. The slice
+// is reused across Next calls.
+func (it *Iter) Observations() []Observation { return it.obs }
+
+// buildObservations renders the active segments into per-peer routes,
+// applying visibility classes and outage jitter, and appends the noise
+// the sanitizer must reject.
+func (it *Iter) buildObservations() {
+	inf := it.inf
+	d := it.day
+	for _, si := range it.active {
+		seg := &inf.segments[si]
+		if !seg.Span.Contains(d) {
+			continue
+		}
+		if seg.Vis == worldsim.VisNone {
+			continue
+		}
+		st := it.segmentState(si, seg)
+		if seg.Kind != worldsim.SegTransit && st.outages.Contains(d) {
+			continue
+		}
+		prefixes := st.prefixes
+		if len(prefixes) == 0 {
+			// Pure carriers originate nothing; they appear on paths only
+			// as upstreams of their customers.
+			continue
+		}
+		for ci := range inf.collectors {
+			col := &inf.collectors[ci]
+			for pi := range col.Peers {
+				if seg.Vis == worldsim.VisSinglePeer && (ci != 0 || pi != 0) {
+					continue
+				}
+				peerAS := col.Peers[pi].AS
+				if peerAS == seg.ASN {
+					continue // a peer does not re-learn its own origin
+				}
+				it.obs = append(it.obs, Observation{
+					Collector: ci, Peer: pi,
+					Prefixes: prefixes,
+					Path:     inf.pathFor(seg, peerAS, d),
+				})
+			}
+		}
+	}
+	it.appendNoise()
+}
+
+// segmentState returns (building once) a segment's rendering state: the
+// prefix set it announces — PrefixCount IPv4 prefixes, from the victim's
+// space for squats and MOAS fat-fingers, plus an IPv6 prefix for a share
+// of origins — and its outage schedule.
+func (it *Iter) segmentState(si int, seg *worldsim.Segment) *segState {
+	if st, ok := it.segCache[si]; ok {
+		return st
+	}
+	owner := seg.ASN
+	bits := prefixBitsDefault
+	if seg.Kind == worldsim.SegDormantSquat {
+		// Squatters announce other organizations' idle space in larger
+		// blocks (§6.1.2's /16s).
+		owner = seg.VictimASN
+		bits = 16
+	}
+	if seg.Kind == worldsim.SegFatFinger && seg.VictimASN != 0 {
+		owner = seg.VictimASN
+	}
+	prefixes := make([]netip.Prefix, 0, seg.PrefixCount+1)
+	for i := 0; i < seg.PrefixCount; i++ {
+		prefixes = append(prefixes, prefixFor(owner, i, bits))
+	}
+	if seg.ASN%4 == 0 {
+		prefixes = append(prefixes, prefix6For(owner, 0))
+	}
+	st := &segState{prefixes: prefixes, outages: it.inf.outageSchedule(seg)}
+	it.segCache[si] = st
+	return st
+}
+
+// appendNoise adds the daily junk the paper's sanitization discards:
+// too-specific and too-broad prefixes, and a looped path (§3.2).
+func (it *Iter) appendNoise() {
+	inf := it.inf
+	if len(inf.collectors) == 0 || len(inf.collectors[0].Peers) < 2 {
+		return
+	}
+	d := it.day
+	t := inf.world.TransitASNs
+	junkOrigin := asn.ASN(64700 + inf.hash64(0, d, 1)%100) // varies daily
+	mk := func(ci, pi int, prefix netip.Prefix, path []asn.ASN) {
+		it.obs = append(it.obs, Observation{Collector: ci, Peer: pi,
+			Prefixes: []netip.Prefix{prefix}, Path: path})
+	}
+	// Too-long IPv4 prefix (/25..). Both peers see it, so only the
+	// prefix filter keeps it out.
+	long, _ := netip.AddrFrom4([4]byte{203, 0, 113, 128}).Prefix(25)
+	short, _ := netip.AddrFrom4([4]byte{12, 0, 0, 0}).Prefix(7)
+	long6, _ := netip.MustParseAddr("2001:db8:1:2:3::").Prefix(80)
+	for pi := 0; pi < 2; pi++ {
+		peerAS := inf.collectors[0].Peers[pi].AS
+		mk(0, pi, long, []asn.ASN{peerAS, t[0], junkOrigin})
+		mk(0, pi, short, []asn.ASN{peerAS, t[0], junkOrigin})
+		mk(0, pi, long6, []asn.ASN{peerAS, t[0], junkOrigin})
+		// Looped path: the same transit appears in two non-adjacent
+		// positions.
+		loop, _ := netip.AddrFrom4([4]byte{198, 18, byte(d % 250), 0}).Prefix(24)
+		mk(0, pi, loop, []asn.ASN{peerAS, t[0], t[1], t[0], junkOrigin})
+	}
+}
+
+// MRT encodes the current day as MRT archives, one RIB dump per
+// collector plus one update dump per collector, returned in collector
+// order. The encoding is self-contained: each RIB starts with its
+// PEER_INDEX_TABLE.
+func (it *Iter) MRT() (ribs [][]byte, updates [][]byte, err error) {
+	inf := it.inf
+	ts := uint32(it.day.Unix())
+	for ci := range inf.collectors {
+		rib, upd, err := inf.encodeCollectorDay(ci, ts, it.obs)
+		if err != nil {
+			return nil, nil, err
+		}
+		ribs = append(ribs, rib)
+		updates = append(updates, upd)
+	}
+	return ribs, updates, nil
+}
+
+// encodeCollectorDay renders one collector's observations for the day.
+func (inf *Infrastructure) encodeCollectorDay(ci int, ts uint32, obs []Observation) (rib, upd []byte, err error) {
+	col := &inf.collectors[ci]
+
+	type routeKey struct {
+		prefix netip.Prefix
+		peer   int
+	}
+	// A RIB holds one best path per (prefix, peer); when several origins
+	// announce the same prefix to the same peer during the day (MOAS and
+	// churn), the first becomes the RIB entry and the rest are exported
+	// in the update dump — exactly how a real collector's daily data
+	// splits between its RIB snapshot and its update files.
+	routes := make(map[routeKey][]asn.ASN)
+	type loser struct {
+		prefix netip.Prefix
+		peer   int
+		path   []asn.ASN
+	}
+	var losers []loser
+	var prefixes []netip.Prefix
+	seen := make(map[netip.Prefix]bool)
+	for i := range obs {
+		o := &obs[i]
+		if o.Collector != ci {
+			continue
+		}
+		for _, p := range o.Prefixes {
+			k := routeKey{p, o.Peer}
+			if _, ok := routes[k]; ok {
+				losers = append(losers, loser{prefix: p, peer: o.Peer, path: o.Path})
+			} else {
+				routes[k] = o.Path
+			}
+			if !seen[p] {
+				seen[p] = true
+				prefixes = append(prefixes, p)
+			}
+		}
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		a, b := prefixes[i], prefixes[j]
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+
+	ribBuf := &sliceWriter{}
+	w := mrt.NewWriter(ribBuf)
+	tbl := mrt.PeerIndexTable{CollectorID: col.ID, ViewName: col.Name, Peers: col.Peers}
+	if err := w.WriteRecord(ts, mrt.TypeTableDumpV2, mrt.SubtypePeerIndexTable, tbl.Marshal()); err != nil {
+		return nil, nil, err
+	}
+	var rec mrt.RIBRecord
+	var seq uint32
+	for _, p := range prefixes {
+		rec.Prefix = p
+		rec.Seq = seq
+		seq++
+		rec.Entries = rec.Entries[:0]
+		for pi := range col.Peers {
+			path, ok := routes[routeKey{p, pi}]
+			if !ok {
+				continue
+			}
+			rec.Entries = append(rec.Entries, mrt.RIBEntry{
+				PeerIndex:      uint16(pi),
+				OriginatedTime: ts,
+				Attrs:          attrsForPath(path),
+			})
+		}
+		if len(rec.Entries) == 0 {
+			continue
+		}
+		if err := w.WriteRecord(ts, mrt.TypeTableDumpV2, rec.Subtype(), rec.Marshal()); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Update dump: re-announce a deterministic slice of today's routes as
+	// BGP4MP messages (the paper processes RIBs plus all updates; here
+	// updates carry the same day's information, exercising the second
+	// decode path).
+	updBuf := &sliceWriter{}
+	uw := mrt.NewWriter(updBuf)
+	for _, l := range losers {
+		if err := inf.writeUpdate(uw, col, ts, l.peer, l.path, l.prefix); err != nil {
+			return nil, nil, err
+		}
+	}
+	count := 0
+	for _, p := range prefixes {
+		if count >= 64 {
+			break
+		}
+		for pi := range col.Peers {
+			path, ok := routes[routeKey{p, pi}]
+			if !ok {
+				continue
+			}
+			if err := inf.writeUpdate(uw, col, ts, pi, path, p); err != nil {
+				return nil, nil, err
+			}
+			count++
+			break // one re-announcement per prefix suffices
+		}
+	}
+	return ribBuf.b, updBuf.b, nil
+}
+
+// writeUpdate emits one BGP4MP UPDATE record for a route.
+func (inf *Infrastructure) writeUpdate(w *mrt.Writer, col *Collector, ts uint32, pi int, path []asn.ASN, prefix netip.Prefix) error {
+	msg, err := updateForPath(path, prefix)
+	if err != nil {
+		return err
+	}
+	m := mrt.BGP4MPMessage{
+		PeerAS:   col.Peers[pi].AS,
+		LocalAS:  65534,
+		PeerIP:   col.Peers[pi].Addr,
+		LocalIP:  netip.AddrFrom4([4]byte{203, 0, 113, 254}),
+		Data:     msg,
+		FourByte: true,
+	}
+	body, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	return w.WriteRecord(ts, mrt.TypeBGP4MP, m.Subtype(), body)
+}
+
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

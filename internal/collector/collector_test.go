@@ -1,0 +1,184 @@
+package collector
+
+import (
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/worldsim"
+)
+
+func testWorld() *worldsim.World {
+	cfg := worldsim.DefaultConfig()
+	cfg.Scale = 0.01
+	cfg.Start = dates.MustParse("2004-01-01")
+	cfg.End = dates.MustParse("2004-12-31")
+	return worldsim.Generate(cfg)
+}
+
+func TestInfrastructureSetup(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	cols := inf.Collectors()
+	if len(cols) != w.Config.Collectors {
+		t.Fatalf("collectors = %d", len(cols))
+	}
+	seen := map[asn.ASN]bool{}
+	for _, c := range cols {
+		if len(c.Peers) != w.Config.PeersPerCollector {
+			t.Errorf("%s has %d peers", c.Name, len(c.Peers))
+		}
+		for _, p := range c.Peers {
+			if seen[p.AS] {
+				t.Errorf("peer AS %v assigned twice", p.AS)
+			}
+			seen[p.AS] = true
+		}
+	}
+}
+
+func TestIterCoversWindow(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	it := inf.Iter()
+	n := 0
+	var first, last dates.Day
+	for it.Next() {
+		if n == 0 {
+			first = it.Day()
+		}
+		last = it.Day()
+		n++
+	}
+	if first != w.Config.Start || last != w.Config.End {
+		t.Errorf("window covered %v..%v", first, last)
+	}
+	if n != w.Config.End.Sub(w.Config.Start)+1 {
+		t.Errorf("days = %d", n)
+	}
+}
+
+func TestObservationsShape(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	it := inf.Iter()
+	if !it.Next() {
+		t.Fatal("no days")
+	}
+	obs := it.Observations()
+	if len(obs) == 0 {
+		t.Fatal("no observations on day 1")
+	}
+	for _, o := range obs {
+		if len(o.Path) == 0 {
+			t.Fatal("observation with empty path")
+		}
+		if len(o.Prefixes) == 0 {
+			t.Fatal("observation with no prefixes")
+		}
+		if o.Collector >= len(inf.Collectors()) {
+			t.Fatal("bad collector index")
+		}
+		if o.Peer >= len(inf.Collectors()[o.Collector].Peers) {
+			t.Fatal("bad peer index")
+		}
+	}
+}
+
+func TestPathsStartAtPeerAndEndAtOrigin(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	segByASN := map[asn.ASN]worldsim.Segment{}
+	for _, s := range w.Segments {
+		segByASN[s.ASN] = s
+	}
+	it := inf.Iter()
+	it.Next()
+	for _, o := range it.Observations() {
+		peerAS := inf.Collectors()[o.Collector].Peers[o.Peer].AS
+		if o.Path[0] != peerAS {
+			t.Fatalf("path %v does not start at peer %v", o.Path, peerAS)
+		}
+	}
+}
+
+func TestDeterministicAcrossIters(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	countDay := func() (int, int) {
+		it := inf.Iter()
+		days, obs := 0, 0
+		for it.Next() {
+			days++
+			obs += len(it.Observations())
+		}
+		return days, obs
+	}
+	d1, o1 := countDay()
+	d2, o2 := countDay()
+	if d1 != d2 || o1 != o2 {
+		t.Errorf("runs differ: %d/%d days, %d/%d observations", d1, d2, o1, o2)
+	}
+}
+
+func TestMRTEncodesAllCollectors(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	it := inf.Iter()
+	it.Next()
+	ribs, updates, err := it.MRT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ribs) != len(inf.Collectors()) || len(updates) != len(inf.Collectors()) {
+		t.Fatalf("archives: %d ribs, %d updates", len(ribs), len(updates))
+	}
+	for i, rib := range ribs {
+		if len(rib) == 0 {
+			t.Errorf("collector %d: empty RIB", i)
+		}
+	}
+}
+
+func TestPrefixDerivationStable(t *testing.T) {
+	a := prefixFor(64500, 0, 24)
+	b := prefixFor(64500, 0, 24)
+	if a != b {
+		t.Error("prefixFor not deterministic")
+	}
+	if prefixFor(64500, 1, 24) == a {
+		t.Error("distinct indices should give distinct prefixes")
+	}
+	if a.Bits() != 24 {
+		t.Errorf("bits = %d", a.Bits())
+	}
+	v6 := prefix6For(64500, 0)
+	if !v6.Addr().Is6() || v6.Bits() != 48 {
+		t.Errorf("v6 prefix = %v", v6)
+	}
+}
+
+func TestNoiseInjectedDaily(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+	it := inf.Iter()
+	it.Next()
+	tooLong, looped := false, false
+	for _, o := range it.Observations() {
+		for _, p := range o.Prefixes {
+			if p.Addr().Is4() && p.Bits() > 24 {
+				tooLong = true
+			}
+		}
+		seen := map[asn.ASN]int{}
+		for i, a := range o.Path {
+			if prev, ok := seen[a]; ok && i-prev > 1 {
+				looped = true
+			}
+			seen[a] = i
+		}
+	}
+	if !tooLong || !looped {
+		t.Errorf("noise missing: tooLong=%v looped=%v", tooLong, looped)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/delegation"
+	"parallellives/internal/intervals"
+	"parallellives/internal/restore"
+)
+
+func d(s string) dates.Day { return dates.MustParse(s) }
+
+func iv(a, b string) intervals.Interval { return intervals.New(d(a), d(b)) }
+
+func run(a asn.ASN, rir asn.RIR, status delegation.Status, reg string, span intervals.Interval, open bool) restore.Run {
+	return restore.Run{
+		ASN: a, RIR: rir, Status: status, RegDate: d(reg), FirstRegDate: d(reg),
+		Span: span, OpenAtEnd: open,
+	}
+}
+
+func alloc(a asn.ASN, rir asn.RIR, reg string, span intervals.Interval) restore.Run {
+	return run(a, rir, delegation.StatusAllocated, reg, span, false)
+}
+
+func build(t *testing.T, runs ...restore.Run) ([]AdminLifetime, AdminStats) {
+	t.Helper()
+	res := &restore.Result{Runs: runs}
+	return BuildAdminLifetimes(res)
+}
+
+func TestSingleRunSingleLifetime(t *testing.T) {
+	lt, stats := build(t, alloc(64500, asn.RIPENCC, "2010-01-01", iv("2010-01-01", "2015-06-30")))
+	if len(lt) != 1 {
+		t.Fatalf("lifetimes = %d", len(lt))
+	}
+	if lt[0].Span != iv("2010-01-01", "2015-06-30") || lt[0].RegDate != d("2010-01-01") {
+		t.Errorf("lifetime = %+v", lt[0])
+	}
+	if stats.ASNs != 1 || stats.Lifetimes != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestSameRegDateMergesAcrossReservedGap(t *testing.T) {
+	// §4.1: reappearing with the same registration date means the ASN
+	// went back to the previous owner — one lifetime.
+	lt, stats := build(t,
+		alloc(64500, asn.ARIN, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		run(64500, asn.ARIN, delegation.StatusReserved, "2010-01-01", iv("2012-01-02", "2012-03-01"), false),
+		alloc(64500, asn.ARIN, "2010-01-01", iv("2012-03-02", "2015-01-01")),
+	)
+	if len(lt) != 1 {
+		t.Fatalf("lifetimes = %d, want 1 (merged)", len(lt))
+	}
+	if lt[0].Span != iv("2010-01-01", "2015-01-01") {
+		t.Errorf("merged span = %v", lt[0].Span)
+	}
+	if stats.MergedSameRegDate != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestNewRegDateSplitsIntoTwoLifetimes(t *testing.T) {
+	lt, stats := build(t,
+		alloc(64500, asn.ARIN, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		alloc(64500, asn.ARIN, "2013-05-05", iv("2013-05-05", "2015-01-01")),
+	)
+	if len(lt) != 2 {
+		t.Fatalf("lifetimes = %d, want 2 (reallocation)", len(lt))
+	}
+	if stats.SplitNewRegDate != 1 || stats.ReallocatedASNs != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestAfriNICExceptionMergesDespiteNewDate(t *testing.T) {
+	// AfriNIC: reserved for the whole gap then allocated again (never
+	// available) merges even under a new registration date.
+	lt, stats := build(t,
+		alloc(37000, asn.AfriNIC, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		run(37000, asn.AfriNIC, delegation.StatusReserved, "2010-01-01", iv("2012-01-02", "2012-06-30"), false),
+		alloc(37000, asn.AfriNIC, "2012-07-01", iv("2012-07-01", "2015-01-01")),
+	)
+	if len(lt) != 1 {
+		t.Fatalf("lifetimes = %d, want 1 (AfriNIC exception)", len(lt))
+	}
+	if stats.MergedAfriNIC != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestAfriNICGapNotFullyReservedSplits(t *testing.T) {
+	// The gap includes days outside reserved status (i.e. available):
+	// the exception does not apply.
+	lt, _ := build(t,
+		alloc(37000, asn.AfriNIC, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		run(37000, asn.AfriNIC, delegation.StatusReserved, "2010-01-01", iv("2012-01-02", "2012-03-01"), false),
+		alloc(37000, asn.AfriNIC, "2012-07-01", iv("2012-07-01", "2015-01-01")),
+	)
+	if len(lt) != 2 {
+		t.Fatalf("lifetimes = %d, want 2", len(lt))
+	}
+}
+
+func TestNonAfriNICReservedGapWithNewDateSplits(t *testing.T) {
+	lt, _ := build(t,
+		alloc(64500, asn.APNIC, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		run(64500, asn.APNIC, delegation.StatusReserved, "2010-01-01", iv("2012-01-02", "2012-06-30"), false),
+		alloc(64500, asn.APNIC, "2012-07-01", iv("2012-07-01", "2015-01-01")),
+	)
+	if len(lt) != 2 {
+		t.Fatalf("lifetimes = %d, want 2 (APNIC has no exception)", len(lt))
+	}
+}
+
+func TestContiguousTransferMergesGappedSplits(t *testing.T) {
+	// Contiguous inter-RIR transfer: one lifetime.
+	lt, stats := build(t,
+		alloc(64500, asn.ARIN, "2005-01-01", iv("2005-01-01", "2012-01-01")),
+		alloc(64500, asn.RIPENCC, "2005-01-01", iv("2012-01-02", "2018-01-01")),
+	)
+	if len(lt) != 1 {
+		t.Fatalf("contiguous transfer: lifetimes = %d, want 1", len(lt))
+	}
+	if !lt[0].Transferred || lt[0].RIR != asn.RIPENCC {
+		t.Errorf("lifetime = %+v", lt[0])
+	}
+	if stats.MergedTransfers != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Gapped transfer: two lifetimes.
+	lt, _ = build(t,
+		alloc(64501, asn.ARIN, "2005-01-01", iv("2005-01-01", "2012-01-01")),
+		alloc(64501, asn.RIPENCC, "2005-01-01", iv("2012-01-20", "2018-01-01")),
+	)
+	if len(lt) != 2 {
+		t.Fatalf("gapped transfer: lifetimes = %d, want 2", len(lt))
+	}
+}
+
+func TestAssignedTreatedAsDelegated(t *testing.T) {
+	lt, _ := build(t,
+		run(64500, asn.ARIN, delegation.StatusAssigned, "2010-01-01", iv("2010-01-01", "2011-01-01"), false),
+		alloc(64500, asn.ARIN, "2010-01-01", iv("2011-01-02", "2012-01-01")),
+	)
+	if len(lt) != 1 {
+		t.Fatalf("assigned+allocated same date should merge, got %d", len(lt))
+	}
+}
+
+func TestOpenFlagPropagates(t *testing.T) {
+	lt, stats := build(t,
+		alloc(64500, asn.ARIN, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		run(64500, asn.ARIN, delegation.StatusAllocated, "2010-01-01", iv("2012-06-01", "2021-03-01"), true),
+	)
+	if len(lt) != 1 || !lt[0].Open {
+		t.Fatalf("lifetime = %+v", lt)
+	}
+	if stats.OpenLifetimes != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestMultipleASNsIndependent(t *testing.T) {
+	lt, stats := build(t,
+		alloc(100, asn.ARIN, "2010-01-01", iv("2010-01-01", "2012-01-01")),
+		alloc(100, asn.ARIN, "2013-01-01", iv("2013-01-01", "2014-01-01")),
+		alloc(200, asn.APNIC, "2011-01-01", iv("2011-01-01", "2012-01-01")),
+	)
+	if len(lt) != 3 || stats.ASNs != 2 || stats.ReallocatedASNs != 1 {
+		t.Fatalf("lt=%d stats=%+v", len(lt), stats)
+	}
+}
+
+func TestSiblingCounts(t *testing.T) {
+	lts := []AdminLifetime{
+		{ASN: 1, OpaqueID: "org-a"},
+		{ASN: 2, OpaqueID: "org-a"},
+		{ASN: 3, OpaqueID: "org-b"},
+		{ASN: 4, OpaqueID: ""},
+	}
+	idx := NewAdminIndex(lts)
+	sib := idx.SiblingCounts()
+	if len(sib["org-a"]) != 2 || len(sib["org-b"]) != 1 {
+		t.Errorf("siblings = %v", sib)
+	}
+	if _, ok := sib[""]; ok {
+		t.Error("empty opaque id must not group")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/intervals"
+)
+
+func TestPrefixAwareSplitsOnTurnover(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		// One activity stream with a 10-day interior gap; the prefix
+		// signature changes across it.
+		1: {iv("2010-01-01", "2010-02-01"), iv("2010-02-12", "2010-04-01")},
+	})
+	act.ASNs[1].PrefixRuns = []bgpscan.PrefixRun{
+		{From: d("2010-01-01"), To: d("2010-02-01"), Count: 2, Sig: 111},
+		{From: d("2010-02-12"), To: d("2010-04-01"), Count: 2, Sig: 222},
+	}
+	// Timeout-only: the 10-day gap is bridged — one lifetime.
+	plain := BuildOpLifetimes(act, 30)
+	if len(plain.Lifetimes) != 1 {
+		t.Fatalf("plain lifetimes = %v", plain.Lifetimes)
+	}
+	// Prefix-aware: the signature turnover splits it.
+	aware := BuildOpLifetimesPrefixAware(act, 30, 5)
+	if len(aware.Lifetimes) != 2 {
+		t.Fatalf("aware lifetimes = %v", aware.Lifetimes)
+	}
+	if aware.Lifetimes[0].Span != iv("2010-01-01", "2010-02-01") ||
+		aware.Lifetimes[1].Span != iv("2010-02-12", "2010-04-01") {
+		t.Errorf("spans = %v", aware.Lifetimes)
+	}
+}
+
+func TestPrefixAwareKeepsStablePrefixes(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-01-01", "2010-02-01"), iv("2010-02-12", "2010-04-01")},
+	})
+	act.ASNs[1].PrefixRuns = []bgpscan.PrefixRun{
+		{From: d("2010-01-01"), To: d("2010-02-01"), Count: 2, Sig: 111},
+		{From: d("2010-02-12"), To: d("2010-04-01"), Count: 2, Sig: 111},
+	}
+	aware := BuildOpLifetimesPrefixAware(act, 30, 5)
+	if len(aware.Lifetimes) != 1 {
+		t.Fatalf("stable prefixes must not split: %v", aware.Lifetimes)
+	}
+}
+
+func TestPrefixAwareIgnoresShortGapsAndTransit(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		// 2-day gap with a signature change: below minGapDays, no split.
+		1: {iv("2010-01-01", "2010-02-01"), iv("2010-02-04", "2010-04-01")},
+		// Pure transit (no prefix runs): timeout rule only.
+		2: {iv("2010-01-01", "2010-02-01"), iv("2010-02-12", "2010-04-01")},
+	})
+	act.ASNs[1].PrefixRuns = []bgpscan.PrefixRun{
+		{From: d("2010-01-01"), To: d("2010-02-01"), Count: 1, Sig: 111},
+		{From: d("2010-02-04"), To: d("2010-04-01"), Count: 1, Sig: 222},
+	}
+	aware := BuildOpLifetimesPrefixAware(act, 30, 5)
+	if n := len(aware.Of(1)); n != 1 {
+		t.Errorf("short gap split anyway: %d lifetimes", n)
+	}
+	if n := len(aware.Of(2)); n != 1 {
+		t.Errorf("transit ASN split: %d lifetimes", n)
+	}
+}
+
+func TestRoles(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-01-01", "2010-01-10")}, // origin every day
+		2: {iv("2010-01-01", "2010-01-10")}, // transit only
+		3: {iv("2010-01-01", "2010-01-10")}, // mixed
+	})
+	act.ASNs[1].OriginDays = intervals.Set{iv("2010-01-01", "2010-01-10")}
+	act.ASNs[3].OriginDays = intervals.Set{iv("2010-01-01", "2010-01-05")}
+	ops := BuildOpLifetimes(act, 30)
+	p := ops.Roles()
+	if p.OriginOnly != 1 || p.TransitOnly != 1 || p.Mixed != 1 {
+		t.Fatalf("profile = %+v", p)
+	}
+	// 30 visible days, 15 of them transit-only (10 from ASN2, 5 from ASN3).
+	if p.TransitDaysShare != 0.5 {
+		t.Errorf("TransitDaysShare = %v", p.TransitDaysShare)
+	}
+}

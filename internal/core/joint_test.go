@@ -1,0 +1,377 @@
+package core
+
+import (
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// buildActivity makes a bgpscan.Activity from explicit day intervals.
+func buildActivity(m map[asn.ASN][]intervals.Interval) *bgpscan.Activity {
+	act := &bgpscan.Activity{
+		ASNs:  make(map[asn.ASN]*bgpscan.ASNActivity),
+		Start: dates.None,
+		End:   dates.None,
+	}
+	for a, ivs := range m {
+		set := intervals.Normalize(ivs)
+		act.ASNs[a] = &bgpscan.ASNActivity{Days: set}
+		if sp, ok := set.Span(); ok {
+			if act.Start == dates.None || sp.Start < act.Start {
+				act.Start = sp.Start
+			}
+			if act.End == dates.None || sp.End > act.End {
+				act.End = sp.End
+			}
+		}
+	}
+	return act
+}
+
+func joint(admin []AdminLifetime, act *bgpscan.Activity, timeout int) *Joint {
+	ops := BuildOpLifetimes(act, timeout)
+	return Analyze(NewAdminIndex(admin), ops)
+}
+
+func TestOpLifetimeSegmentation(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		// Two runs 10 days apart (bridged at timeout 30), then a run 60
+		// days later (split).
+		100: {iv("2010-01-01", "2010-02-01"), iv("2010-02-12", "2010-03-01"),
+			iv("2010-05-01", "2010-06-01")},
+	})
+	ops := BuildOpLifetimes(act, 30)
+	if len(ops.Lifetimes) != 2 {
+		t.Fatalf("lifetimes = %v", ops.Lifetimes)
+	}
+	if ops.Lifetimes[0].Span != iv("2010-01-01", "2010-03-01") {
+		t.Errorf("first = %v", ops.Lifetimes[0].Span)
+	}
+	// At timeout 100 everything merges.
+	ops = BuildOpLifetimes(act, 100)
+	if len(ops.Lifetimes) != 1 {
+		t.Fatalf("timeout 100: lifetimes = %v", ops.Lifetimes)
+	}
+}
+
+func TestTaxonomyClassification(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 1, RIR: asn.ARIN, Span: iv("2010-01-01", "2015-01-01")}, // complete
+		{ASN: 2, RIR: asn.ARIN, Span: iv("2010-01-01", "2015-01-01")}, // partial (dangling)
+		{ASN: 3, RIR: asn.ARIN, Span: iv("2010-01-01", "2015-01-01")}, // unused
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-06-01", "2014-01-01")},
+		2: {iv("2014-01-01", "2016-06-01")}, // sticks out past dealloc
+		4: {iv("2012-01-01", "2012-02-01")}, // never allocated
+	})
+	j := joint(admin, act, 30)
+	tx := j.Taxonomy()
+	want := TaxonomyCounts{
+		AdminComplete: 1, AdminPartial: 1, AdminUnused: 1,
+		OpComplete: 1, OpPartial: 1, OpOutside: 1,
+	}
+	if tx != want {
+		t.Errorf("taxonomy = %+v, want %+v", tx, want)
+	}
+	if j.AdminCat[0] != CatComplete || j.AdminCat[1] != CatPartial || j.AdminCat[2] != CatUnused {
+		t.Errorf("admin cats = %v", j.AdminCat)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 1, Span: iv("2010-01-01", "2010-04-10")}, // 100 days
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-01-01", "2010-01-25")}, // 25 days
+	})
+	j := joint(admin, act, 30)
+	u := j.Utilization()
+	if len(u) != 1 || u[0] != 0.25 {
+		t.Errorf("utilization = %v, want [0.25]", u)
+	}
+}
+
+func TestUtilizationSkipsUnusedAndPartial(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 1, Span: iv("2010-01-01", "2010-12-31")}, // unused
+		{ASN: 2, Span: iv("2010-01-01", "2010-12-31")}, // partial
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		2: {iv("2009-06-01", "2010-06-01")},
+	})
+	j := joint(admin, act, 30)
+	if u := j.Utilization(); len(u) != 0 {
+		t.Errorf("utilization = %v, want empty", u)
+	}
+}
+
+func TestDormantSquatDetector(t *testing.T) {
+	admin := []AdminLifetime{
+		// Allocated for ~4000 days, active briefly at the start, then a
+		// short burst 2000 days later: a textbook dormant squat.
+		{ASN: 1, Span: iv("2005-01-01", "2016-01-01")},
+		// Control: continuously active.
+		{ASN: 2, Span: iv("2005-01-01", "2016-01-01")},
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2005-02-01", "2005-06-01"), iv("2011-01-01", "2011-01-20")},
+		2: {iv("2005-02-01", "2015-12-01")},
+	})
+	j := joint(admin, act, 30)
+	findings := j.DetectDormantSquats(DefaultSquatParams())
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	f := findings[0]
+	if f.ASN != 1 || f.OpSpan != iv("2011-01-01", "2011-01-20") {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.DormantDays < 1000 || f.RelDuration > 0.05 {
+		t.Errorf("finding thresholds wrong: %+v", f)
+	}
+}
+
+func TestDormantSquatRespectsRelativeDuration(t *testing.T) {
+	// A long comeback (not a short burst) must not be flagged.
+	admin := []AdminLifetime{
+		{ASN: 1, Span: iv("2005-01-01", "2016-01-01")},
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2005-02-01", "2005-06-01"), iv("2011-01-01", "2014-01-01")},
+	})
+	j := joint(admin, act, 30)
+	if findings := j.DetectDormantSquats(DefaultSquatParams()); len(findings) != 0 {
+		t.Errorf("long comeback flagged: %+v", findings)
+	}
+}
+
+func TestDormantFromAllocationStart(t *testing.T) {
+	// Never active, then a burst years into the allocation.
+	admin := []AdminLifetime{
+		{ASN: 1, Span: iv("2005-01-01", "2016-01-01")},
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2012-01-01", "2012-01-15")},
+	})
+	// BGP observation began well before the burst: the dormancy since
+	// the allocation start is real, not a window artifact.
+	act.Start = d("2005-01-01")
+	j := joint(admin, act, 30)
+	findings := j.DetectDormantSquats(DefaultSquatParams())
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	if findings[0].DormantDays < 2000 {
+		t.Errorf("dormancy = %d", findings[0].DormantDays)
+	}
+}
+
+type fixedCones map[asn.ASN]int
+
+func (f fixedCones) ConeSize(a asn.ASN) (int, bool) {
+	n, ok := f[a]
+	return n, ok
+}
+
+func TestPartialProfile(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 1, RegDate: d("2010-01-05"), Span: iv("2010-01-05", "2012-01-01")}, // dangling
+		{ASN: 2, RegDate: d("2010-01-05"), Span: iv("2010-01-05", "2012-01-01")}, // early, before reg
+		{ASN: 3, RegDate: d("2010-01-01"), Span: iv("2010-01-05", "2012-01-01")}, // early, after reg
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-02-01", "2012-06-01")},
+		2: {iv("2010-01-02", "2011-01-01")},
+		3: {iv("2010-01-03", "2011-01-01")},
+	})
+	j := joint(admin, act, 30)
+	p := j.Partial(fixedCones{1: 0})
+	if p.AdminLives != 3 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.Dangling != 1 || p.DanglingNoCustomers != 1 || p.DanglingWithCone != 1 {
+		t.Errorf("dangling stats = %+v", p)
+	}
+	if len(p.DanglingDays) != 1 || p.DanglingDays[0] != d("2012-06-01").Sub(d("2012-01-01")) {
+		t.Errorf("dangling days = %v", p.DanglingDays)
+	}
+	if p.EarlyStart != 2 || p.EarlyBeforeReg != 1 {
+		t.Errorf("early stats = %+v", p)
+	}
+}
+
+func TestUnusedProfile(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 131073, RIR: asn.APNIC, CC: "CN", OpaqueID: "o1", Span: iv("2010-01-01", "2015-01-01")},
+		{ASN: 131074, RIR: asn.APNIC, CC: "CN", OpaqueID: "o1", Span: iv("2010-01-01", "2010-01-15")}, // short 32-bit unused
+		{ASN: 40001, RIR: asn.APNIC, CC: "JP", OpaqueID: "o1", Span: iv("2010-02-01", "2015-01-01")},  // 16-bit replacement
+		{ASN: 40002, RIR: asn.APNIC, CC: "AU", OpaqueID: "o2", Span: iv("2010-01-01", "2015-01-01")},  // used
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		40002: {iv("2010-06-01", "2014-01-01")},
+		40001: {iv("2010-06-01", "2014-01-01")},
+	})
+	j := joint(admin, act, 30)
+	p := j.Unused()
+	if p.Lives != 2 || p.ASNs != 2 || p.NeverUsedASNs != 2 {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.CountryUnused["CN"] != 2 || p.CountryTotal["CN"] != 2 {
+		t.Errorf("country stats = %v / %v", p.CountryUnused, p.CountryTotal)
+	}
+	if p.ShortUnusedTotal[asn.APNIC] != 1 || p.ShortUnused32[asn.APNIC] != 1 {
+		t.Errorf("short unused = %v / %v", p.ShortUnusedTotal, p.ShortUnused32)
+	}
+	// 131074 ended 2010-01-15; org o1 received 16-bit 40001 on 2010-02-01
+	// — within 30 days: the failed-32-bit signature.
+	if p.Replaced16 != 1 {
+		t.Errorf("Replaced16 = %d, want 1", p.Replaced16)
+	}
+	if p.SiblingUnused != 2 {
+		t.Errorf("SiblingUnused = %d, want 2", p.SiblingUnused)
+	}
+	top := p.TopUnusedCountries(5)
+	if len(top) == 0 || top[0].CC != "CN" || top[0].UnusedFraction != 1.0 {
+		t.Errorf("top countries = %+v", top)
+	}
+}
+
+func TestOutsideClassification(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 32026, Span: iv("2005-01-01", "2020-01-01")},
+		{ASN: 41933, Span: iv("2005-01-01", "2020-01-01")},
+		{ASN: 500, Span: iv("2005-01-01", "2010-01-01")}, // deallocated 2010
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		32026: {iv("2005-02-01", "2019-01-01")},
+		41933: {iv("2005-02-01", "2019-01-01")},
+		// Failed prepend: 3202632026 with first hop 32026.
+		3202632026: {iv("2015-01-01", "2015-01-10")},
+		// Mistyped origin: 41833 one digit from 41933.
+		41833: {iv("2016-01-01", "2016-05-01")},
+		// Large leak: longer than any allocated number.
+		290012147: {iv("2015-01-01", "2017-01-01")},
+		// Post-dealloc hijack: 500 soon after dealloc, never active before.
+		500: {iv("2010-01-20", "2010-02-05")},
+		// Bogon: excluded.
+		64512: {iv("2015-01-01", "2015-01-05")},
+	})
+	// Upstream adjacencies.
+	act.ASNs[3202632026].Upstreams = map[asn.ASN]int64{32026: 10}
+	act.ASNs[41833].Upstreams = map[asn.ASN]int64{3356: 5}
+	act.ASNs[41933].Upstreams = map[asn.ASN]int64{3356: 500}
+
+	j := joint(admin, act, 30)
+	p := j.Outside()
+
+	if p.PrependCases != 1 {
+		t.Errorf("PrependCases = %d", p.PrependCases)
+	}
+	if p.MOASCases != 1 {
+		t.Errorf("MOASCases = %d", p.MOASCases)
+	}
+	if p.LargeLeaks != 1 {
+		t.Errorf("LargeLeaks = %d", p.LargeLeaks)
+	}
+	if p.HijackEvents != 1 {
+		t.Errorf("HijackEvents = %d", p.HijackEvents)
+	}
+	if p.ASNsPostDealloc != 1 || p.ASNsNeverAllocated != 3 {
+		t.Errorf("sub-category ASNs = %d / %d", p.ASNsPostDealloc, p.ASNsNeverAllocated)
+	}
+	if p.BogonASNsExcluded != 1 {
+		t.Errorf("bogons = %d", p.BogonASNsExcluded)
+	}
+	for _, f := range p.Findings {
+		switch f.ASN {
+		case 3202632026:
+			if f.Kind != OutFatFingerPrepend || f.Victim != 32026 {
+				t.Errorf("prepend finding = %+v", f)
+			}
+		case 41833:
+			if f.Kind != OutFatFingerMOAS || f.Victim != 41933 {
+				t.Errorf("moas finding = %+v", f)
+			}
+		case 290012147:
+			if f.Kind != OutLargeLeak {
+				t.Errorf("leak finding = %+v", f)
+			}
+		case 500:
+			if !f.Hijack || f.DaysSinceDealloc != 19 {
+				t.Errorf("hijack finding = %+v", f)
+			}
+		}
+	}
+	if p.NeverAllocOver1Day != 3 || p.NeverAllocOver1Mon != 2 || p.NeverAllocOver1Year != 1 {
+		t.Errorf("durations: >1d=%d >1m=%d >1y=%d",
+			p.NeverAllocOver1Day, p.NeverAllocOver1Mon, p.NeverAllocOver1Year)
+	}
+}
+
+func TestOverlapProfile(t *testing.T) {
+	admin := []AdminLifetime{
+		// Closed life: activity ends 100 days before dealloc.
+		{ASN: 1, RIR: asn.APNIC, Span: iv("2010-01-01", "2012-01-01")},
+		// Two op lives, spaced > 365 days.
+		{ASN: 2, RIR: asn.ARIN, Span: iv("2008-01-01", "2016-01-01"), Open: true},
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-02-01", "2011-09-23")},
+		2: {iv("2008-02-01", "2009-01-01"), iv("2011-01-01", "2015-01-01")},
+	})
+	j := joint(admin, act, 30)
+	p := j.Overlap(d("2021-03-01"))
+	if p.OneLife != 1 || p.TwoLives != 1 {
+		t.Errorf("profile = %+v", p)
+	}
+	if len(p.DeallocLagDays[asn.APNIC]) != 1 || p.DeallocLagDays[asn.APNIC][0] != 100 {
+		t.Errorf("dealloc lag = %v", p.DeallocLagDays[asn.APNIC])
+	}
+	if p.LargelySpaced != 1 || p.MultiLife != 1 {
+		t.Errorf("spacing stats = %+v", p)
+	}
+	if len(p.StartDelayDays[asn.APNIC]) != 1 || p.StartDelayDays[asn.APNIC][0] != 31 {
+		t.Errorf("start delay = %v", p.StartDelayDays[asn.APNIC])
+	}
+}
+
+func TestPrefixSeries(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1: {iv("2010-01-01", "2010-01-10")},
+	})
+	act.ASNs[1].PrefixRuns = []bgpscan.PrefixRun{
+		{From: d("2010-01-01"), To: d("2010-01-05"), Count: 2},
+		{From: d("2010-01-06"), To: d("2010-01-10"), Count: 60},
+	}
+	admin := []AdminLifetime{{ASN: 1, Span: iv("2009-01-01", "2011-01-01")}}
+	j := joint(admin, act, 30)
+	series := j.PrefixSeries(1, d("2010-01-04"), d("2010-01-07"))
+	want := []int{2, 2, 60, 60}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("series = %v, want %v", series, want)
+		}
+	}
+	if j.peakPrefixes(1, iv("2010-01-06", "2010-01-10")) != 60 {
+		t.Error("peak wrong")
+	}
+}
+
+func TestCoordinatedGroups(t *testing.T) {
+	findings := []SquatFinding{
+		{ASN: 1, Upstreams: []asn.ASN{666}},
+		{ASN: 2, Upstreams: []asn.ASN{666}},
+		{ASN: 3, Upstreams: []asn.ASN{666}},
+		{ASN: 4, Upstreams: []asn.ASN{777}},
+		{ASN: 5},
+	}
+	groups := CoordinatedGroups(findings, 2)
+	if len(groups) != 1 || len(groups[666]) != 3 {
+		t.Errorf("groups = %v", groups)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// OutsideKind classifies an operational life with no overlapping
+// administrative life (§6.4).
+type OutsideKind uint8
+
+// Outside-delegation classifications.
+const (
+	// OutPostDealloc: the ASN was allocated at another time; this life
+	// falls entirely outside — the post-deallocation abuse pattern.
+	OutPostDealloc OutsideKind = iota
+	// OutFatFingerPrepend: never-allocated origin whose decimal form is
+	// a first-hop ASN written twice (failed prepend).
+	OutFatFingerPrepend
+	// OutFatFingerMOAS: never-allocated origin one digit away from an
+	// allocated ASN sharing an upstream (mistyped origin causing MOAS).
+	OutFatFingerMOAS
+	// OutLargeLeak: never-allocated origin with more digits than any
+	// allocated ASN (internal numbering leaking out).
+	OutLargeLeak
+	// OutUnexplained: never-allocated with no matching signature.
+	OutUnexplained
+)
+
+var outsideNames = [...]string{
+	"post-deallocation", "fat-finger prepend", "fat-finger MOAS",
+	"large internal leak", "unexplained",
+}
+
+func (k OutsideKind) String() string {
+	if int(k) < len(outsideNames) {
+		return outsideNames[k]
+	}
+	return "unknown"
+}
+
+// OutsideFinding is one classified outside-delegation operational life.
+type OutsideFinding struct {
+	ASN    asn.ASN
+	OpIdx  int
+	Span   intervals.Interval
+	Kind   OutsideKind
+	Bogon  bool // reserved/special-purpose ASN (excluded from counts)
+	Victim asn.ASN
+	// DaysSinceDealloc, for OutPostDealloc, is the gap from the nearest
+	// earlier administrative life end (−1 when none precedes).
+	DaysSinceDealloc int
+	// DaysSincePrevOp, for OutPostDealloc, is the gap from the previous
+	// operational life (−1 when none).
+	DaysSincePrevOp int
+	// Hijack marks post-deallocation lives matching the abuse signature:
+	// soon after deallocation but long after (or without) any previous
+	// operational life.
+	Hijack bool
+}
+
+// OutsideProfile summarizes §6.4.
+type OutsideProfile struct {
+	Findings []OutsideFinding
+	// ASNsPostDealloc and ASNsNeverAllocated count distinct ASNs in the
+	// two sub-categories (the paper's 799 and 868).
+	ASNsPostDealloc     int
+	ASNsNeverAllocated  int
+	BogonASNsExcluded   int
+	HijackEvents        int
+	PrependCases        int
+	MOASCases           int
+	LargeLeaks          int
+	Unexplained         int
+	NeverAllocOver1Day  int
+	NeverAllocOver1Mon  int
+	NeverAllocOver1Year int
+}
+
+// hijackRecentDeallocDays and hijackQuietDays encode the §6.4
+// observation: abused ASNs are used soon after deallocation but long
+// after their last legitimate activity.
+const (
+	hijackRecentDeallocDays = 120
+	hijackQuietDays         = 3000
+)
+
+// Outside classifies every outside-delegation operational life (§6.4).
+func (j *Joint) Outside() OutsideProfile {
+	var p OutsideProfile
+
+	// The largest allocated digit length bounds plausibility.
+	maxDigits := 0
+	allocated := make(map[asn.ASN]bool, len(j.Admin.Lifetimes))
+	for _, al := range j.Admin.Lifetimes {
+		allocated[al.ASN] = true
+		if d := al.ASN.DigitLen(); d > maxDigits {
+			maxDigits = d
+		}
+	}
+
+	postASN := make(map[asn.ASN]bool)
+	neverASN := make(map[asn.ASN]bool)
+	durByASN := make(map[asn.ASN]int)
+
+	for oi, cat := range j.OpCat {
+		if cat != CatOutside {
+			continue
+		}
+		ol := &j.Ops.Lifetimes[oi]
+		f := OutsideFinding{ASN: ol.ASN, OpIdx: oi, Span: ol.Span,
+			DaysSinceDealloc: -1, DaysSincePrevOp: -1}
+		if ol.ASN.Reserved() {
+			f.Bogon = true
+			p.Findings = append(p.Findings, f)
+			continue
+		}
+		if len(j.Admin.Of(ol.ASN)) > 0 {
+			f.Kind = OutPostDealloc
+			j.classifyPostDealloc(&f)
+			postASN[ol.ASN] = true
+			if f.Hijack {
+				p.HijackEvents++
+			}
+		} else {
+			neverASN[ol.ASN] = true
+			durByASN[ol.ASN] += ol.Span.Days()
+			f.Kind, f.Victim = j.classifyNeverAllocated(ol.ASN, allocated, maxDigits)
+			switch f.Kind {
+			case OutFatFingerPrepend:
+				p.PrependCases++
+			case OutFatFingerMOAS:
+				p.MOASCases++
+			case OutLargeLeak:
+				p.LargeLeaks++
+			default:
+				p.Unexplained++
+			}
+		}
+		p.Findings = append(p.Findings, f)
+	}
+
+	for _, f := range p.Findings {
+		if f.Bogon {
+			p.BogonASNsExcluded++
+		}
+	}
+	p.ASNsPostDealloc = len(postASN)
+	p.ASNsNeverAllocated = len(neverASN)
+	for _, d := range durByASN {
+		if d > 1 {
+			p.NeverAllocOver1Day++
+		}
+		if d > 31 {
+			p.NeverAllocOver1Mon++
+		}
+		if d > 365 {
+			p.NeverAllocOver1Year++
+		}
+	}
+	return p
+}
+
+// classifyPostDealloc fills the timing fields and the hijack flag of a
+// post-deallocation finding.
+func (j *Joint) classifyPostDealloc(f *OutsideFinding) {
+	var prevAdminEnd dates.Day = dates.None
+	for _, ai := range j.Admin.Of(f.ASN) {
+		al := &j.Admin.Lifetimes[ai]
+		if al.Span.End < f.Span.Start && (prevAdminEnd == dates.None || al.Span.End > prevAdminEnd) {
+			prevAdminEnd = al.Span.End
+		}
+	}
+	if prevAdminEnd != dates.None {
+		f.DaysSinceDealloc = f.Span.Start.Sub(prevAdminEnd)
+	}
+	var prevOpEnd dates.Day = dates.None
+	for _, oi := range j.Ops.Of(f.ASN) {
+		ol := &j.Ops.Lifetimes[oi]
+		if ol.Span.End < f.Span.Start && (prevOpEnd == dates.None || ol.Span.End > prevOpEnd) {
+			prevOpEnd = ol.Span.End
+		}
+	}
+	if prevOpEnd != dates.None {
+		f.DaysSincePrevOp = f.Span.Start.Sub(prevOpEnd)
+	}
+	recent := f.DaysSinceDealloc >= 0 && f.DaysSinceDealloc <= hijackRecentDeallocDays
+	quiet := f.DaysSincePrevOp < 0 || f.DaysSincePrevOp >= hijackQuietDays
+	f.Hijack = recent && quiet
+}
+
+// classifyNeverAllocated applies the §6.4 digit-pattern signatures.
+func (j *Joint) classifyNeverAllocated(a asn.ASN, allocated map[asn.ASN]bool, maxDigits int) (OutsideKind, asn.ASN) {
+	act := j.Ops.Activity.ASNs[a]
+	// Failed prepend: the origin equals a first-hop neighbor doubled.
+	if act != nil {
+		for up := range act.Upstreams {
+			if asn.ExactRepetition(a, up) {
+				return OutFatFingerPrepend, up
+			}
+		}
+	}
+	// Mistyped origin: one digit (substituted or inserted) away from an
+	// allocated ASN that shares an upstream.
+	if victim, ok := j.digitNeighbor(a, allocated, act); ok {
+		return OutFatFingerMOAS, victim
+	}
+	if a.DigitLen() > maxDigits {
+		return OutLargeLeak, 0
+	}
+	return OutUnexplained, 0
+}
+
+// digitNeighbor searches allocated ASNs one edit away from a, preferring
+// those sharing an observed upstream.
+func (j *Joint) digitNeighbor(a asn.ASN, allocated map[asn.ASN]bool, act *bgpscan.ASNActivity) (asn.ASN, bool) {
+	var candidates []asn.ASN
+	s := a.String()
+	// Substitutions.
+	for i := 0; i < len(s); i++ {
+		for c := byte('0'); c <= '9'; c++ {
+			if c == s[i] || (i == 0 && c == '0') {
+				continue
+			}
+			mut := s[:i] + string(c) + s[i+1:]
+			if v, err := strconv.ParseUint(mut, 10, 32); err == nil && allocated[asn.ASN(v)] {
+				candidates = append(candidates, asn.ASN(v))
+			}
+		}
+	}
+	// Deletions (the bogus origin has one digit more than the victim).
+	if len(s) > 1 {
+		for i := 0; i < len(s); i++ {
+			mut := s[:i] + s[i+1:]
+			if mut[0] == '0' {
+				continue
+			}
+			if v, err := strconv.ParseUint(mut, 10, 32); err == nil && allocated[asn.ASN(v)] {
+				candidates = append(candidates, asn.ASN(v))
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	sort.Slice(candidates, func(i, k int) bool { return candidates[i] < candidates[k] })
+	// Prefer a candidate that shares an upstream with the bogus origin —
+	// the paper's corroboration that the announcement imitates the
+	// victim's routing.
+	if act != nil {
+		for _, v := range candidates {
+			vact := j.Ops.Activity.ASNs[v]
+			if vact == nil {
+				continue
+			}
+			for up := range act.Upstreams {
+				if _, shared := vact.Upstreams[up]; shared {
+					return v, true
+				}
+			}
+		}
+	}
+	return candidates[0], true
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"parallellives/internal/asn"
+)
+
+// ConeProvider supplies customer-cone sizes (the ASRank substitute used
+// by the §6.2 dangling-announcement analysis). Nil is treated as "no
+// data".
+type ConeProvider interface {
+	ConeSize(a asn.ASN) (int, bool)
+}
+
+// PartialProfile summarizes the §6.2 partial-overlap category.
+type PartialProfile struct {
+	// AdminLives is the number of partial-overlap administrative lives.
+	AdminLives int
+	// Dangling counts admin lives with an operational life continuing
+	// past deallocation; DanglingDays collects how far past.
+	Dangling     int
+	DanglingDays []int
+	// DanglingNoCustomers counts dangling ASNs with an empty customer
+	// cone (the paper finds 95%).
+	DanglingNoCustomers int
+	DanglingWithCone    int // dangling ASNs for which cone data existed
+	// EarlyStart counts admin lives whose operational life began before
+	// the allocation appeared; EarlyBeforeReg counts the subset starting
+	// even before the registration date. Lead days collected.
+	EarlyStart     int
+	EarlyBeforeReg int
+	EarlyLeadDays  []int
+}
+
+// Partial profiles the partial-overlap category (§6.2).
+func (j *Joint) Partial(cones ConeProvider) PartialProfile {
+	var p PartialProfile
+	for ai, cat := range j.AdminCat {
+		if cat != CatPartial {
+			continue
+		}
+		p.AdminLives++
+		al := &j.Admin.Lifetimes[ai]
+		dangling := false
+		early := false
+		for _, oi := range j.OverlapOps[ai] {
+			ol := &j.Ops.Lifetimes[oi]
+			if ol.Span.End > al.Span.End {
+				dangling = true
+				p.DanglingDays = append(p.DanglingDays, ol.Span.End.Sub(al.Span.End))
+			}
+			if ol.Span.Start < al.Span.Start {
+				early = true
+				p.EarlyLeadDays = append(p.EarlyLeadDays, al.Span.Start.Sub(ol.Span.Start))
+				if ol.Span.Start < al.RegDate {
+					p.EarlyBeforeReg++
+				}
+			}
+		}
+		if dangling {
+			p.Dangling++
+			if cones != nil {
+				if cone, ok := cones.ConeSize(al.ASN); ok {
+					p.DanglingWithCone++
+					if cone == 0 {
+						p.DanglingNoCustomers++
+					}
+				}
+			}
+		}
+		if early {
+			p.EarlyStart++
+		}
+	}
+	return p
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// SquatParams are the §6.1.2 detection thresholds. The paper sets them
+// deliberately coarse: 1000 days of dormancy and a post-dormant life no
+// longer than 5% of its administrative life.
+type SquatParams struct {
+	MinDormancyDays int
+	MaxRelDuration  float64
+}
+
+// DefaultSquatParams returns the paper's thresholds.
+func DefaultSquatParams() SquatParams {
+	return SquatParams{MinDormancyDays: 1000, MaxRelDuration: 0.05}
+}
+
+// SquatFinding is one operational life flagged as a possible squat of a
+// dormant ASN.
+type SquatFinding struct {
+	ASN asn.ASN
+	// AdminIdx / OpIdx locate the lifetimes in the Joint indexes.
+	AdminIdx, OpIdx int
+	OpSpan          intervals.Interval
+	// DormantDays is the inactivity run preceding the operational life
+	// (from the allocation start or the previous operational life).
+	DormantDays int
+	// RelDuration is opDays / adminDays.
+	RelDuration float64
+	// PeakPrefixCount is the largest daily distinct-prefix origination
+	// count during the flagged life — squats typically spike (Fig. 8).
+	PeakPrefixCount int
+	// Upstreams lists the first-hop neighbors observed for the origin,
+	// most frequent first; shared upstreams across findings indicate
+	// coordination (§6.1.2's hijack-factory pattern).
+	Upstreams []asn.ASN
+}
+
+// DetectDormantSquats applies the §6.1.2 filter to every complete-overlap
+// administrative lifetime: an operational life is flagged when it starts
+// after at least MinDormancyDays of inactivity (since the allocation or
+// the previous operational life) and lasts at most MaxRelDuration of the
+// administrative life.
+func (j *Joint) DetectDormantSquats(p SquatParams) []SquatFinding {
+	var out []SquatFinding
+	for ai, cat := range j.AdminCat {
+		if cat != CatComplete {
+			continue
+		}
+		al := &j.Admin.Lifetimes[ai]
+		adminDays := al.Span.Days()
+		// Dormancy runs from the allocation start — but never before BGP
+		// observation begins, where inactivity is unknowable rather than
+		// dormant (administrative lives can predate the window by years).
+		prevEnd := al.Span.Start.AddDays(-1)
+		if obs := j.Ops.Activity.Start; obs != dates.None && obs.AddDays(-1) > prevEnd {
+			prevEnd = obs.AddDays(-1)
+		}
+		for _, oi := range j.ContainedOps[ai] {
+			ol := &j.Ops.Lifetimes[oi]
+			dormant := ol.Span.Start.Sub(prevEnd) - 1
+			rel := float64(ol.Span.Days()) / float64(adminDays)
+			if dormant >= p.MinDormancyDays && rel <= p.MaxRelDuration {
+				out = append(out, SquatFinding{
+					ASN: al.ASN, AdminIdx: ai, OpIdx: oi, OpSpan: ol.Span,
+					DormantDays: dormant, RelDuration: rel,
+					PeakPrefixCount: j.peakPrefixes(al.ASN, ol.Span),
+					Upstreams:       j.upstreamsOf(al.ASN),
+				})
+			}
+			prevEnd = ol.Span.End
+		}
+	}
+	return out
+}
+
+// peakPrefixes returns the maximum daily origination count of a within
+// span.
+func (j *Joint) peakPrefixes(a asn.ASN, span intervals.Interval) int {
+	act := j.Ops.Activity.ASNs[a]
+	if act == nil {
+		return 0
+	}
+	peak := 0
+	for _, run := range act.PrefixRuns {
+		if run.To < span.Start || run.From > span.End {
+			continue
+		}
+		if run.Count > peak {
+			peak = run.Count
+		}
+	}
+	return peak
+}
+
+// upstreamsOf returns the origin's observed first-hop neighbors, most
+// frequent first.
+func (j *Joint) upstreamsOf(a asn.ASN) []asn.ASN {
+	act := j.Ops.Activity.ASNs[a]
+	if act == nil || len(act.Upstreams) == 0 {
+		return nil
+	}
+	type uc struct {
+		a asn.ASN
+		n int64
+	}
+	ups := make([]uc, 0, len(act.Upstreams))
+	for u, n := range act.Upstreams {
+		ups = append(ups, uc{u, n})
+	}
+	sort.Slice(ups, func(i, j int) bool {
+		if ups[i].n != ups[j].n {
+			return ups[i].n > ups[j].n
+		}
+		return ups[i].a < ups[j].a
+	})
+	out := make([]asn.ASN, len(ups))
+	for i, u := range ups {
+		out[i] = u.a
+	}
+	return out
+}
+
+// CoordinatedGroups clusters squat findings that share a dominant
+// upstream and overlap in time — the §6.1.2 signature of a hijack
+// factory forging announcements for many squatted origins at once.
+// Groups smaller than minSize are omitted.
+func CoordinatedGroups(findings []SquatFinding, minSize int) map[asn.ASN][]SquatFinding {
+	byUpstream := make(map[asn.ASN][]SquatFinding)
+	for _, f := range findings {
+		if len(f.Upstreams) == 0 {
+			continue
+		}
+		byUpstream[f.Upstreams[0]] = append(byUpstream[f.Upstreams[0]], f)
+	}
+	for u, group := range byUpstream {
+		if len(group) < minSize {
+			delete(byUpstream, u)
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].OpSpan.Start < group[j].OpSpan.Start })
+		byUpstream[u] = group
+	}
+	return byUpstream
+}
+
+// PrefixSeries extracts the daily origination-count series of one ASN
+// over [start, end] — the Figure 8 time series.
+func (j *Joint) PrefixSeries(a asn.ASN, start, end dates.Day) []int {
+	n := end.Sub(start) + 1
+	out := make([]int, n)
+	act := j.Ops.Activity.ASNs[a]
+	if act == nil {
+		return out
+	}
+	for _, run := range act.PrefixRuns {
+		lo := dates.Max(run.From, start)
+		hi := dates.Min(run.To, end)
+		for d := lo; d <= hi; d++ {
+			out[d.Sub(start)] = run.Count
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sort"
+
+	"parallellives/internal/asn"
+)
+
+// UnusedProfile summarizes the §6.3 allocated-but-unused category.
+type UnusedProfile struct {
+	// Lives is the number of unused administrative lives; ASNs the
+	// number of distinct ASNs with at least one; NeverUsedASNs the ASNs
+	// none of whose lives overlap any operational activity.
+	Lives         int
+	ASNs          int
+	NeverUsedASNs int
+
+	// DurationsByRIR collects unused-life durations per registry (the
+	// Figure 9 CDFs).
+	DurationsByRIR [asn.NumRIRs][]int
+
+	// CountryShare maps country code to {unused lives, total lives} so
+	// reports can compute the §6.3 disproportion table.
+	CountryUnused map[string]int
+	CountryTotal  map[string]int
+
+	// SiblingUnused counts unused lives whose organization (opaque id)
+	// also holds other ASNs; SiblingOrgs the organizations involved.
+	SiblingUnused int
+
+	// ShortUnused32 and ShortUnusedTotal count unused lives shorter than
+	// 31 days per RIR and how many of them are 32-bit ASNs.
+	ShortUnusedTotal [asn.NumRIRs]int
+	ShortUnused32    [asn.NumRIRs]int
+
+	// Replaced16 counts short-lived unused 32-bit allocations whose
+	// organization received a 16-bit ASN within 30 days of the end — the
+	// §6.3 "WhoWas" failed-deployment signature.
+	Replaced16            int
+	ReplacedChecked       int
+	shortUnused32Lifetime []int // indices, for the replacement check
+}
+
+// Unused profiles the unused-administrative-lives category (§6.3).
+func (j *Joint) Unused() UnusedProfile {
+	p := UnusedProfile{
+		CountryUnused: make(map[string]int),
+		CountryTotal:  make(map[string]int),
+	}
+	siblings := j.Admin.SiblingCounts()
+	unusedPerASN := make(map[asn.ASN]int)
+	livesPerASN := make(map[asn.ASN]int)
+
+	// Index 16-bit allocation starts by organization for the
+	// failed-32-bit replacement check.
+	type orgStart struct {
+		start int32
+	}
+	_ = orgStart{}
+	starts16 := make(map[string][]int32)
+	for _, al := range j.Admin.Lifetimes {
+		if !al.Is32Bit() && al.OpaqueID != "" {
+			starts16[al.OpaqueID] = append(starts16[al.OpaqueID], int32(al.Span.Start))
+		}
+	}
+	for _, list := range starts16 {
+		sort.Slice(list, func(i, k int) bool { return list[i] < list[k] })
+	}
+
+	for ai, cat := range j.AdminCat {
+		al := &j.Admin.Lifetimes[ai]
+		livesPerASN[al.ASN]++
+		if al.CC != "" {
+			p.CountryTotal[al.CC]++
+		}
+		if cat != CatUnused {
+			continue
+		}
+		p.Lives++
+		unusedPerASN[al.ASN]++
+		p.DurationsByRIR[al.RIR] = append(p.DurationsByRIR[al.RIR], al.Span.Days())
+		if al.CC != "" {
+			p.CountryUnused[al.CC]++
+		}
+		if len(siblings[al.OpaqueID]) > 1 {
+			p.SiblingUnused++
+		}
+		if al.Span.Days() <= 31 {
+			p.ShortUnusedTotal[al.RIR]++
+			if al.Is32Bit() {
+				p.ShortUnused32[al.RIR]++
+				// Replacement check: did the same organization receive a
+				// 16-bit ASN within 30 days after this life ended?
+				if al.OpaqueID != "" {
+					p.ReplacedChecked++
+					list := starts16[al.OpaqueID]
+					lo := int32(al.Span.End)
+					i := sort.Search(len(list), func(k int) bool { return list[k] >= lo })
+					if i < len(list) && list[i] <= lo+30 {
+						p.Replaced16++
+					}
+				}
+			}
+		}
+	}
+	p.ASNs = len(unusedPerASN)
+	for a, n := range unusedPerASN {
+		if n == livesPerASN[a] {
+			p.NeverUsedASNs++
+		}
+	}
+	return p
+}
+
+// CountryDisproportion lists countries by unused-life count with their
+// unused fraction — the §6.3 China analysis.
+type CountryDisproportion struct {
+	CC             string
+	Unused, Total  int
+	UnusedFraction float64
+}
+
+// TopUnusedCountries ranks countries by unused administrative lives.
+func (p *UnusedProfile) TopUnusedCountries(n int) []CountryDisproportion {
+	out := make([]CountryDisproportion, 0, len(p.CountryUnused))
+	for cc, u := range p.CountryUnused {
+		t := p.CountryTotal[cc]
+		frac := 0.0
+		if t > 0 {
+			frac = float64(u) / float64(t)
+		}
+		out = append(out, CountryDisproportion{CC: cc, Unused: u, Total: t, UnusedFraction: frac})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Unused != out[j].Unused {
+			return out[i].Unused > out[j].Unused
+		}
+		return out[i].CC < out[j].CC
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// This file operationalizes the paper's §9 "practical relevance"
+// discussion: the dual-lens dataset as a near-realtime reference for
+// catching misconfigurations and malicious announcements — "e.g., by
+// filtering all ASNs that are not delegated".
+
+// Validator answers, for any day, whether an AS number was delegated —
+// the check §9 argues operators could apply to announcements.
+type Validator struct {
+	admin *AdminIndex
+}
+
+// NewValidator builds a delegation validator over the reconstructed
+// administrative lifetimes.
+func NewValidator(admin *AdminIndex) *Validator { return &Validator{admin: admin} }
+
+// DelegatedOn reports whether a was administratively delegated on day d.
+func (v *Validator) DelegatedOn(a asn.ASN, d dates.Day) bool {
+	for _, ai := range v.admin.Of(a) {
+		if v.admin.Lifetimes[ai].Span.Contains(d) {
+			return true
+		}
+	}
+	return false
+}
+
+// EverDelegated reports whether a appears anywhere in the delegation
+// record.
+func (v *Validator) EverDelegated(a asn.ASN) bool { return len(v.admin.Of(a)) > 0 }
+
+// EventKind classifies watch events.
+type EventKind uint8
+
+// Watch event kinds, ordered roughly by the §6 category they come from.
+const (
+	// EventDormantAwakening: an allocated ASN resumed announcing after a
+	// long dormancy with a short burst (§6.1.2's squat signature).
+	EventDormantAwakening EventKind = iota
+	// EventPostDeallocUse: an ASN appeared in BGP after its delegation
+	// ended (§6.4's abuse-of-returned-resources signature).
+	EventPostDeallocUse
+	// EventUndelegatedOrigin: a never-delegated ASN appeared in BGP.
+	EventUndelegatedOrigin
+	// EventLookalikeOrigin: the undelegated origin resembles an existing
+	// ASN (failed prepend or mistyped origin — §6.4's fat fingers).
+	EventLookalikeOrigin
+	// EventLargeASNLeak: an undelegated origin with more digits than any
+	// delegated ASN (internal numbering leaking out).
+	EventLargeASNLeak
+)
+
+var eventNames = [...]string{
+	"dormant-awakening", "post-deallocation-use", "undelegated-origin",
+	"lookalike-origin", "large-asn-leak",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one entry of the chronological anomaly feed.
+type Event struct {
+	Day    dates.Day // when the behaviour began
+	ASN    asn.ASN
+	Kind   EventKind
+	Span   intervals.Interval // the operational life involved
+	Victim asn.ASN            // resembled / squatted party, when known
+	Detail string
+}
+
+// WatchEvents derives the chronological anomaly feed from the joint
+// dataset: every §6 behaviour the paper highlights as operationally
+// actionable, ordered by start day.
+func (j *Joint) WatchEvents(squat SquatParams) []Event {
+	var out []Event
+
+	for _, f := range j.DetectDormantSquats(squat) {
+		e := Event{
+			Day: f.OpSpan.Start, ASN: f.ASN, Kind: EventDormantAwakening,
+			Span: f.OpSpan,
+			Detail: fmt.Sprintf("awoke after %d dormant days for %d days (%.1f%% of its administrative life), peaking at %d prefixes/day",
+				f.DormantDays, f.OpSpan.Days(), 100*f.RelDuration, f.PeakPrefixCount),
+		}
+		if len(f.Upstreams) > 0 {
+			e.Victim = 0
+			e.Detail += fmt.Sprintf("; main upstream AS%s", f.Upstreams[0])
+		}
+		out = append(out, e)
+	}
+
+	outside := j.Outside()
+	for _, f := range outside.Findings {
+		if f.Bogon {
+			continue
+		}
+		switch f.Kind {
+		case OutPostDealloc:
+			detail := "announced while not delegated"
+			if f.Hijack {
+				detail = fmt.Sprintf("announced %d days after deallocation and %s since any previous activity — hijack pattern",
+					f.DaysSinceDealloc, quietString(f.DaysSincePrevOp))
+			}
+			out = append(out, Event{
+				Day: f.Span.Start, ASN: f.ASN, Kind: EventPostDeallocUse,
+				Span: f.Span, Detail: detail,
+			})
+		case OutFatFingerPrepend:
+			out = append(out, Event{
+				Day: f.Span.Start, ASN: f.ASN, Kind: EventLookalikeOrigin,
+				Span: f.Span, Victim: f.Victim,
+				Detail: fmt.Sprintf("origin is AS%s written twice — failed prepend", f.Victim),
+			})
+		case OutFatFingerMOAS:
+			out = append(out, Event{
+				Day: f.Span.Start, ASN: f.ASN, Kind: EventLookalikeOrigin,
+				Span: f.Span, Victim: f.Victim,
+				Detail: fmt.Sprintf("one digit away from delegated AS%s — mistyped origin causing MOAS", f.Victim),
+			})
+		case OutLargeLeak:
+			out = append(out, Event{
+				Day: f.Span.Start, ASN: f.ASN, Kind: EventLargeASNLeak,
+				Span:   f.Span,
+				Detail: "more digits than any delegated ASN — internal numbering leaking",
+			})
+		default:
+			out = append(out, Event{
+				Day: f.Span.Start, ASN: f.ASN, Kind: EventUndelegatedOrigin,
+				Span: f.Span, Detail: "never delegated by any registry",
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, k int) bool {
+		if out[i].Day != out[k].Day {
+			return out[i].Day < out[k].Day
+		}
+		return out[i].ASN < out[k].ASN
+	})
+	return out
+}
+
+func quietString(days int) string {
+	if days < 0 {
+		return "never active"
+	}
+	return fmt.Sprintf("%d days", days)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/intervals"
+)
+
+func TestValidator(t *testing.T) {
+	admin := []AdminLifetime{
+		{ASN: 1, Span: iv("2010-01-01", "2012-01-01")},
+		{ASN: 1, Span: iv("2014-01-01", "2016-01-01")},
+	}
+	v := NewValidator(NewAdminIndex(admin))
+	if !v.DelegatedOn(1, d("2011-06-01")) || !v.DelegatedOn(1, d("2015-01-01")) {
+		t.Error("delegated days rejected")
+	}
+	if v.DelegatedOn(1, d("2013-01-01")) {
+		t.Error("gap day accepted")
+	}
+	if v.DelegatedOn(2, d("2011-01-01")) || v.EverDelegated(2) {
+		t.Error("unknown ASN accepted")
+	}
+	if !v.EverDelegated(1) {
+		t.Error("EverDelegated wrong")
+	}
+}
+
+func TestWatchEventsFeed(t *testing.T) {
+	admin := []AdminLifetime{
+		// Dormant squat host.
+		{ASN: 1, Span: iv("2005-01-01", "2016-01-01")},
+		// Deallocated 2010; used right after.
+		{ASN: 500, Span: iv("2005-01-01", "2010-01-01")},
+		// The fat-finger victim.
+		{ASN: 32026, Span: iv("2005-01-01", "2020-01-01")},
+	}
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		1:          {iv("2012-01-01", "2012-01-15")},
+		500:        {iv("2010-01-20", "2010-02-05")},
+		32026:      {iv("2005-02-01", "2019-01-01")},
+		3202632026: {iv("2015-01-01", "2015-01-10")},
+		290012147:  {iv("2015-01-01", "2017-01-01")},
+		77700:      {iv("2016-01-01", "2016-01-02")},
+	})
+	act.ASNs[3202632026].Upstreams = map[asn.ASN]int64{32026: 10}
+	j := joint(admin, act, 30)
+
+	events := j.WatchEvents(DefaultSquatParams())
+	byKind := map[EventKind]int{}
+	for i := 1; i < len(events); i++ {
+		if events[i].Day < events[i-1].Day {
+			t.Fatal("events not chronological")
+		}
+	}
+	for _, e := range events {
+		byKind[e.Kind]++
+		switch e.Kind {
+		case EventDormantAwakening:
+			if e.ASN != 1 || !strings.Contains(e.Detail, "dormant") {
+				t.Errorf("awakening event = %+v", e)
+			}
+		case EventPostDeallocUse:
+			if e.ASN != 500 || !strings.Contains(e.Detail, "hijack pattern") {
+				t.Errorf("post-dealloc event = %+v", e)
+			}
+		case EventLookalikeOrigin:
+			if e.ASN != 3202632026 || e.Victim != 32026 {
+				t.Errorf("lookalike event = %+v", e)
+			}
+		case EventLargeASNLeak:
+			if e.ASN != 290012147 {
+				t.Errorf("leak event = %+v", e)
+			}
+		case EventUndelegatedOrigin:
+			if e.ASN != 77700 {
+				t.Errorf("undelegated event = %+v", e)
+			}
+		}
+	}
+	for _, k := range []EventKind{EventDormantAwakening, EventPostDeallocUse,
+		EventLookalikeOrigin, EventLargeASNLeak, EventUndelegatedOrigin} {
+		if byKind[k] == 0 {
+			t.Errorf("no %s events in feed", k)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	if EventDormantAwakening.String() != "dormant-awakening" ||
+		EventLargeASNLeak.String() != "large-asn-leak" ||
+		EventKind(99).String() != "unknown" {
+		t.Error("event kind strings wrong")
+	}
+}

@@ -1,0 +1,56 @@
+package delegation
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+)
+
+func benchFile(b *testing.B, records int) string {
+	b.Helper()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "2|ripencc|20210301|%d|19930901|20210301|+0000\n", records)
+	fmt.Fprintf(&sb, "ripencc|*|asn|*|%d|summary\n", records)
+	for i := 0; i < records; i++ {
+		fmt.Fprintf(&sb, "ripencc|DE|asn|%d|1|20100101|allocated|o-%08x\n", 20000+i, i)
+	}
+	return sb.String()
+}
+
+func BenchmarkParse1kRecords(b *testing.B) {
+	text := benchFile(b, 1000)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(strings.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWrite1kRecords(b *testing.B) {
+	f := &File{
+		Version: "2", Registry: asn.RIPENCC, Serial: "20210301",
+		Start: dates.MustParse("1993-09-01"), End: dates.MustParse("2021-03-01"),
+		UTCOffset: "+0000", Extended: true,
+	}
+	for i := 0; i < 1000; i++ {
+		f.ASNs = append(f.ASNs, Record{
+			Registry: asn.RIPENCC, CC: "DE", ASN: asn.ASN(20000 + i), Count: 1,
+			Date: dates.MustParse("2010-01-01"), Status: StatusAllocated,
+			OpaqueID: "o-0000",
+		})
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if _, err := f.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

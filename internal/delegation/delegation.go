@@ -1,0 +1,367 @@
+// Package delegation implements the RIR statistics-exchange ("delegation
+// file") formats: the regular format the RIRs unified in 2004 and the NRO
+// extended format they adopted between 2008 and 2013 (§2 of the paper).
+//
+// A file is a header line, summary lines, and one record per resource:
+//
+//	header:  version|registry|serial|records|startdate|enddate|UTCoffset
+//	summary: registry|*|type|*|count|summary
+//	regular: registry|cc|type|start|value|date|status
+//	extended:registry|cc|type|start|value|date|status|opaque-id
+//
+// Records describe asn, ipv4 and ipv6 resources; this project analyzes
+// ASNs, so asn records are parsed into typed Records while ipv4/ipv6 rows
+// are preserved as opaque lines for faithful round-tripping.
+//
+// The package offers a strict parser (any malformed line is an error) and
+// a lenient parser that collects per-line errors and keeps going — the
+// mode the restoration pipeline uses, since real archives contain
+// corrupted files (§3.1).
+package delegation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+)
+
+// Status is the delegation status of a resource.
+type Status uint8
+
+// Resource statuses. Regular files use only Allocated/Assigned; the
+// extended format adds Available and Reserved.
+const (
+	StatusAvailable Status = iota
+	StatusAllocated
+	StatusAssigned
+	StatusReserved
+)
+
+var statusNames = [...]string{"available", "allocated", "assigned", "reserved"}
+
+// String returns the lower-case file token for the status.
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// ParseStatus maps a file token to a Status.
+func ParseStatus(tok string) (Status, error) {
+	for i, n := range statusNames {
+		if n == tok {
+			return Status(i), nil
+		}
+	}
+	return 0, fmt.Errorf("delegation: unknown status %q", tok)
+}
+
+// Delegated reports whether the status represents a resource held by an
+// organization (allocated or assigned), the paper's notion of an
+// administrative life being open.
+func (s Status) Delegated() bool { return s == StatusAllocated || s == StatusAssigned }
+
+// Record is one asn resource line.
+type Record struct {
+	Registry asn.RIR
+	CC       string  // ISO country code, empty for available/reserved
+	ASN      asn.ASN // first ASN of the block
+	Count    int     // block size (value column); 1 for single delegations
+	Date     dates.Day
+	Status   Status
+	OpaqueID string // extended format only
+}
+
+// Line renders the record in the given format.
+func (r Record) Line(extended bool) string {
+	var b strings.Builder
+	b.WriteString(r.Registry.Token())
+	b.WriteByte('|')
+	b.WriteString(r.CC)
+	b.WriteString("|asn|")
+	b.WriteString(r.ASN.String())
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(r.Count))
+	b.WriteByte('|')
+	if r.Date == dates.None && (r.Status == StatusAvailable || r.Status == StatusReserved) {
+		// Available/reserved rows conventionally carry an empty date in
+		// some registries' files; we emit the zero placeholder.
+		b.WriteString("00000000")
+	} else {
+		b.WriteString(r.Date.Compact())
+	}
+	b.WriteByte('|')
+	b.WriteString(r.Status.String())
+	if extended {
+		b.WriteByte('|')
+		b.WriteString(r.OpaqueID)
+	}
+	return b.String()
+}
+
+// Summary is one per-type summary line.
+type Summary struct {
+	Registry asn.RIR
+	Type     string
+	Count    int
+}
+
+// File is a parsed delegation file.
+type File struct {
+	Version   string
+	Registry  asn.RIR
+	Serial    string // conventionally the file date, YYYYMMDD
+	Records   int    // record count declared in the header
+	Start     dates.Day
+	End       dates.Day
+	UTCOffset string
+	Extended  bool
+	Summaries []Summary
+	ASNs      []Record
+	Other     []string // ipv4/ipv6 lines, preserved verbatim
+}
+
+// LineError describes one malformed line encountered by ParseLenient.
+type LineError struct {
+	Line int
+	Text string
+	Err  error
+}
+
+func (e LineError) Error() string {
+	return fmt.Sprintf("line %d: %v (%q)", e.Line, e.Err, e.Text)
+}
+
+// Parse reads a delegation file strictly: the first malformed line aborts
+// with an error identifying it.
+func Parse(r io.Reader) (*File, error) {
+	f, errs := ParseLenient(r)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return f, nil
+}
+
+// ParseLenient reads a delegation file, collecting per-line errors rather
+// than stopping. The returned file contains every line that parsed. A nil
+// file is returned only when the header itself is unusable.
+func ParseLenient(r io.Reader) (*File, []LineError) {
+	var errs []LineError
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var f *File
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if f == nil {
+			hdr, err := parseHeader(line)
+			if err != nil {
+				errs = append(errs, LineError{Line: lineNo, Text: line, Err: err})
+				continue
+			}
+			f = hdr
+			continue
+		}
+		if err := parseLine(f, line); err != nil {
+			errs = append(errs, LineError{Line: lineNo, Text: line, Err: err})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, LineError{Line: lineNo, Err: err})
+	}
+	if f == nil {
+		errs = append(errs, LineError{Line: 0, Err: fmt.Errorf("delegation: no header line")})
+	}
+	return f, errs
+}
+
+func parseHeader(line string) (*File, error) {
+	fields := strings.Split(line, "|")
+	if len(fields) != 7 {
+		return nil, fmt.Errorf("delegation: header has %d fields, want 7", len(fields))
+	}
+	rir, err := asn.ParseRIR(fields[1])
+	if err != nil {
+		return nil, err
+	}
+	records, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, fmt.Errorf("delegation: bad record count: %w", err)
+	}
+	start, err := dates.ParseCompact(fields[4])
+	if err != nil {
+		return nil, fmt.Errorf("delegation: bad start date: %w", err)
+	}
+	end, err := dates.ParseCompact(fields[5])
+	if err != nil {
+		return nil, fmt.Errorf("delegation: bad end date: %w", err)
+	}
+	return &File{
+		Version:   fields[0],
+		Registry:  rir,
+		Serial:    fields[2],
+		Records:   records,
+		Start:     start,
+		End:       end,
+		UTCOffset: fields[6],
+	}, nil
+}
+
+func parseLine(f *File, line string) error {
+	fields := strings.Split(line, "|")
+	if len(fields) >= 6 && fields[1] == "*" && fields[3] == "*" {
+		// Summary line: registry|*|type|*|count|summary
+		count, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return fmt.Errorf("delegation: bad summary count: %w", err)
+		}
+		rir, err := asn.ParseRIR(fields[0])
+		if err != nil {
+			return err
+		}
+		f.Summaries = append(f.Summaries, Summary{Registry: rir, Type: fields[2], Count: count})
+		return nil
+	}
+	if len(fields) < 7 {
+		return fmt.Errorf("delegation: record has %d fields, want >= 7", len(fields))
+	}
+	typ := fields[2]
+	if typ != "asn" {
+		if typ != "ipv4" && typ != "ipv6" {
+			return fmt.Errorf("delegation: unknown resource type %q", typ)
+		}
+		f.Other = append(f.Other, line)
+		return nil
+	}
+	rir, err := asn.ParseRIR(fields[0])
+	if err != nil {
+		return err
+	}
+	a, err := asn.Parse(fields[3])
+	if err != nil {
+		return err
+	}
+	count, err := strconv.Atoi(fields[4])
+	if err != nil || count < 1 {
+		return fmt.Errorf("delegation: bad value column %q", fields[4])
+	}
+	var date dates.Day
+	if fields[5] == "" {
+		date = dates.None
+	} else if date, err = dates.ParseCompact(fields[5]); err != nil {
+		return err
+	}
+	status, err := ParseStatus(fields[6])
+	if err != nil {
+		return err
+	}
+	rec := Record{
+		Registry: rir,
+		CC:       fields[1],
+		ASN:      a,
+		Count:    count,
+		Date:     date,
+		Status:   status,
+	}
+	if len(fields) >= 8 {
+		rec.OpaqueID = fields[7]
+		f.Extended = true
+	}
+	f.ASNs = append(f.ASNs, rec)
+	return nil
+}
+
+// WriteTo serializes the file. Records are emitted in ascending ASN order
+// for determinism; the header record count is recomputed from contents.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(s string) error {
+		m, err := bw.WriteString(s)
+		n += int64(m)
+		if err != nil {
+			return err
+		}
+		m, err = bw.WriteString("\n")
+		n += int64(m)
+		return err
+	}
+
+	recs := make([]Record, len(f.ASNs))
+	copy(recs, f.ASNs)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ASN < recs[j].ASN })
+
+	total := len(recs) + len(f.Other)
+	header := fmt.Sprintf("%s|%s|%s|%d|%s|%s|%s",
+		f.Version, f.Registry.Token(), f.Serial, total,
+		f.Start.Compact(), f.End.Compact(), f.UTCOffset)
+	if err := write(header); err != nil {
+		return n, err
+	}
+	if len(f.Summaries) == 0 {
+		// Synthesize the asn summary when the caller did not provide one.
+		if err := write(fmt.Sprintf("%s|*|asn|*|%d|summary", f.Registry.Token(), len(recs))); err != nil {
+			return n, err
+		}
+	}
+	for _, s := range f.Summaries {
+		if err := write(fmt.Sprintf("%s|*|%s|*|%d|summary", s.Registry.Token(), s.Type, s.Count)); err != nil {
+			return n, err
+		}
+	}
+	for _, r := range recs {
+		if err := write(r.Line(f.Extended)); err != nil {
+			return n, err
+		}
+	}
+	for _, line := range f.Other {
+		if err := write(line); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// DelegatedASNs returns the individual ASNs covered by delegated
+// (allocated or assigned) records, expanding blocks. The slice is sorted.
+func (f *File) DelegatedASNs() []asn.ASN {
+	var out []asn.ASN
+	for _, r := range f.ASNs {
+		if !r.Status.Delegated() {
+			continue
+		}
+		for i := 0; i < r.Count; i++ {
+			out = append(out, r.ASN+asn.ASN(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Expand returns one Record per individual ASN, splitting block records
+// (Count > 1, as APNIC emits for NIR block delegations) into unit records
+// sharing date, status and opaque id.
+func (f *File) Expand() []Record {
+	out := make([]Record, 0, len(f.ASNs))
+	for _, r := range f.ASNs {
+		for i := 0; i < r.Count; i++ {
+			unit := r
+			unit.ASN = r.ASN + asn.ASN(i)
+			unit.Count = 1
+			out = append(out, unit)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}

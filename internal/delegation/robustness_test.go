@@ -1,0 +1,47 @@
+package delegation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseLenientSurvivesRandomMutation mutates a valid file at random
+// and asserts the lenient parser never panics and keeps whatever lines
+// still parse.
+func TestParseLenientSurvivesRandomMutation(t *testing.T) {
+	base := `2|ripencc|20210301|3|19930901|20210301|+0100
+ripencc|*|asn|*|3|summary
+ripencc|FR|asn|2200|1|19930901|allocated|opq-001
+ripencc|IT|asn|205334|1|20170920|allocated|opq-002
+ripencc||asn|205335|1|00000000|available|
+`
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		b := []byte(base)
+		for k := 0; k < 1+r.Intn(8); k++ {
+			b[r.Intn(len(b))] = byte(r.Intn(128))
+		}
+		if r.Intn(4) == 0 {
+			b = b[:r.Intn(len(b))]
+		}
+		f, errs := ParseLenient(strings.NewReader(string(b)))
+		if f == nil && len(errs) == 0 {
+			t.Fatal("nil file must come with errors")
+		}
+	}
+}
+
+// TestParseLenientHugeLine exercises the scanner's buffer limits.
+func TestParseLenientHugeLine(t *testing.T) {
+	input := "2|arin|20040101|1|19840101|20040101|-0500\n" +
+		"arin|US|asn|701|1|19900801|allocated\n" +
+		strings.Repeat("x", 1<<19) + "\n"
+	f, errs := ParseLenient(strings.NewReader(input))
+	if f == nil || len(f.ASNs) != 1 {
+		t.Fatalf("file = %v", f)
+	}
+	if len(errs) == 0 {
+		t.Error("the huge junk line should report an error")
+	}
+}

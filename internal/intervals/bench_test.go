@@ -1,0 +1,44 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+
+	"parallellives/internal/dates"
+)
+
+func benchSets(n int) (Set, Set) {
+	r := rand.New(rand.NewSource(1))
+	mk := func() Set {
+		days := make([]dates.Day, n)
+		for i := range days {
+			days[i] = dates.Day(50000 + r.Intn(n*3))
+		}
+		return FromDays(days)
+	}
+	return mk(), mk()
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	x, y := benchSets(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Intersect(y)
+	}
+}
+
+func BenchmarkSubtract(b *testing.B) {
+	x, y := benchSets(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Subtract(y)
+	}
+}
+
+func BenchmarkSplitByTimeout(b *testing.B) {
+	x, _ := benchSets(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.SplitByTimeout(30)
+	}
+}

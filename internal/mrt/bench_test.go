@@ -1,0 +1,85 @@
+package mrt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgp"
+)
+
+func benchRIBBody(b *testing.B) []byte {
+	b.Helper()
+	u := &bgp.Update{
+		Path: []bgp.Segment{{Type: bgp.SegmentSequence,
+			ASNs: []asn.ASN{3356, 174, 64500}}},
+		NextHop:   netip.MustParseAddr("192.0.2.1"),
+		HasOrigin: true,
+	}
+	attrs := u.MarshalAttrs(true)
+	rec := &RIBRecord{
+		Seq:    1,
+		Prefix: netip.MustParsePrefix("203.0.113.0/24"),
+		Entries: []RIBEntry{
+			{PeerIndex: 0, OriginatedTime: 1, Attrs: attrs},
+			{PeerIndex: 1, OriginatedTime: 1, Attrs: attrs},
+			{PeerIndex: 2, OriginatedTime: 1, Attrs: attrs},
+			{PeerIndex: 3, OriginatedTime: 1, Attrs: attrs},
+		},
+	}
+	return rec.Marshal()
+}
+
+func BenchmarkRIBRecordDecode(b *testing.B) {
+	body := benchRIBBody(b)
+	var rec RIBRecord
+	b.ReportAllocs()
+	b.SetBytes(int64(len(body)))
+	for i := 0; i < b.N; i++ {
+		if err := DecodeRIBRecord(&rec, body, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRIBRecordEncode(b *testing.B) {
+	body := benchRIBBody(b)
+	var rec RIBRecord
+	if err := DecodeRIBRecord(&rec, body, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rec.Marshal()
+	}
+}
+
+func BenchmarkReaderThroughput(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	body := benchRIBBody(b)
+	for i := 0; i < 1000; i++ {
+		if err := w.WriteRecord(uint32(i), TypeTableDumpV2, SubtypeRIBIPv4Unicast, body); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(bytes.NewReader(data))
+		n := 0
+		for {
+			_, _, err := r.Next()
+			if err != nil {
+				break
+			}
+			n++
+		}
+		if n != 1000 {
+			b.Fatalf("read %d records", n)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package pipeline wires the full Figure 1 flow together: world
+// simulation → delegation archive (+restoration) on the administrative
+// side, collector rendering (+scanning) on the operational side, then
+// lifetime construction and the joint analysis. Commands, examples,
+// tests and benchmarks all drive the system through this package.
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/collector"
+	"parallellives/internal/core"
+	"parallellives/internal/registry"
+	"parallellives/internal/restore"
+	"parallellives/internal/worldsim"
+)
+
+// Options selects the data fidelity and thresholds of a run.
+type Options struct {
+	// World configures the simulated ground truth.
+	World worldsim.Config
+	// Wire routes all BGP data through binary MRT encode/decode; off, the
+	// scanner consumes the collector's observations directly (identical
+	// results, verified by tests — wire mode simply exercises the codec).
+	Wire bool
+	// TextFiles routes all delegation data through file-text
+	// serialization and lenient re-parsing.
+	TextFiles bool
+	// Timeout is the operational inactivity timeout (0 = the paper's 30).
+	Timeout int
+	// Visibility is the minimum distinct-peer threshold (0 = the
+	// paper's 2).
+	Visibility int
+}
+
+// DefaultOptions runs the paper's configuration at the default scale.
+func DefaultOptions() Options {
+	return Options{
+		World:      worldsim.DefaultConfig(),
+		Wire:       false,
+		TextFiles:  true,
+		Timeout:    core.DefaultInactivityTimeout,
+		Visibility: bgpscan.MinPeerVisibility,
+	}
+}
+
+// Dataset is the fully built dual-lens dataset.
+type Dataset struct {
+	Options    Options
+	World      *worldsim.World
+	Archive    *registry.Archive
+	Restored   *restore.Result
+	Activity   *bgpscan.Activity
+	Admin      *core.AdminIndex
+	AdminStats core.AdminStats
+	Ops        *core.OpIndex
+	Joint      *core.Joint
+}
+
+// Run executes the full pipeline.
+func Run(opts Options) (*Dataset, error) {
+	if opts.Timeout == 0 {
+		opts.Timeout = core.DefaultInactivityTimeout
+	}
+	if opts.Visibility == 0 {
+		opts.Visibility = bgpscan.MinPeerVisibility
+	}
+	ds := &Dataset{Options: opts}
+	ds.World = worldsim.Generate(opts.World)
+	ds.Archive = registry.Build(ds.World)
+
+	// Administrative dimension: restore the archive, build lifetimes.
+	sources := make([]registry.Source, 0, asn.NumRIRs)
+	for _, r := range asn.All() {
+		if opts.TextFiles {
+			sources = append(sources, ds.Archive.TextSource(r))
+		} else {
+			sources = append(sources, ds.Archive.Source(r))
+		}
+	}
+	ds.Restored = restore.Restore(sources, ds.Archive.ERXReference())
+	lifetimes, stats := core.BuildAdminLifetimes(ds.Restored)
+	ds.Admin = core.NewAdminIndex(lifetimes)
+	ds.AdminStats = stats
+
+	// Operational dimension: scan the collectors.
+	act, err := scan(ds.World, opts)
+	if err != nil {
+		return nil, err
+	}
+	ds.Activity = act
+	ds.Ops = core.BuildOpLifetimes(act, opts.Timeout)
+
+	ds.Joint = core.Analyze(ds.Admin, ds.Ops)
+	return ds, nil
+}
+
+// scan runs the operational side of the pipeline.
+func scan(w *worldsim.World, opts Options) (*bgpscan.Activity, error) {
+	inf := collector.New(w)
+	s := bgpscan.NewScannerWithVisibility(opts.Visibility)
+	it := inf.Iter()
+	for it.Next() {
+		if err := s.BeginDay(it.Day()); err != nil {
+			return nil, err
+		}
+		if opts.Wire {
+			ribs, updates, err := it.MRT()
+			if err != nil {
+				return nil, err
+			}
+			for _, rib := range ribs {
+				if err := s.ObserveMRT(rib); err != nil {
+					return nil, err
+				}
+			}
+			for _, upd := range updates {
+				if err := s.ObserveMRT(upd); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			for _, o := range it.Observations() {
+				s.ObserveRoutes(o.Prefixes, o.Path)
+			}
+		}
+		if err := s.EndDay(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finish(), nil
+}
+
+// Cones exposes the world's customer-cone ground truth as the ASRank
+// substitute consumed by the §6.2 analysis.
+type Cones struct {
+	sizes map[asn.ASN]int
+}
+
+// Cones builds the cone table for the dataset's world.
+func (ds *Dataset) Cones() *Cones {
+	c := &Cones{sizes: make(map[asn.ASN]int)}
+	for _, l := range ds.World.Lives {
+		c.sizes[l.ASN] = ds.World.Orgs[l.OrgID].ConeSize
+	}
+	return c
+}
+
+// ConeSize implements core.ConeProvider.
+func (c *Cones) ConeSize(a asn.ASN) (int, bool) {
+	n, ok := c.sizes[a]
+	return n, ok
+}
+
+// adminRecord matches the paper's Listing 1 administrative dataset.
+type adminRecord struct {
+	ASN       asn.ASN `json:"ASN"`
+	RegDate   string  `json:"regDate"`
+	StartDate string  `json:"startdate"`
+	EndDate   string  `json:"enddate"`
+	Status    string  `json:"status"`
+	Registry  string  `json:"registry"`
+}
+
+// opRecord matches the paper's Listing 1 operational dataset.
+type opRecord struct {
+	ASN       asn.ASN `json:"ASN"`
+	StartDate string  `json:"startdate"`
+	EndDate   string  `json:"enddate"`
+}
+
+// WriteAdminJSON writes the administrative dataset in the paper's
+// published JSON shape (Listing 1).
+func (ds *Dataset) WriteAdminJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, l := range ds.Admin.Lifetimes {
+		rec := adminRecord{
+			ASN:       l.ASN,
+			RegDate:   l.RegDate.String(),
+			StartDate: l.Span.Start.String(),
+			EndDate:   l.Span.End.String(),
+			Status:    "allocated",
+			Registry:  l.RIR.Token(),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("pipeline: encoding admin dataset: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteOpJSON writes the operational dataset (Listing 1).
+func (ds *Dataset) WriteOpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, l := range ds.Ops.Lifetimes {
+		rec := opRecord{
+			ASN:       l.ASN,
+			StartDate: l.Span.Start.String(),
+			EndDate:   l.Span.End.String(),
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return fmt.Errorf("pipeline: encoding op dataset: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/delegation"
+)
+
+// DirSource streams delegation files from a directory on disk, so the
+// restoration pipeline can run over real downloaded archives (or the
+// files this package exports). Files must be named the way the RIR FTP
+// sites name them:
+//
+//	delegated-<registry>-<YYYYMMDD>            (regular format)
+//	delegated-<registry>-extended-<YYYYMMDD>   (extended format)
+//
+// Days present in neither form are reported as missing snapshots, which
+// the restoration's step (i) bridges. Unparseable files are treated as
+// corrupt (also missing).
+type DirSource struct {
+	rir  asn.RIR
+	dir  string
+	days []dates.Day
+	reg  map[dates.Day]string
+	ext  map[dates.Day]string
+	i    int
+}
+
+// NewDirSource scans dir for one registry's delegation files.
+func NewDirSource(dir string, rir asn.RIR) (*DirSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading archive dir: %w", err)
+	}
+	s := &DirSource{
+		rir: rir, dir: dir,
+		reg: make(map[dates.Day]string),
+		ext: make(map[dates.Day]string),
+	}
+	prefix := "delegated-" + rir.Token() + "-"
+	extPrefix := prefix + "extended-"
+	seen := make(map[dates.Day]bool)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		var dateStr string
+		var extended bool
+		switch {
+		case len(name) >= len(extPrefix)+8 && name[:len(extPrefix)] == extPrefix:
+			dateStr, extended = name[len(extPrefix):len(extPrefix)+8], true
+		case len(name) >= len(prefix)+8 && name[:len(prefix)] == prefix:
+			dateStr, extended = name[len(prefix):len(prefix)+8], false
+		default:
+			continue
+		}
+		d, err := dates.ParseCompact(dateStr)
+		if err != nil || d == dates.None {
+			continue
+		}
+		if extended {
+			s.ext[d] = name
+		} else {
+			s.reg[d] = name
+		}
+		if !seen[d] {
+			seen[d] = true
+			s.days = append(s.days, d)
+		}
+	}
+	if len(s.days) == 0 {
+		return nil, fmt.Errorf("registry: no %s delegation files in %s", rir.Token(), dir)
+	}
+	sort.Slice(s.days, func(i, j int) bool { return s.days[i] < s.days[j] })
+	// Fill the day grid so missing days are surfaced to the restoration.
+	first, last := s.days[0], s.days[len(s.days)-1]
+	s.days = s.days[:0]
+	for d := first; d <= last; d = d.AddDays(1) {
+		s.days = append(s.days, d)
+	}
+	return s, nil
+}
+
+// Registry implements Source.
+func (s *DirSource) Registry() asn.RIR { return s.rir }
+
+// Next implements Source.
+func (s *DirSource) Next() (Snapshot, bool) {
+	if s.i >= len(s.days) {
+		return Snapshot{}, false
+	}
+	d := s.days[s.i]
+	s.i++
+	return Snapshot{
+		Day:      d,
+		Regular:  s.load(s.reg[d]),
+		Extended: s.load(s.ext[d]),
+	}, true
+}
+
+// load parses one file leniently; unusable files read as nil.
+func (s *DirSource) load(name string) *delegation.File {
+	if name == "" {
+		return nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	parsed, _ := delegation.ParseLenient(f)
+	if parsed == nil || (len(parsed.ASNs) == 0 && len(parsed.Other) == 0) {
+		return nil
+	}
+	return parsed
+}
+
+// ExportDir writes the archive's files for [from, to] into dir using the
+// RIR FTP naming convention, producing an on-disk archive NewDirSource
+// can read back. Corrupt days are written with their mangled bytes;
+// missing days are skipped.
+func (a *Archive) ExportDir(dir string, from, to dates.Day) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, r := range asn.All() {
+		for d := from; d <= to; d = d.AddDays(1) {
+			for _, extended := range []bool{false, true} {
+				name := "delegated-" + r.Token() + "-"
+				if extended {
+					name += "extended-"
+				}
+				name += d.Compact()
+				path := filepath.Join(dir, name)
+				switch a.Status(r, d, extended) {
+				case FileAbsent:
+					continue
+				case FileCorrupt:
+					if err := os.WriteFile(path, a.CorruptBytes(r, d, extended), 0o644); err != nil {
+						return err
+					}
+				case FilePresent:
+					f, err := os.Create(path)
+					if err != nil {
+						return err
+					}
+					if _, err := a.buildFile(r, d, extended).WriteTo(f); err != nil {
+						f.Close()
+						return err
+					}
+					if err := f.Close(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

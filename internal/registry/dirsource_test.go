@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/worldsim"
+)
+
+func TestExportDirRoundTrip(t *testing.T) {
+	cfg := worldsim.DefaultConfig()
+	cfg.Scale = 0.01
+	cfg.Start = dates.MustParse("2004-01-01")
+	cfg.End = dates.MustParse("2004-06-30")
+	w := worldsim.Generate(cfg)
+	a := Build(w)
+
+	dir := t.TempDir()
+	from := dates.MustParse("2004-02-01")
+	to := dates.MustParse("2004-03-31")
+	if err := a.ExportDir(dir, from, to); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, r := range []asn.RIR{asn.APNIC, asn.ARIN} {
+		src, err := NewDirSource(dir, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.Registry() != r {
+			t.Fatal("wrong registry")
+		}
+		direct := a.Source(r)
+		// Skip the direct source ahead to the export window.
+		var dsnap Snapshot
+		for {
+			var ok bool
+			dsnap, ok = direct.Next()
+			if !ok {
+				t.Fatal("direct source exhausted early")
+			}
+			if dsnap.Day >= from {
+				break
+			}
+		}
+		days := 0
+		for {
+			fsnap, ok := src.Next()
+			if !ok {
+				break
+			}
+			if fsnap.Day != dsnap.Day {
+				t.Fatalf("day mismatch: %v vs %v", fsnap.Day, dsnap.Day)
+			}
+			if (fsnap.Regular == nil) != (dsnap.Regular == nil) {
+				t.Fatalf("%v regular presence differs", fsnap.Day)
+			}
+			if fsnap.Regular != nil && len(fsnap.Regular.ASNs) != len(dsnap.Regular.ASNs) {
+				t.Fatalf("%v regular record count differs: %d vs %d",
+					fsnap.Day, len(fsnap.Regular.ASNs), len(dsnap.Regular.ASNs))
+			}
+			days++
+			var ok2 bool
+			dsnap, ok2 = direct.Next()
+			if !ok2 && days < to.Sub(from) {
+				t.Fatal("direct source ended early")
+			}
+		}
+		if days < 50 {
+			t.Fatalf("only %d days streamed", days)
+		}
+	}
+}
+
+func TestNewDirSourceErrors(t *testing.T) {
+	if _, err := NewDirSource(t.TempDir(), asn.APNIC); err == nil {
+		t.Error("empty dir should fail")
+	}
+	if _, err := NewDirSource("/nonexistent-path-xyz", asn.APNIC); err == nil {
+		t.Error("missing dir should fail")
+	}
+}
+
+func TestDirSourceSkipsForeignAndJunkFiles(t *testing.T) {
+	dir := t.TempDir()
+	// One valid APNIC file, one RIPE file, one junk file, one unparseable.
+	valid := "2|apnic|20040101|1|19930901|20040101|+1000\napnic|JP|asn|38500|1|20040101|allocated\n"
+	if err := os.WriteFile(filepath.Join(dir, "delegated-apnic-20040101"), []byte(valid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "delegated-ripencc-20040101"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "delegated-apnic-20040102"), []byte("garbage|file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewDirSource(dir, asn.APNIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := src.Next()
+	if !ok || snap.Regular == nil || len(snap.Regular.ASNs) != 1 {
+		t.Fatalf("first snapshot = %+v, ok=%v", snap, ok)
+	}
+	snap, ok = src.Next()
+	if !ok || snap.Regular != nil {
+		t.Fatalf("garbage file should read as missing: %+v", snap)
+	}
+	if _, ok := src.Next(); ok {
+		t.Error("source should end after the last named day")
+	}
+}

@@ -1,0 +1,158 @@
+package registry
+
+import (
+	"bytes"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/delegation"
+)
+
+// dropped reports whether ASN x is suppressed from r's extended file on d.
+func (a *Archive) dropped(r asn.RIR, x asn.ASN, d dates.Day) bool {
+	for _, ep := range a.dropEpisodes[r] {
+		if ep.Days.Contains(d) && x >= ep.ALo && x <= ep.AHi {
+			return true
+		}
+	}
+	return false
+}
+
+// Snapshot is one registry-day of delegation data: either file may be nil
+// when absent or unparseable.
+type Snapshot struct {
+	Day      dates.Day
+	Regular  *delegation.File
+	Extended *delegation.File
+}
+
+// Source streams one registry's snapshots in day order — the interface
+// the restoration pipeline consumes. Implementations outside this package
+// can feed the pipeline from real archives.
+type Source interface {
+	Registry() asn.RIR
+	// Next returns the next day's snapshot; ok is false at end of stream.
+	Next() (Snapshot, bool)
+}
+
+// directSource yields file objects straight from the archive.
+type directSource struct {
+	a   *Archive
+	rir asn.RIR
+	day dates.Day
+}
+
+// Source returns a Source yielding materialized file objects, one day at
+// a time from the registry's first file date (clamped to the archive
+// window, so truncated-window configurations do not emit empty
+// pre-window files) to the window end.
+func (a *Archive) Source(r asn.RIR) Source {
+	return &directSource{a: a, rir: r, day: dates.Max(firstRegular[r], a.start)}
+}
+
+func (s *directSource) Registry() asn.RIR { return s.rir }
+
+func (s *directSource) Next() (Snapshot, bool) {
+	_, end := s.a.Window()
+	if s.day > end {
+		return Snapshot{}, false
+	}
+	d := s.day
+	s.day = s.day.AddDays(1)
+	return Snapshot{
+		Day:      d,
+		Regular:  s.a.File(s.rir, d, false),
+		Extended: s.a.File(s.rir, d, true),
+	}, true
+}
+
+// textSource serializes each file to delegation-file text and re-parses
+// it leniently — the full wire-format round trip, including corrupt days
+// whose mangled bytes fail to parse.
+type textSource struct {
+	a   *Archive
+	rir asn.RIR
+	day dates.Day
+	buf bytes.Buffer
+}
+
+// TextSource returns a Source that round-trips every file through its
+// textual delegation-file form before yielding it.
+func (a *Archive) TextSource(r asn.RIR) Source {
+	return &textSource{a: a, rir: r, day: dates.Max(firstRegular[r], a.start)}
+}
+
+func (s *textSource) Registry() asn.RIR { return s.rir }
+
+func (s *textSource) Next() (Snapshot, bool) {
+	_, end := s.a.Window()
+	if s.day > end {
+		return Snapshot{}, false
+	}
+	d := s.day
+	s.day = s.day.AddDays(1)
+	return Snapshot{
+		Day:      d,
+		Regular:  s.roundTrip(d, false),
+		Extended: s.roundTrip(d, true),
+	}, true
+}
+
+func (s *textSource) roundTrip(d dates.Day, extended bool) *delegation.File {
+	switch s.a.Status(s.rir, d, extended) {
+	case FileAbsent:
+		return nil
+	case FileCorrupt:
+		// Corrupt files exist on disk but do not survive parsing; the
+		// pipeline treats them like missing days.
+		f, _ := delegation.ParseLenient(bytes.NewReader(s.a.CorruptBytes(s.rir, d, extended)))
+		if f != nil && len(f.ASNs) > 0 {
+			return f
+		}
+		return nil
+	}
+	f := s.a.buildFile(s.rir, d, extended)
+	s.buf.Reset()
+	if _, err := f.WriteTo(&s.buf); err != nil {
+		return nil
+	}
+	parsed, _ := delegation.ParseLenient(bytes.NewReader(s.buf.Bytes()))
+	return parsed
+}
+
+// CorruptBytes renders the mangled content of a corrupt file day: a
+// truncated file with a broken header, as found in real archives.
+func (a *Archive) CorruptBytes(r asn.RIR, d dates.Day, extended bool) []byte {
+	f := a.buildFile(r, d, extended)
+	if f == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if _, err := f.WriteTo(&buf); err != nil {
+		return nil
+	}
+	b := buf.Bytes()
+	// Chop the file mid-line and damage the header's field separators.
+	if len(b) > 40 {
+		b = b[:len(b)/3]
+	}
+	for i := 0; i < len(b) && i < 30; i++ {
+		if b[i] == '|' {
+			b[i] = '&'
+		}
+	}
+	return b
+}
+
+// FileCount returns the number of days with at least one retrievable
+// (even if corrupt) delegation file for the registry — the archive
+// inventory reported in Table 1.
+func (a *Archive) FileCount(r asn.RIR) int {
+	n := 0
+	for d := firstRegular[r]; d <= a.end; d = d.AddDays(1) {
+		if a.Status(r, d, false) != FileAbsent || a.Status(r, d, true) != FileAbsent {
+			n++
+		}
+	}
+	return n
+}

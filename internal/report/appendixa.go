@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/restore"
+)
+
+// AppendixA16Bit is the Appendix A 16-bit exhaustion analysis: when each
+// registry's count of allocated 16-bit ASNs peaked, and the global peak.
+type AppendixA16Bit struct {
+	PerRIR [asn.NumRIRs]struct {
+		PeakDay   dates.Day
+		PeakCount int
+	}
+	GlobalPeakDay   dates.Day
+	GlobalPeakCount int
+	// EndCounts are the final-day allocated 16-bit counts, showing how
+	// much 16-bit space stays occupied after the 32-bit transition.
+	EndCounts [asn.NumRIRs]int
+}
+
+// BuildAppendixA16Bit scans the restored runs for 16-bit occupancy.
+func BuildAppendixA16Bit(res *restore.Result, start, end dates.Day) AppendixA16Bit {
+	n := end.Sub(start) + 1
+	var per [asn.NumRIRs][]int
+	for r := range per {
+		per[r] = make([]int, n)
+	}
+	for _, run := range res.Runs {
+		if !run.Delegated() || run.ASN.Is32Bit() {
+			continue
+		}
+		lo := dates.Max(run.Span.Start, start)
+		hi := dates.Min(run.Span.End, end)
+		for d := lo; d <= hi; d++ {
+			per[run.RIR][d.Sub(start)]++
+		}
+	}
+	var a AppendixA16Bit
+	globalBest := -1
+	for off := 0; off < n; off++ {
+		total := 0
+		for _, r := range asn.All() {
+			c := per[r][off]
+			total += c
+			if c > a.PerRIR[r].PeakCount {
+				a.PerRIR[r].PeakCount = c
+				a.PerRIR[r].PeakDay = start.AddDays(off)
+			}
+		}
+		if total > globalBest {
+			globalBest = total
+			a.GlobalPeakDay = start.AddDays(off)
+			a.GlobalPeakCount = total
+		}
+	}
+	for _, r := range asn.All() {
+		a.EndCounts[r] = per[r][n-1]
+	}
+	return a
+}
+
+// Text renders the summary.
+func (a AppendixA16Bit) Text() string {
+	var b strings.Builder
+	rows := make([][]string, 0, asn.NumRIRs)
+	for _, r := range asn.All() {
+		rows = append(rows, []string{
+			r.String(), a.PerRIR[r].PeakDay.String(), itoa(a.PerRIR[r].PeakCount),
+			itoa(a.EndCounts[r]),
+		})
+	}
+	b.WriteString(textTable("Appendix A: 16-bit ASN occupancy peaks",
+		[]string{"RIR", "Peak day", "Peak 16-bit allocated", "At window end"}, rows))
+	fmt.Fprintf(&b, "global 16-bit peak: %d allocated on %s\n",
+		a.GlobalPeakCount, a.GlobalPeakDay)
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/core"
+)
+
+// Extensions summarizes the §8/§9 methodology extensions implemented
+// beyond the paper's headline pipeline: the origination/transit role
+// split of operational lifetimes, and the prefix-aware lifetime
+// segmentation.
+type Extensions struct {
+	Roles core.RoleProfile
+	// TimeoutOnly / PrefixAware are the operational lifetime counts under
+	// the plain 30-day rule and the prefix-turnover refinement.
+	TimeoutOnly, PrefixAware int
+	// ExtraSplits is how many additional lifetimes the refinement finds —
+	// bridged gaps whose announced prefix set changed completely.
+	ExtraSplits int
+}
+
+// BuildExtensions computes both extensions over the scanned activity.
+func BuildExtensions(act *bgpscan.Activity, ops *core.OpIndex) Extensions {
+	e := Extensions{
+		Roles:       ops.Roles(),
+		TimeoutOnly: len(ops.Lifetimes),
+	}
+	aware := core.BuildOpLifetimesPrefixAware(act, ops.Timeout, 5)
+	e.PrefixAware = len(aware.Lifetimes)
+	e.ExtraSplits = e.PrefixAware - e.TimeoutOnly
+	return e
+}
+
+// Text renders the summary.
+func (e Extensions) Text() string {
+	var b strings.Builder
+	b.WriteString("Extensions (paper §8/§9 future work)\n")
+	fmt.Fprintf(&b, "operational lifetime roles: origin-only %d, transit-only %d, mixed %d (transit-day share %s)\n",
+		e.Roles.OriginOnly, e.Roles.TransitOnly, e.Roles.Mixed, pct(e.Roles.TransitDaysShare))
+	fmt.Fprintf(&b, "prefix-aware segmentation: %d lifetimes vs %d timeout-only (%d extra splits from prefix turnover)\n",
+		e.PrefixAware, e.TimeoutOnly, e.ExtraSplits)
+	return b.String()
+}

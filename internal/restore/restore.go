@@ -1,0 +1,500 @@
+// Package restore implements the paper's §3.1 restoration of delegation
+// archives: it scans each registry's daily files in order and rebuilds
+// per-ASN status timelines while repairing the archive's error classes —
+//
+//	(i)   bridging missing or corrupted file days,
+//	(ii)  recovering record groups that vanish from extended files by
+//	      falling back to the same day's regular file,
+//	(iii) reconciling same-day regular/extended divergence in favour of
+//	      the newer (extended) file,
+//	(iv)  resolving duplicate records with inconsistent status by
+//	      continuity with the previous day,
+//	(v)   repairing registration dates that sit in the future, travel
+//	      back in time, or show the RIPE 1993-09-01 placeholder (using
+//	      the ERX reference data), and
+//	(vi)  removing inter-RIR inconsistencies: stale records kept by the
+//	      origin registry after a transfer, and mistaken allocations of
+//	      ASNs outside the registry's IANA blocks.
+//
+// The output is a set of status runs — the cleaned daily view the §4.1
+// lifetime construction consumes — plus a report counting every repair.
+package restore
+
+import (
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/delegation"
+	"parallellives/internal/intervals"
+	"parallellives/internal/registry"
+)
+
+// ripePlaceholder is the placeholder registration date of §3.1 step (v).
+var ripePlaceholder = dates.MustParse("1993-09-01")
+
+// Run is one contiguous span of days over which an ASN held a constant
+// delegation status in one registry's (restored) files.
+type Run struct {
+	ASN      asn.ASN
+	RIR      asn.RIR
+	Status   delegation.Status // StatusAllocated/StatusAssigned/StatusReserved
+	CC       string
+	OpaqueID string
+	// RegDate is the restored registration date; FirstRegDate is the
+	// earliest raw date observed before repair, kept for auditability.
+	RegDate      dates.Day
+	FirstRegDate dates.Day
+	Span         intervals.Interval
+	// OpenAtEnd marks runs still present in the last file scanned.
+	OpenAtEnd bool
+}
+
+// Delegated reports whether the run represents a held resource.
+func (r Run) Delegated() bool { return r.Status.Delegated() }
+
+// Report counts the repairs performed, mirroring §3.1's inventory.
+type Report struct {
+	FilesScanned          int
+	MissingFileDays       int
+	GapBridgedASNDays     int64
+	RecoveredFromRegular  int64
+	DivergenceReconciled  int64
+	DuplicatesResolved    int
+	FutureDatesFixed      int
+	PlaceholdersRestored  int
+	BackTravelFixed       int
+	RegDateCorrections    int
+	StaleTransferRunsCut  int
+	MistakenRecordsDroped int
+}
+
+// Result is the restored archive view.
+type Result struct {
+	Start, End dates.Day
+	Runs       []Run // sorted by ASN, then span start
+	Report     Report
+}
+
+// RunsOf returns the restored runs of one ASN in chronological order.
+func (res *Result) RunsOf(a asn.ASN) []Run {
+	i := sort.Search(len(res.Runs), func(i int) bool { return res.Runs[i].ASN >= a })
+	j := i
+	for j < len(res.Runs) && res.Runs[j].ASN == a {
+		j++
+	}
+	return res.Runs[i:j]
+}
+
+// Options selectively disables restoration steps — the ablation knobs
+// behind the "restoration on/off" benchmarks. The zero value enables
+// every repair.
+type Options struct {
+	// NoGapBridging closes runs across missing-file days instead of
+	// carrying state forward (disables step i).
+	NoGapBridging bool
+	// NoRegularRecovery ignores the regular files when the extended file
+	// is present (disables steps ii/iii).
+	NoRegularRecovery bool
+	// NoDateRepair keeps registration dates as published (disables
+	// step v).
+	NoDateRepair bool
+	// NoInterRIRFix keeps cross-registry inconsistencies (disables
+	// step vi).
+	NoInterRIRFix bool
+}
+
+// Restore scans every source and produces the cleaned status runs with
+// every repair enabled. The erx table carries original registration
+// dates for early-registration transfers, used to repair placeholder
+// dates.
+func Restore(sources []registry.Source, erx []registry.ERXEntry) *Result {
+	return RestoreWithOptions(sources, erx, Options{})
+}
+
+// RestoreWithOptions is Restore with selected repairs disabled.
+func RestoreWithOptions(sources []registry.Source, erx []registry.ERXEntry, opts Options) *Result {
+	erxDates := make(map[asn.ASN]dates.Day, len(erx))
+	for _, e := range erx {
+		erxDates[e.ASN] = e.RegDate
+	}
+	res := &Result{Start: dates.None, End: dates.None}
+	for _, src := range sources {
+		scanSource(res, src, erxDates, opts)
+	}
+	sort.SliceStable(res.Runs, func(i, j int) bool {
+		a, b := res.Runs[i], res.Runs[j]
+		if a.ASN != b.ASN {
+			return a.ASN < b.ASN
+		}
+		return a.Span.Start < b.Span.Start
+	})
+	if !opts.NoInterRIRFix {
+		fixInterRIR(res)
+	}
+	return res
+}
+
+// sortedKeys returns map keys in ascending order for deterministic
+// iteration.
+func sortedKeys(m map[asn.ASN]*liveState) []asn.ASN {
+	out := make([]asn.ASN, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// liveState tracks one ASN's open run while scanning a registry.
+type liveState struct {
+	status          delegation.Status
+	cc, opaque      string
+	regDate         dates.Day
+	firstRegDate    dates.Day
+	start           dates.Day
+	lastSeen        dates.Day
+	placeholderSeen bool
+}
+
+// scanSource walks one registry's days, maintaining per-ASN state.
+func scanSource(res *Result, src registry.Source, erxDates map[asn.ASN]dates.Day, opts Options) {
+	rir := src.Registry()
+	state := make(map[asn.ASN]*liveState)
+	var lastDay dates.Day = dates.None
+	var firstFileDay dates.Day = dates.None
+	gapOpen := false // true while file days are missing
+
+	closeRun := func(a asn.ASN, st *liveState) {
+		res.Runs = append(res.Runs, Run{
+			ASN: a, RIR: rir, Status: st.status, CC: st.cc, OpaqueID: st.opaque,
+			RegDate: st.regDate, FirstRegDate: st.firstRegDate,
+			Span: intervals.New(st.start, st.lastSeen),
+		})
+		delete(state, a)
+	}
+
+	for {
+		snap, ok := src.Next()
+		if !ok {
+			break
+		}
+		day := snap.Day
+		if res.Start == dates.None || day < res.Start {
+			res.Start = day
+		}
+		if res.End == dates.None || day > res.End {
+			res.End = day
+		}
+		if snap.Regular == nil && snap.Extended == nil {
+			res.Report.MissingFileDays++
+			if opts.NoGapBridging {
+				// Ablation: treat the missing day as an empty file,
+				// terminating every open run.
+				asns := sortedKeys(state)
+				for _, a := range asns {
+					closeRun(a, state[a])
+				}
+				lastDay = day
+				continue
+			}
+			// Step (i): no usable file today. Carry all state forward;
+			// runs are bridged if their ASNs reappear later, otherwise
+			// they end at their last-seen day.
+			gapOpen = true
+			lastDay = day
+			continue
+		}
+		res.Report.FilesScanned++
+		if firstFileDay == dates.None {
+			firstFileDay = day
+		}
+		today := effectiveRecords(res, snap, opts)
+
+		// Update or open runs for every ASN present today.
+		for a, rec := range today {
+			st := state[a]
+			if st != nil && st.status.Delegated() == rec.Status.Delegated() &&
+				(st.status == rec.Status || rec.Status.Delegated()) {
+				// Same state (allocated/assigned treated as one class).
+				if gapOpen || st.lastSeen != day.AddDays(-1) {
+					res.Report.GapBridgedASNDays += int64(day.Sub(st.lastSeen) - 1)
+				}
+				st.lastSeen = day
+				updateRegDate(res, st, a, rec, day, erxDates, opts)
+				st.cc = rec.CC
+				if rec.OpaqueID != "" {
+					st.opaque = rec.OpaqueID
+				}
+				continue
+			}
+			if st != nil {
+				closeRun(a, st) // status flip: allocated <-> reserved
+			}
+			reg := rec.Date
+			if !opts.NoDateRepair && reg != dates.None && reg > day {
+				// Step (v): future registration date; use the first
+				// appearance day instead.
+				reg = day
+				res.Report.FutureDatesFixed++
+			}
+			if !opts.NoDateRepair && reg == ripePlaceholder {
+				// Step (v): a run opening directly on the placeholder
+				// date (the true date never visible in files) is
+				// restored from the ERX reference data.
+				if orig, ok := erxDates[a]; ok {
+					reg = orig
+					res.Report.PlaceholdersRestored++
+				}
+			}
+			start := day
+			if day == firstFileDay && reg != dates.None && reg < day && rec.Status.Delegated() {
+				// An ASN already present in the registry's very first
+				// file was allocated before the archive begins: its
+				// administrative life starts at the registration date,
+				// not at the archive boundary. (Without this, every
+				// historic allocation would spuriously land in the
+				// partial-overlap category once BGP data predates the
+				// registry's first file.)
+				start = reg
+			}
+			state[a] = &liveState{
+				status: rec.Status, cc: rec.CC, opaque: rec.OpaqueID,
+				regDate: reg, firstRegDate: rec.Date,
+				start: start, lastSeen: day,
+			}
+		}
+		// Close runs whose ASNs vanished from a present file.
+		for a, st := range state {
+			if _, ok := today[a]; !ok {
+				closeRun(a, st)
+			}
+		}
+		gapOpen = false
+		lastDay = day
+	}
+	// End of stream: everything still open was alive on the last day.
+	asns := make([]asn.ASN, 0, len(state))
+	for a := range state {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, a := range asns {
+		st := state[a]
+		res.Runs = append(res.Runs, Run{
+			ASN: a, RIR: rir, Status: st.status, CC: st.cc, OpaqueID: st.opaque,
+			RegDate: st.regDate, FirstRegDate: st.firstRegDate,
+			Span:      intervals.New(st.start, st.lastSeen),
+			OpenAtEnd: st.lastSeen == lastDay,
+		})
+	}
+}
+
+// effectiveRecords merges the day's regular and extended files per the
+// paper's rules: the extended file is authoritative when present
+// (step iii), records present only in the regular file are recovered
+// (step ii), and duplicate records are resolved by preferring delegated
+// status (step iv — matching the evidence-based disambiguation, which in
+// the archives resolved in favour of the live allocation).
+func effectiveRecords(res *Result, snap registry.Snapshot, opts Options) map[asn.ASN]delegation.Record {
+	out := make(map[asn.ASN]delegation.Record, 1024)
+	add := func(f *delegation.File, recovered bool) {
+		if f == nil {
+			return
+		}
+		for _, blk := range f.ASNs {
+			if blk.Status == delegation.StatusAvailable {
+				continue
+			}
+			for k := 0; k < blk.Count; k++ {
+				rec := blk
+				rec.ASN = blk.ASN + asn.ASN(k)
+				rec.Count = 1
+				addOne(res, out, rec, recovered)
+			}
+		}
+	}
+	switch {
+	case snap.Extended != nil && snap.Regular != nil:
+		add(snap.Extended, false)
+		if opts.NoRegularRecovery {
+			break
+		}
+		// Step (ii)/(iii): the regular file backfills records the newer
+		// extended file dropped.
+		before := len(out)
+		add(snap.Regular, true)
+		if len(out) != before {
+			res.Report.DivergenceReconciled++
+		}
+	case snap.Extended != nil:
+		add(snap.Extended, false)
+	default:
+		add(snap.Regular, false)
+	}
+	return out
+}
+
+// addOne merges one unit record into the day map, resolving duplicates.
+func addOne(res *Result, out map[asn.ASN]delegation.Record, rec delegation.Record, recovered bool) {
+	if prev, dup := out[rec.ASN]; dup {
+		if !recovered {
+			// Duplicate rows inside one file (step iv): keep the
+			// delegated row over the reserved one.
+			if !prev.Status.Delegated() && rec.Status.Delegated() {
+				out[rec.ASN] = rec
+			}
+			res.Report.DuplicatesResolved++
+		}
+		return
+	}
+	if recovered {
+		res.Report.RecoveredFromRegular++
+	}
+	out[rec.ASN] = rec
+}
+
+// updateRegDate applies the step (v) date repairs on a continuing run.
+func updateRegDate(res *Result, st *liveState, a asn.ASN, rec delegation.Record, day dates.Day, erxDates map[asn.ASN]dates.Day, opts Options) {
+	newDate := rec.Date
+	if newDate == st.regDate || newDate == dates.None {
+		return
+	}
+	if opts.NoDateRepair {
+		st.regDate = newDate // take the files at face value
+		return
+	}
+	switch {
+	case newDate > day && st.regDate <= day:
+		// Future date appearing mid-run: keep the existing sane date.
+		res.Report.FutureDatesFixed++
+	case newDate == ripePlaceholder:
+		// Back-travel to the placeholder: restore from ERX reference
+		// when available, else keep the earlier date already held.
+		// Counted once per run; the placeholder persists in later files.
+		if !st.placeholderSeen {
+			if orig, ok := erxDates[a]; ok {
+				st.regDate = orig
+			}
+			res.Report.PlaceholdersRestored++
+			st.placeholderSeen = true
+		}
+	case newDate < st.regDate:
+		// Generic back-travel: the paper keeps the earliest date found.
+		st.regDate = newDate
+		st.firstRegDate = newDate
+		res.Report.BackTravelFixed++
+	default:
+		// Forward change while continuously allocated: an administrative
+		// correction to the same allocation (§4.1); adopt it without
+		// splitting the run.
+		st.regDate = newDate
+		res.Report.RegDateCorrections++
+	}
+}
+
+// fixInterRIR removes cross-registry inconsistencies (step vi): records
+// outside the registry's IANA blocks with no transfer evidence are
+// dropped as mistaken allocations, and overlapping delegated runs from
+// transfers are truncated in the origin registry.
+func fixInterRIR(res *Result) {
+	kept := res.Runs[:0]
+	for i := 0; i < len(res.Runs); {
+		j := i
+		for j < len(res.Runs) && res.Runs[j].ASN == res.Runs[i].ASN {
+			j++
+		}
+		group := res.Runs[i:j]
+		for _, r := range group {
+			if registry.IANABlockHolds(r.RIR, r.ASN) || transferEvidence(r, group) {
+				kept = append(kept, r)
+				continue
+			}
+			res.Report.MistakenRecordsDroped++
+		}
+		i = j
+	}
+	res.Runs = kept
+	truncateOverlaps(res)
+}
+
+// transferEvidence reports whether an out-of-block run is corroborated
+// by an inter-RIR transfer: another registry (the block holder) held the
+// same ASN up to (or overlapping) this run's start. Mistaken apparent
+// allocations have no such predecessor — the paper's §3.1 distinction
+// between stale transfer data and allocations of blocks never assigned
+// by IANA.
+func transferEvidence(r Run, group []Run) bool {
+	if !r.Delegated() {
+		return false
+	}
+	for _, o := range group {
+		if o.RIR == r.RIR || !o.Delegated() {
+			continue
+		}
+		if o.Span.Start < r.Span.Start && o.Span.End >= r.Span.Start.AddDays(-90) {
+			return true
+		}
+	}
+	return false
+}
+
+// truncateOverlaps cuts overlapping delegated runs of the same ASN held
+// in different registries: the later-starting registry wins (it received
+// the transfer); the origin registry's stale tail is cut.
+func truncateOverlaps(res *Result) {
+	for i := 0; i < len(res.Runs); {
+		j := i
+		for j < len(res.Runs) && res.Runs[j].ASN == res.Runs[i].ASN {
+			j++
+		}
+		group := res.Runs[i:j]
+		for x := range group {
+			for y := range group {
+				a, b := &group[x], &group[y]
+				if x == y || a.RIR == b.RIR || !a.Delegated() || !b.Delegated() {
+					continue
+				}
+				if !a.Span.Overlaps(b.Span) {
+					continue
+				}
+				// a is the origin if it started earlier.
+				if a.Span.Start < b.Span.Start {
+					a.Span.End = b.Span.Start.AddDays(-1)
+					a.OpenAtEnd = false
+					res.Report.StaleTransferRunsCut++
+				}
+			}
+		}
+		i = j
+	}
+	// Truncation can invert tiny runs; drop any that became empty.
+	kept := res.Runs[:0]
+	for _, r := range res.Runs {
+		if r.Span.End >= r.Span.Start {
+			kept = append(kept, r)
+		}
+	}
+	res.Runs = kept
+}
+
+// DailyAliveCounts computes, for each day in [start, end], the number of
+// delegated ASNs per RIR — the administrative series of Figure 4.
+func (res *Result) DailyAliveCounts(start, end dates.Day) [asn.NumRIRs][]int {
+	var out [asn.NumRIRs][]int
+	n := end.Sub(start) + 1
+	for r := range out {
+		out[r] = make([]int, n)
+	}
+	for _, run := range res.Runs {
+		if !run.Delegated() {
+			continue
+		}
+		lo := dates.Max(run.Span.Start, start)
+		hi := dates.Min(run.Span.End, end)
+		for d := lo; d <= hi; d++ {
+			out[run.RIR][d.Sub(start)]++
+		}
+	}
+	return out
+}

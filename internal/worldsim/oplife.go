@@ -1,0 +1,332 @@
+package worldsim
+
+import (
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// buildOperationalLives generates the BGP ground truth for every
+// administrative life: start-up delays, late deallocations, inactivity
+// gaps, intermittent behaviours, dangling announcements and early starts.
+// It also assigns each life's delegation-file publication date.
+func (g *generator) buildOperationalLives() {
+	for i := range g.world.Lives {
+		l := &g.world.Lives[i]
+		g.assignPublication(l)
+		switch l.Kind {
+		case LifeTransit:
+			// Every fourth backbone AS is a pure carrier: it appears on
+			// paths as transit but originates no prefixes of its own —
+			// the population that makes the §9 origination/transit role
+			// split non-trivial.
+			prefixes := 3 + g.rng.Intn(8)
+			if l.ASN%4 == 3 {
+				prefixes = 0
+			}
+			g.world.Segments = append(g.world.Segments, Segment{
+				ASN:  l.ASN,
+				Span: intervals.New(g.cfg.Start, g.cfg.End),
+				Kind: SegTransit, Vis: VisFull,
+				Upstream:    g.pickTransit(l.ASN),
+				PrefixCount: prefixes,
+			})
+		case LifeFailed32:
+			// Abandoned deployments never reach BGP.
+		default:
+			g.opForLife(l)
+		}
+	}
+}
+
+// assignPublication sets the day the life's record first appears in
+// delegation files.
+func (g *generator) assignPublication(l *Life) {
+	m := &g.models[l.RIR]
+	delay := 0
+	switch x := g.rng.Float64(); {
+	case x < m.pSlowPublish:
+		delay = 2 + g.rng.Intn(6)
+	case x < m.pSlowPublish+0.3:
+		delay = 1
+	}
+	l.FileFrom = l.Alloc.Start.AddDays(delay)
+	// RIPE's bulk-imported legacy resources only entered the files in
+	// 2005, hundreds of days after the window (and their BGP activity)
+	// began (§6.2 footnote 12).
+	if l.RIR == asn.RIPENCC && l.Kind == LifeERX && g.rng.Float64() < 0.5 {
+		l.FileFrom = dates.MustParse("2005-04-27").AddDays(g.rng.Intn(40))
+	}
+}
+
+// pickTransit draws an upstream transit ASN different from self and from
+// the hijack factory (which only anomalies use, keeping detector
+// validation clean).
+func (g *generator) pickTransit(self asn.ASN) asn.ASN {
+	pool := g.world.TransitASNs[:len(g.world.TransitASNs)-1] // exclude factory
+	for {
+		a := pool[g.rng.Intn(len(pool))]
+		if a != self {
+			return a
+		}
+	}
+}
+
+// pUnused returns the probability the life is genuinely never announced.
+func (g *generator) pUnused(l *Life) float64 {
+	org := g.world.Orgs[l.OrgID]
+	switch {
+	case org.SiblingGroup:
+		return 0.55
+	case l.Kind == LifeNIRBlock:
+		return 0.25
+	}
+	m := &g.models[l.RIR]
+	for _, c := range m.countries {
+		if c.cc == l.CC && c.cc != "CN" {
+			return c.neverAnnounce()
+		}
+	}
+	return defaultNeverAnnounce
+}
+
+// opForLife generates the operational segments of one administrative life.
+func (g *generator) opForLife(l *Life) {
+	if g.rng.Float64() < g.pUnused(l) {
+		return // genuinely unused
+	}
+	vis := VisFull
+	if l.CC == "CN" && g.rng.Float64() < 0.42 {
+		// Used inside the national topology but stripped before reaching
+		// any collector peer (§6.3).
+		vis = VisNone
+	} else if g.rng.Float64() < 0.01 {
+		vis = VisSinglePeer // below the >1-peer visibility threshold
+	}
+
+	// Operational start: typically a few weeks after allocation.
+	var opStart dates.Day
+	switch {
+	case l.Alloc.Start < g.cfg.Start:
+		// Historic life: already active when the window opens.
+		opStart = g.cfg.Start
+		if g.rng.Float64() < 0.15 {
+			opStart = g.cfg.Start.AddDays(g.rng.Intn(2000))
+		}
+	case g.rng.Float64() < 0.013:
+		// Early start: announcements precede the registration date
+		// itself (§6.2 "late allocations by RIRs").
+		opStart = l.Alloc.Start.AddDays(-(1 + g.rng.Intn(7)))
+	case g.rng.Float64() < 0.03:
+		// Immediate start: precedes file publication when the registry
+		// publishes with a delay.
+		opStart = l.Alloc.Start.AddDays(g.rng.Intn(2))
+	default:
+		opStart = l.Alloc.Start.AddDays(g.lognormDays(35, 1.1, 0, 900))
+	}
+
+	// Operational end: the org stops announcing, then the registry
+	// deallocates months later — or keeps announcing past deallocation
+	// (dangling).
+	var opEnd dates.Day
+	kind := SegNormal
+	if l.Open {
+		opEnd = g.cfg.End
+		pDormantTail := 0.10
+		if l.RIR == asn.ARIN {
+			// ARIN's operational line trails its administrative line
+			// hardest (Fig. 4's 2009-vs-2012 crossover contrast): more
+			// of its long-held legacy allocations go quiet.
+			pDormantTail = 0.20
+		}
+		if g.rng.Float64() < pDormantTail {
+			// Went quiet while staying allocated: dormant tail.
+			stop := g.lognormDays(500, 1.0, 30, l.Alloc.End.Sub(opStart))
+			opEnd = l.Alloc.End.AddDays(-stop)
+		}
+	} else {
+		m := &g.models[l.RIR]
+		org := g.world.Orgs[l.OrgID]
+		if org.ConeSize == 0 && g.rng.Float64() < 0.09 {
+			// Dangling announcements persisting past deallocation. The
+			// activity must begin inside the allocation — a dangling
+			// route is one nobody reconfigured, so it was up before the
+			// deallocation.
+			opEnd = l.Alloc.End.AddDays(30 + g.rng.Intn(670))
+			kind = SegDangling
+			if opStart > l.Alloc.End.AddDays(-10) {
+				opStart = dates.Max(l.Alloc.Start, l.Alloc.End.AddDays(-(30 + g.rng.Intn(300))))
+			}
+		} else {
+			lag := g.lognormDays(float64(m.deallocLagMedianDays), 0.9, 0, 4000)
+			opEnd = l.Alloc.End.AddDays(-lag)
+		}
+	}
+	if opEnd > g.cfg.End {
+		opEnd = g.cfg.End
+	}
+	if opStart < g.cfg.Start {
+		opStart = g.cfg.Start
+	}
+	if opEnd <= opStart {
+		return // activity fell entirely outside the window or vanished
+	}
+	if kind == SegNormal && opStart < l.FileFrom {
+		kind = SegEarlyStart
+	}
+
+	org := g.world.Orgs[l.OrgID]
+	switch {
+	case kind == SegDangling:
+		// A dangling announcement is a route nobody withdrew: one
+		// continuous run straddling the deallocation.
+		g.emitSegments(l.ASN, opStart, opEnd, 1, kind, vis)
+		return
+	case g.rng.Float64() < 0.0015:
+		g.conferenceSegments(l, opStart, opEnd, vis)
+		return
+	case org.SiblingGroup && g.rng.Float64() < 0.35:
+		g.rotationSegments(l, opStart, opEnd, vis)
+		return
+	}
+
+	// Number of operational lives within the span (§6.1: 84.1% one,
+	// 10.4% two, the rest more).
+	k := 1
+	switch x := g.rng.Float64(); {
+	case x < 0.841:
+		k = 1
+	case x < 0.946:
+		k = 2
+	case x < 0.996:
+		k = 3 + g.rng.Intn(5)
+	default:
+		k = 11 + g.rng.Intn(8)
+	}
+	g.emitSegments(l.ASN, opStart, opEnd, k, kind, vis)
+}
+
+// emitSegments splits [opStart, opEnd] into k activity runs separated by
+// gaps exceeding the 30-day lifetime threshold. Positional kinds apply
+// to the boundary run only: with SegDangling the last run is the one
+// extending past deallocation, with SegEarlyStart the first run is the
+// one preceding publication; interior runs are ordinary activity.
+func (g *generator) emitSegments(a asn.ASN, opStart, opEnd dates.Day, k int, kind SegmentKind, vis Visibility) {
+	span := opEnd.Sub(opStart) + 1
+	upstream := g.pickTransit(a)
+	prefixes := 1 + min(g.rng.Intn(6), g.rng.Intn(6))
+	kindAt := func(i, k int) SegmentKind {
+		switch kind {
+		case SegDangling:
+			if i < k-1 {
+				return SegNormal
+			}
+		case SegEarlyStart:
+			if i > 0 {
+				return SegNormal
+			}
+		}
+		return kind
+	}
+
+	// Reduce k if the span cannot fit k runs with >30-day gaps.
+	for k > 1 && span < k*40+(k-1)*31 {
+		k--
+	}
+	if k == 1 {
+		g.world.Segments = append(g.world.Segments, Segment{
+			ASN: a, Span: intervals.New(opStart, opEnd), Kind: kind, Vis: vis,
+			Upstream: upstream, PrefixCount: prefixes,
+		})
+		return
+	}
+	// Draw k-1 gaps; with probability 0.24 one gap exceeds a year
+	// (§6.1 "largely spaced operational lives").
+	gaps := make([]int, k-1)
+	total := 0
+	for i := range gaps {
+		gaps[i] = g.lognormDays(90, 0.8, 31, 600)
+		total += gaps[i]
+	}
+	if g.rng.Float64() < 0.24 {
+		gaps[g.rng.Intn(len(gaps))] = 366 + g.rng.Intn(1200)
+		total = 0
+		for _, gp := range gaps {
+			total += gp
+		}
+	}
+	active := span - total
+	if active < k { // gaps ate the span; shrink them proportionally
+		scale := float64(span-k*10) / float64(total)
+		total = 0
+		for i := range gaps {
+			gaps[i] = int(float64(gaps[i]) * scale)
+			if gaps[i] < 31 {
+				gaps[i] = 31
+			}
+			total += gaps[i]
+		}
+		active = span - total
+		if active < k {
+			g.world.Segments = append(g.world.Segments, Segment{
+				ASN: a, Span: intervals.New(opStart, opEnd), Kind: kind, Vis: vis,
+				Upstream: upstream, PrefixCount: prefixes,
+			})
+			return
+		}
+	}
+	// Distribute active days across runs.
+	cur := opStart
+	remaining := active
+	for i := 0; i < k; i++ {
+		runLen := remaining / (k - i)
+		if i < k-1 && runLen > 1 {
+			runLen = 1 + g.rng.Intn(runLen)
+		}
+		if runLen < 1 {
+			runLen = 1
+		}
+		end := cur.AddDays(runLen - 1)
+		g.world.Segments = append(g.world.Segments, Segment{
+			ASN: a, Span: intervals.New(cur, end), Kind: kindAt(i, k), Vis: vis,
+			Upstream: upstream, PrefixCount: prefixes,
+		})
+		remaining -= runLen
+		if i < k-1 {
+			cur = end.AddDays(1 + gaps[i])
+		}
+	}
+}
+
+// conferenceSegments emits the NOG-style pattern: a short burst around
+// the same time every year (§6.1's AFNOG/APNOG examples).
+func (g *generator) conferenceSegments(l *Life, opStart, opEnd dates.Day, vis Visibility) {
+	upstream := g.pickTransit(l.ASN)
+	month := 1 + g.rng.Intn(12)
+	for year := opStart.Year(); year <= opEnd.Year(); year++ {
+		day := dates.FromYMD(year, month, 1+g.rng.Intn(20))
+		if day < opStart || day.AddDays(10) > opEnd {
+			continue
+		}
+		g.world.Segments = append(g.world.Segments, Segment{
+			ASN:  l.ASN,
+			Span: intervals.New(day, day.AddDays(4+g.rng.Intn(6))),
+			Kind: SegConference, Vis: vis,
+			Upstream: upstream, PrefixCount: 1,
+		})
+	}
+}
+
+// rotationSegments emits the sibling-rotation pattern: many short runs as
+// the organization shifts routes between its sibling ASNs (§6.1).
+func (g *generator) rotationSegments(l *Life, opStart, opEnd dates.Day, vis Visibility) {
+	k := 8 + g.rng.Intn(13)
+	g.emitSegments(l.ASN, opStart, opEnd, k, SegIntermittent, vis)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

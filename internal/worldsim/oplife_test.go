@@ -1,0 +1,161 @@
+package worldsim
+
+import (
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+)
+
+func defaultWorld(t *testing.T) *World {
+	t.Helper()
+	return Generate(DefaultConfig())
+}
+
+func TestPublicationDelays(t *testing.T) {
+	w := defaultWorld(t)
+	// §4.1 fn 6: between 90.1% (AfriNIC) and 99.35% (ARIN) of ASNs appear
+	// in the files the same day or the day after registration.
+	var quick, total [asn.NumRIRs]int
+	for _, l := range w.Lives {
+		if l.Kind == LifeERX || l.Alloc.Start < w.Config.Start {
+			continue // ERX bulk imports and historic lives are special
+		}
+		total[l.RIR]++
+		if l.FileFrom.Sub(l.Alloc.Start) <= 1 {
+			quick[l.RIR]++
+		}
+	}
+	for _, r := range asn.All() {
+		if total[r] < 50 {
+			continue
+		}
+		frac := float64(quick[r]) / float64(total[r])
+		if frac < 0.85 {
+			t.Errorf("%v: only %.1f%% of allocations published within a day", r, 100*frac)
+		}
+	}
+	// ARIN publishes fastest.
+	arin := float64(quick[asn.ARIN]) / float64(total[asn.ARIN])
+	afrinic := float64(quick[asn.AfriNIC]) / float64(max(1, total[asn.AfriNIC]))
+	if total[asn.AfriNIC] > 50 && arin <= afrinic {
+		t.Errorf("ARIN (%.3f) should publish faster than AfriNIC (%.3f)", arin, afrinic)
+	}
+}
+
+func TestRIPEBulkImportQuirk(t *testing.T) {
+	w := defaultWorld(t)
+	late := 0
+	for _, l := range w.Lives {
+		if l.RIR == asn.RIPENCC && l.Kind == LifeERX &&
+			l.FileFrom >= dates.MustParse("2005-04-27") {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Error("expected some RIPE ERX lives published in the 2005 bulk import")
+	}
+}
+
+func TestDanglingAndEarlyStartPopulations(t *testing.T) {
+	w := defaultWorld(t)
+	dangling, early, conference, rotation := 0, 0, 0, 0
+	for _, s := range w.Segments {
+		switch s.Kind {
+		case SegDangling:
+			dangling++
+			// A dangling segment must extend past its life's end.
+			lives := w.LivesOf(s.ASN)
+			past := false
+			for _, l := range lives {
+				if s.Span.End > l.Alloc.End && s.Span.Start <= l.Alloc.End {
+					past = true
+				}
+			}
+			if !past {
+				t.Errorf("dangling segment of %v (%v) does not extend past deallocation",
+					s.ASN, s.Span)
+			}
+		case SegEarlyStart:
+			early++
+		case SegConference:
+			conference++
+		case SegIntermittent:
+			rotation++
+		}
+	}
+	t.Logf("dangling=%d early=%d conference=%d rotation=%d", dangling, early, conference, rotation)
+	if dangling == 0 || early == 0 {
+		t.Error("expected dangling and early-start populations")
+	}
+	if conference == 0 {
+		t.Error("expected conference-style segments (NOG pattern)")
+	}
+	if rotation == 0 {
+		t.Error("expected sibling-rotation segments")
+	}
+}
+
+func TestConferencePatternIsYearly(t *testing.T) {
+	w := defaultWorld(t)
+	byASN := map[asn.ASN][]Segment{}
+	for _, s := range w.Segments {
+		if s.Kind == SegConference {
+			byASN[s.ASN] = append(byASN[s.ASN], s)
+		}
+	}
+	for a, segs := range byASN {
+		if len(segs) < 3 {
+			continue
+		}
+		for _, s := range segs {
+			if s.Span.Days() > 15 {
+				t.Errorf("conference burst of %v too long: %v", a, s.Span)
+			}
+		}
+		for i := 1; i < len(segs); i++ {
+			gap := segs[i].Span.Start.Sub(segs[i-1].Span.End)
+			if gap < 200 {
+				t.Errorf("conference bursts of %v only %d days apart", a, gap)
+			}
+		}
+	}
+}
+
+func TestPureCarrierTransits(t *testing.T) {
+	w := defaultWorld(t)
+	carriers := 0
+	for _, s := range w.Segments {
+		if s.Kind == SegTransit && s.PrefixCount == 0 {
+			carriers++
+		}
+	}
+	if carriers == 0 {
+		t.Error("expected pure-carrier transit segments")
+	}
+}
+
+func TestEarlyStartsPrecedePublication(t *testing.T) {
+	w := defaultWorld(t)
+	checked := 0
+	for _, s := range w.Segments {
+		if s.Kind != SegEarlyStart {
+			continue
+		}
+		for _, l := range w.LivesOf(s.ASN) {
+			if l.Alloc.Overlaps(s.Span) && s.Span.Start < l.FileFrom {
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("early-start segments should begin before file publication")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

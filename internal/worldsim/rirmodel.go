@@ -1,0 +1,283 @@
+package worldsim
+
+import (
+	"math/rand"
+
+	"parallellives/internal/asn"
+)
+
+// rirModel captures the per-registry behaviour knobs, calibrated to the
+// real-world totals and trends the paper reports so that the generated
+// world reproduces the paper's distributional shapes (§5, Appendix A/B).
+type rirModel struct {
+	// pool16 is the registry's 16-bit ASN range [lo, hi]; pool32 the base
+	// of its 32-bit range. Both are consumed sequentially, mirroring how
+	// IANA block delegations appear in practice.
+	pool16Lo, pool16Hi asn.ASN
+	pool32Base         asn.ASN
+
+	// historicCount is the (unscaled) number of ASNs already allocated
+	// and alive when the observation window opens in late 2003.
+	historicCount int
+
+	// annualRate maps calendar year to (unscaled) new allocations.
+	annualRate map[int]int
+
+	// share32 maps calendar year to the fraction of new allocations that
+	// are 32-bit numbers (Fig 12's per-RIR transition shapes).
+	share32 map[int]float64
+
+	// fail32 is the probability that a 32-bit allocation fails
+	// deployment: a short unused life followed by a 16-bit replacement
+	// (§6.3's "challenging deployments").
+	fail32 float64
+
+	// pShortLife is the probability an in-window allocation lasts under
+	// a year (Fig 5's zoom); pLongOpen the probability it stays open to
+	// the window end. The remainder gets a mid-length life.
+	pShortLife, pLongOpen float64
+
+	// pReuse is the probability a deallocated ASN is reallocated once
+	// its quarantine ends (Table 2's re-allocation contrast); pReturnSame
+	// the probability the reallocation goes back to the same holder.
+	pReuse, pReturnSame float64
+
+	// deallocLagMedianDays is the typical delay between an ASN's last
+	// BGP activity and its deallocation (§6.1 "late deallocations").
+	deallocLagMedianDays int
+
+	// pSlowPublish is the probability a new allocation takes more than a
+	// day to appear in delegation files (between 0.65% for ARIN and 9.9%
+	// for AfriNIC in the real data, §4.1 footnote 6).
+	pSlowPublish float64
+
+	// countries lists the registry's country mix; weights may shift by
+	// era to reproduce Table 4 / Appendix A trends.
+	countries []countryWeight
+}
+
+// countryWeight gives one country's share of a registry's allocations in
+// three eras: up to 2009, 2010–2014, and 2015 onward.
+type countryWeight struct {
+	cc                  string
+	early, mid, late    float64
+	pNeverAnnounce      float64 // probability an allocation is never seen in BGP
+	pNeverAnnounceIsSet bool
+}
+
+func cw(cc string, early, mid, late float64) countryWeight {
+	return countryWeight{cc: cc, early: early, mid: mid, late: late}
+}
+
+func cwNever(cc string, early, mid, late, never float64) countryWeight {
+	return countryWeight{cc: cc, early: early, mid: mid, late: late,
+		pNeverAnnounce: never, pNeverAnnounceIsSet: true}
+}
+
+// defaultNeverAnnounce is the baseline probability that an allocated ASN
+// is never observed in global BGP, tuned so the world-wide share of
+// unused administrative lives lands near the paper's ~18–21%.
+const defaultNeverAnnounce = 0.065
+
+func (c countryWeight) neverAnnounce() float64 {
+	if c.pNeverAnnounceIsSet {
+		return c.pNeverAnnounce
+	}
+	return defaultNeverAnnounce
+}
+
+func (c countryWeight) weight(year int) float64 {
+	switch {
+	case year < 2010:
+		return c.early
+	case year < 2015:
+		return c.mid
+	default:
+		return c.late
+	}
+}
+
+// models returns the five registry models indexed by asn.RIR.
+func models() [asn.NumRIRs]rirModel {
+	var m [asn.NumRIRs]rirModel
+
+	m[asn.AfriNIC] = rirModel{
+		pool16Lo: 36000, pool16Hi: 37999, pool32Base: 327680,
+		historicCount: 300,
+		annualRate: rateCurve(map[int]int{
+			2005: 60, 2008: 100, 2011: 150, 2014: 200, 2017: 260, 2020: 300,
+		}),
+		share32: share32Curve(0.0, map[int]float64{
+			2007: 0.03, 2010: 0.3, 2012: 0.7, 2015: 0.9, 2020: 0.983,
+		}),
+		fail32:     0.05,
+		pShortLife: 0.09, pLongOpen: 0.55,
+		pReuse: 0.22, pReturnSame: 0.2,
+		deallocLagMedianDays: 530,
+		pSlowPublish:         0.099,
+		countries: []countryWeight{
+			cw("ZA", 0.34, 0.33, 0.32), cw("NG", 0.08, 0.1, 0.12),
+			cw("KE", 0.07, 0.08, 0.09), cw("EG", 0.08, 0.07, 0.07),
+			cw("TZ", 0.04, 0.05, 0.06), cw("GH", 0.04, 0.05, 0.05),
+			cw("MU", 0.05, 0.04, 0.03), cw("AO", 0.03, 0.04, 0.05),
+			cw("ZZ", 0.27, 0.24, 0.21), // rest of region
+		},
+	}
+
+	m[asn.APNIC] = rirModel{
+		pool16Lo: 38000, pool16Hi: 45999, pool32Base: 131072,
+		historicCount: 3300,
+		annualRate: rateCurve(map[int]int{
+			2004: 500, 2008: 560, 2012: 640, 2013: 700, 2014: 1200,
+			2015: 1400, 2017: 1600, 2019: 1800, 2020: 1800,
+		}),
+		share32: share32Curve(0.0, map[int]float64{
+			2007: 0.04, 2009: 0.5, 2010: 0.85, 2013: 0.95, 2020: 0.99,
+		}),
+		fail32:     0.06,
+		pShortLife: 0.11, pLongOpen: 0.5,
+		pReuse: 0.4, pReturnSame: 0.2,
+		deallocLagMedianDays: 190,
+		pSlowPublish:         0.05,
+		countries: []countryWeight{
+			cw("AU", 0.18, 0.16, 0.12), cw("KR", 0.15, 0.09, 0.04),
+			cw("JP", 0.13, 0.1, 0.06), cwNever("CN", 0.08, 0.11, 0.1, 0.40),
+			cw("ID", 0.07, 0.08, 0.13), cw("IN", 0.04, 0.1, 0.2),
+			cw("HK", 0.06, 0.06, 0.06), cw("TW", 0.05, 0.04, 0.03),
+			cw("TH", 0.04, 0.04, 0.04), cw("ZZ", 0.2, 0.22, 0.22),
+		},
+	}
+
+	m[asn.ARIN] = rirModel{
+		pool16Lo: 1000, pool16Hi: 19999, pool32Base: 393216,
+		historicCount: 16000,
+		annualRate: rateCurve(map[int]int{
+			2004: 1000, 2009: 1000, 2015: 950, 2020: 950,
+		}),
+		share32: share32Curve(0.0, map[int]float64{
+			2007: 0.02, 2010: 0.1, 2013: 0.15, 2014: 0.35, 2016: 0.55, 2020: 0.7,
+		}),
+		fail32:     0.02,
+		pShortLife: 0.06, pLongOpen: 0.65,
+		pReuse: 0.8, pReturnSame: 0.12,
+		deallocLagMedianDays: 320,
+		pSlowPublish:         0.0065,
+		countries: []countryWeight{
+			cwNever("US", 0.92, 0.92, 0.92, 0.14), cw("CA", 0.06, 0.06, 0.06),
+			cw("ZZ", 0.02, 0.02, 0.02),
+		},
+	}
+
+	m[asn.LACNIC] = rirModel{
+		pool16Lo: 46000, pool16Hi: 52999, pool32Base: 262144,
+		historicCount: 1100,
+		annualRate: rateCurve(map[int]int{
+			2004: 250, 2008: 350, 2012: 480, 2013: 500, 2014: 900,
+			2015: 1100, 2017: 1400, 2019: 1600, 2020: 1600,
+		}),
+		share32: share32Curve(0.0, map[int]float64{
+			2007: 0.03, 2010: 0.6, 2012: 0.85, 2015: 0.95, 2020: 0.99,
+		}),
+		fail32:     0.015,
+		pShortLife: 0.13, pLongOpen: 0.44,
+		pReuse: 0.08, pReturnSame: 0.2,
+		deallocLagMedianDays: 330,
+		pSlowPublish:         0.04,
+		countries: []countryWeight{
+			cw("BR", 0.58, 0.64, 0.72), cw("AR", 0.11, 0.1, 0.09),
+			cw("MX", 0.06, 0.05, 0.04), cw("CL", 0.05, 0.04, 0.03),
+			cw("CO", 0.04, 0.04, 0.04), cw("ZZ", 0.16, 0.13, 0.08),
+		},
+	}
+
+	m[asn.RIPENCC] = rirModel{
+		pool16Lo: 20000, pool16Hi: 35999, pool32Base: 196608,
+		historicCount: 6500,
+		annualRate: rateCurve(map[int]int{
+			2004: 1800, 2006: 2400, 2008: 2900, 2010: 3100, 2012: 3200,
+			2014: 2900, 2016: 2600, 2018: 2400, 2020: 2200,
+		}),
+		share32: share32Curve(0.0, map[int]float64{
+			2006: 0.001, 2007: 0.03, 2010: 0.45, 2013: 0.7, 2016: 0.85, 2020: 0.9,
+		}),
+		fail32:     0.05,
+		pShortLife: 0.08, pLongOpen: 0.55,
+		pReuse: 0.62, pReturnSame: 0.12,
+		deallocLagMedianDays: 310,
+		pSlowPublish:         0.03,
+		countries: []countryWeight{
+			cwNever("RU", 0.17, 0.17, 0.16, 0.06), cw("GB", 0.09, 0.08, 0.08),
+			cw("DE", 0.08, 0.07, 0.07), cwNever("FR", 0.05, 0.05, 0.05, 0.25),
+			cw("NL", 0.05, 0.05, 0.05), cw("IT", 0.05, 0.05, 0.04),
+			cw("UA", 0.05, 0.06, 0.05), cw("PL", 0.04, 0.05, 0.05),
+			cw("ZZ", 0.42, 0.42, 0.45),
+		},
+	}
+
+	return m
+}
+
+// rateCurve expands sparse {year: rate} anchor points into a dense map by
+// holding the most recent anchor (step interpolation), covering 2004-2021.
+func rateCurve(anchors map[int]int) map[int]int {
+	out := make(map[int]int, 2021-2003+1)
+	cur := 0
+	for y := 2003; y <= 2021; y++ {
+		if v, ok := anchors[y]; ok {
+			cur = v
+		}
+		out[y] = cur
+	}
+	return out
+}
+
+// share32Curve expands sparse {year: share} anchors with linear
+// interpolation between anchors and the initial value before the first.
+func share32Curve(initial float64, anchors map[int]float64) map[int]float64 {
+	years := make([]int, 0, len(anchors))
+	for y := range anchors {
+		years = append(years, y)
+	}
+	// insertion sort; tiny input
+	for i := 1; i < len(years); i++ {
+		for j := i; j > 0 && years[j] < years[j-1]; j-- {
+			years[j], years[j-1] = years[j-1], years[j]
+		}
+	}
+	out := make(map[int]float64)
+	for y := 2003; y <= 2021; y++ {
+		v := initial
+		for i, ay := range years {
+			if y < ay {
+				break
+			}
+			if i == len(years)-1 || y < years[i+1] {
+				if i == len(years)-1 {
+					v = anchors[ay]
+				} else {
+					ny := years[i+1]
+					frac := float64(y-ay) / float64(ny-ay)
+					v = anchors[ay] + frac*(anchors[ny]-anchors[ay])
+				}
+			}
+		}
+		out[y] = v
+	}
+	return out
+}
+
+// pickCountry draws a country code for an allocation made in year.
+func (m *rirModel) pickCountry(rng *rand.Rand, year int) countryWeight {
+	total := 0.0
+	for _, c := range m.countries {
+		total += c.weight(year)
+	}
+	x := rng.Float64() * total
+	for _, c := range m.countries {
+		x -= c.weight(year)
+		if x <= 0 {
+			return c
+		}
+	}
+	return m.countries[len(m.countries)-1]
+}

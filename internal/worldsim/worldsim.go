@@ -1,0 +1,212 @@
+// Package worldsim generates a deterministic synthetic ground truth of
+// the Internet's ASN ecosystem over the paper's 2003–2021 window: who
+// allocated which AS number when (per-RIR policies, quarantine,
+// reallocation, ERX and inter-RIR transfers, NIR blocks, the 16→32-bit
+// transition) and how each ASN behaved in BGP (start-up delays, outages,
+// intermittent use, dangling announcements) — including the malicious and
+// misconfigured behaviours the paper surfaces (dormant-ASN squatting,
+// post-deallocation hijacks, fat-finger origins, internal-ASN leaks).
+//
+// The simulator replaces the paper's archival inputs (RIR FTP sites,
+// RouteViews/RIS collectors), which are unavailable offline. Downstream
+// packages never read the ground truth directly for analysis: the
+// registry package renders it into delegation-file text with the §3.1
+// error classes injected, and the collector package renders it into MRT
+// archives — the restoration and scanning pipelines then recover what the
+// paper recovers. Ground truth is retained only for validation: tests
+// measure how much of it the pipeline reconstructs.
+package worldsim
+
+import (
+	"math/rand"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// Config controls world generation. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness; equal configs generate equal worlds.
+	Seed int64
+
+	// Start and End bound the observation window (delegation files and
+	// BGP data exist only inside it). Ground-truth registration dates may
+	// precede Start, as in the real data.
+	Start, End dates.Day
+
+	// Scale multiplies real-world allocation volumes. 1.0 would simulate
+	// the full ~127k lifetimes; the default 0.04 yields a few thousand,
+	// which preserves every distributional shape the paper reports while
+	// keeping experiments laptop-sized.
+	Scale float64
+
+	// Collectors is the number of simulated collectors; each gets
+	// PeersPerCollector full-feed peers.
+	Collectors        int
+	PeersPerCollector int
+}
+
+// DefaultConfig returns the paper-window configuration at the default
+// scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Start:             dates.MustParse("2003-10-09"),
+		End:               dates.MustParse("2021-03-01"),
+		Scale:             0.04,
+		Collectors:        2,
+		PeersPerCollector: 4,
+	}
+}
+
+// Visibility classifies how widely an ASN's announcements propagate to
+// the collector infrastructure.
+type Visibility uint8
+
+// Visibility classes.
+const (
+	// VisFull: announcements reach every collector peer.
+	VisFull Visibility = iota
+	// VisSinglePeer: announcements reach exactly one peer — below the
+	// paper's >1-peer threshold, so the scanner must discard them.
+	VisSinglePeer
+	// VisNone: announcements are stripped before reaching any peer
+	// (the China-style aggregation case of §6.3).
+	VisNone
+)
+
+// Org is an organization holding number resources.
+type Org struct {
+	ID       int
+	CC       string
+	RIR      asn.RIR
+	ConeSize int // customer-cone size (ASRank substitute)
+	// Sibling organizations hold many ASNs and routinely leave a large
+	// fraction of them unannounced (the DoD/Verisign pattern of §6.3).
+	SiblingGroup bool
+}
+
+// LifeKind tags why a ground-truth administrative life exists, so tests
+// and experiment reports can break results down by cause.
+type LifeKind uint8
+
+// Administrative life kinds.
+const (
+	LifeNormal LifeKind = iota
+	LifeHistoric
+	LifeERX        // early-registration transfer from ARIN
+	LifeNIRBlock   // part of an APNIC block delegated via an NIR
+	LifeFailed32   // short-lived 32-bit allocation abandoned by the org
+	LifeTransit    // backbone/transit AS, alive for the whole window
+	LifeReturnSame // re-allocation of the same ASN to the same org
+)
+
+// Life is one ground-truth administrative lifetime of an ASN.
+type Life struct {
+	ASN     asn.ASN
+	OrgID   int
+	RIR     asn.RIR
+	CC      string
+	Kind    LifeKind
+	RegDate dates.Day
+	// Alloc is the allocated interval, clipped to nothing: End carries
+	// the true deallocation day even when it is past the window end.
+	Alloc intervals.Interval
+	// Open reports the life is still allocated at the window end.
+	Open bool
+	// QuarantineDays is how long the ASN sits reserved after
+	// deallocation before returning to the available pool.
+	QuarantineDays int
+	// TransferredTo, when set, records an inter-RIR transfer: the life
+	// continues under another RIR with a contiguous follow-on Life.
+	TransferredTo    asn.RIR
+	HasTransfer      bool
+	PlaceholderQuirk bool // RIPE ERX: registration date replaced by 1993-09-01 in files
+
+	// FileFrom is the first day the allocation appears in delegation
+	// files — usually Alloc.Start plus a 0–1 day publication delay, but
+	// much later for the RIPE bulk-imported legacy resources (§6.2
+	// footnote 12). The registry emitter additionally clamps it to the
+	// registry's first file date.
+	FileFrom dates.Day
+}
+
+// SegmentKind tags ground-truth operational segments.
+type SegmentKind uint8
+
+// Operational segment kinds.
+const (
+	SegNormal SegmentKind = iota
+	SegIntermittent
+	SegConference
+	SegDangling   // continues past deallocation
+	SegEarlyStart // begins before the allocation is published
+	SegDormantSquat
+	SegPostDeallocHijack
+	SegFatFinger
+	SegLargeLeak
+	SegTransit
+)
+
+// Segment is one ground-truth span of BGP presence for an ASN.
+type Segment struct {
+	ASN      asn.ASN
+	Span     intervals.Interval
+	Kind     SegmentKind
+	Vis      Visibility
+	Upstream asn.ASN // first transit hop carrying the announcements
+	// PrefixCount is the number of prefixes originated per day during
+	// the segment (0 for pure-transit presence).
+	PrefixCount int
+	// VictimASN, for SegFatFinger, is the legitimate ASN whose identity
+	// the bogus origin resembles; for SegDormantSquat/SegPostDeallocHijack
+	// it is the organization whose prefixes were squatted (0 if none).
+	VictimASN asn.ASN
+}
+
+// World is the generated ground truth.
+type World struct {
+	Config Config
+	Orgs   []Org
+	Lives  []Life
+	// Segments hold all BGP ground truth, sorted by segment start.
+	Segments []Segment
+	// TransitASNs are the backbone ASNs present every day (and on every
+	// path as upstreams).
+	TransitASNs []asn.ASN
+	// HijackFactory is the transit ASN used as shared upstream by the
+	// coordinated squatting events (the paper's AS203040 analogue).
+	HijackFactory asn.ASN
+
+	// Planted ground-truth events for detector validation.
+	DormantSquats      []Segment
+	PostDeallocHijacks []Segment
+	FatFingers         []Segment
+	LargeLeaks         []Segment
+
+	rng *rand.Rand
+}
+
+// LivesOf returns all ground-truth lives of an ASN in chronological order.
+func (w *World) LivesOf(a asn.ASN) []Life {
+	var out []Life
+	for _, l := range w.Lives {
+		if l.ASN == a {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SegmentsOf returns all ground-truth segments of an ASN in order.
+func (w *World) SegmentsOf(a asn.ASN) []Segment {
+	var out []Segment
+	for _, s := range w.Segments {
+		if s.ASN == a {
+			out = append(out, s)
+		}
+	}
+	return out
+}
