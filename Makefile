@@ -1,0 +1,23 @@
+.PHONY: build test vet race verify fuzz
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+# Race-check the concurrency-sensitive and fault-handling packages.
+race:
+	go test -race ./internal/faults/ ./internal/bgpscan/
+	go test -race -short ./internal/pipeline/
+
+# Short fuzz pass over the parser no-panic targets.
+fuzz:
+	go test ./internal/delegation/ -fuzz FuzzLenientParse -fuzztime 15s
+	go test ./internal/mrt/ -fuzz FuzzDecodeMRT -fuzztime 15s
+
+verify:
+	./scripts/verify.sh

@@ -37,13 +37,14 @@ func main() {
 
 func run() error {
 	var (
-		scale = flag.Float64("scale", 0.04, "world scale")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		start = flag.String("start", "2003-10-09", "window start")
-		end   = flag.String("end", "2021-03-01", "window end")
-		kinds = flag.String("kinds", "", "comma list of event kinds (default: all)")
-		limit = flag.Int("limit", 0, "stop after N events (0 = all)")
-		check = flag.String("check", "", "one delegation check, ASN:YYYY-MM-DD")
+		scale  = flag.Float64("scale", 0.04, "world scale")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		start  = flag.String("start", "2003-10-09", "window start")
+		end    = flag.String("end", "2021-03-01", "window end")
+		kinds  = flag.String("kinds", "", "comma list of event kinds (default: all)")
+		limit  = flag.Int("limit", 0, "stop after N events (0 = all)")
+		check  = flag.String("check", "", "one delegation check, ASN:YYYY-MM-DD")
+		policy = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
 	)
 	flag.Parse()
 
@@ -51,6 +52,9 @@ func run() error {
 	opts.World.Scale = *scale
 	opts.World.Seed = *seed
 	var err error
+	if opts.FaultPolicy, err = pipeline.ParseFaultPolicy(*policy); err != nil {
+		return err
+	}
 	if opts.World.Start, err = dates.Parse(*start); err != nil {
 		return err
 	}
@@ -62,6 +66,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintln(os.Stderr, "asnwatch:", ds.Health.Summary())
 
 	if *check != "" {
 		return runCheck(ds, *check)

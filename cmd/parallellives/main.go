@@ -17,7 +17,11 @@
 //	-timeout 30          operational inactivity timeout (days)
 //	-visibility 2        minimum distinct peers per active ASN-day
 //	-experiments all     comma list: table1..table5, figure3..figure14,
-//	                     s61..s64, appendixa, extensions, restoration
+//	                     s61..s64, appendixa, extensions, restoration, health
+//	-fault-policy MODE   failfast (default) or degrade: quarantine damaged
+//	                     inputs and finish, reporting them in the health block
+//	-chaos               inject the default deterministic fault storm
+//	-chaos-seed N        fault injection seed for -chaos
 //	-datasets DIR        write Listing-1 JSON datasets into DIR
 //	-export-mrt DATE     write one day's MRT archives into -out
 //	-export-files DATE   write one day's delegation files into -out
@@ -36,6 +40,7 @@ import (
 	"parallellives/internal/collector"
 	"parallellives/internal/core"
 	"parallellives/internal/dates"
+	"parallellives/internal/faults"
 	"parallellives/internal/pipeline"
 	"parallellives/internal/report"
 )
@@ -63,6 +68,9 @@ func run() error {
 		exportFiles = flag.String("export-files", "", "export one day's delegation files (YYYY-MM-DD)")
 		outDir      = flag.String("out", ".", "output directory for exports")
 		lookupASN   = flag.Uint64("asn", 0, "print one ASN's parallel lives and exit")
+		faultPolicy = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
+		chaos       = flag.Bool("chaos", false, "inject the default deterministic fault storm (implies -wire)")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault injection seed for -chaos")
 	)
 	flag.Parse()
 
@@ -74,6 +82,14 @@ func run() error {
 	opts.Timeout = *timeout
 	opts.Visibility = *visibility
 	var err error
+	if opts.FaultPolicy, err = pipeline.ParseFaultPolicy(*faultPolicy); err != nil {
+		return err
+	}
+	if *chaos {
+		plan := faults.DefaultStorm(*chaosSeed)
+		opts.Inject = &plan
+		opts.Wire = true // MRT faults only exist on the wire
+	}
 	if opts.World.Start, err = dates.Parse(*start); err != nil {
 		return err
 	}
@@ -83,7 +99,7 @@ func run() error {
 
 	t0 := time.Now()
 	fmt.Fprintf(os.Stderr, "building dataset (scale=%g, %s..%s, wire=%v)...\n",
-		*scale, *start, *end, *wire)
+		*scale, *start, *end, opts.Wire)
 	ds, err := pipeline.Run(opts)
 	if err != nil {
 		return err
@@ -92,6 +108,7 @@ func run() error {
 		time.Since(t0).Round(time.Millisecond),
 		len(ds.Admin.Lifetimes), ds.AdminStats.ASNs,
 		len(ds.Ops.Lifetimes), ds.Ops.ASNs())
+	fmt.Fprintln(os.Stderr, ds.Health.Summary())
 
 	if *datasets != "" {
 		if err := writeDatasets(ds, *datasets); err != nil {
@@ -198,6 +215,9 @@ func printExperiments(ds *pipeline.Dataset, sel func(string) bool) {
 	}
 	if sel("restoration") {
 		fmt.Fprintf(out, "Restoration report: %+v\n\n", ds.Restored.Report)
+	}
+	if sel("health") {
+		p(ds.Health.Text())
 	}
 }
 

@@ -51,6 +51,16 @@ type Stats struct {
 	DropLoop       int64
 	DropMalformed  int64
 	DropLowVis     int64 // ASN-days rejected by the visibility threshold
+
+	// QuarantinedTruncated counts records (RIB entries / update messages)
+	// skipped because their bytes ended early — the cut-transfer damage
+	// class, kept separate from generic malformedness so a Health report
+	// can reconcile it against known archive dirt.
+	QuarantinedTruncated int64
+	// QuarantinedTails counts archives abandoned mid-stream on a framing
+	// error (an interrupted transfer chopping the final record). The
+	// records before the cut are kept; the day survives.
+	QuarantinedTails int64
 }
 
 // PrefixRun is a run of days over which an origin announced a constant
@@ -122,6 +132,13 @@ func (a *Activity) ActiveOn(x asn.ASN, d dates.Day) bool {
 // Scanner accumulates daily BGP activity. Use BeginDay / Observe (or
 // ObserveMRT) / EndDay for each day in order, then Finish.
 type Scanner struct {
+	// Quarantine, when set, makes ObserveMRT treat a broken record frame
+	// as the end of that archive (counted in Stats.QuarantinedTails)
+	// instead of failing the whole day. Per-record decode errors are
+	// always skipped and counted, frame errors only under this flag —
+	// FailFast pipelines leave it unset and keep the seed behaviour.
+	Quarantine bool
+
 	minPeers int
 	stats    Stats
 
@@ -314,6 +331,13 @@ func (s *Scanner) ObserveMRT(data []byte) error {
 			if errors.Is(err, io.EOF) {
 				break
 			}
+			if s.Quarantine {
+				// Broken framing: an interrupted transfer cut the archive
+				// mid-record. Everything before the cut has already been
+				// consumed; keep it and abandon the rest of this archive.
+				s.stats.QuarantinedTails++
+				break
+			}
 			return err
 		}
 		switch h.Type {
@@ -332,7 +356,7 @@ func (s *Scanner) ObserveMRT(data []byte) error {
 				}
 				v6 := h.Subtype == mrt.SubtypeRIBIPv6Unicast
 				if err := mrt.DecodeRIBRecord(&s.rib, body, v6); err != nil {
-					s.stats.DropMalformed++
+					s.quarantineDecode(err)
 					continue
 				}
 				s.stats.RIBRecords++
@@ -343,7 +367,7 @@ func (s *Scanner) ObserveMRT(data []byte) error {
 				continue
 			}
 			if err := mrt.DecodeBGP4MPMessage(&s.b4mp, body, h.Subtype); err != nil {
-				s.stats.DropMalformed++
+				s.quarantineDecode(err)
 				continue
 			}
 			s.stats.UpdateMessages++
@@ -351,6 +375,18 @@ func (s *Scanner) ObserveMRT(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// quarantineDecode classifies one skipped record's decode error:
+// bytes-ran-out damage counts as truncation, anything else as generic
+// malformedness. Skipping (rather than failing the day) matches the seed
+// behaviour; only the classification is new.
+func (s *Scanner) quarantineDecode(err error) {
+	if errors.Is(err, mrt.ErrTruncated) || errors.Is(err, bgp.ErrTruncated) {
+		s.stats.QuarantinedTruncated++
+	} else {
+		s.stats.DropMalformed++
+	}
 }
 
 func (s *Scanner) scanRIBRecord() {
@@ -361,7 +397,7 @@ func (s *Scanner) scanRIBRecord() {
 	for _, e := range s.rib.Entries {
 		s.upd.Reset()
 		if err := bgp.DecodeAttrs(&s.upd, e.Attrs, true); err != nil {
-			s.stats.DropMalformed++
+			s.quarantineDecode(err)
 			continue
 		}
 		if s.upd.HasLoop() {
@@ -374,7 +410,7 @@ func (s *Scanner) scanRIBRecord() {
 
 func (s *Scanner) scanBGP4MP() {
 	if err := bgp.DecodeUpdate(&s.upd, s.b4mp.Data, s.b4mp.FourByte); err != nil {
-		s.stats.DropMalformed++
+		s.quarantineDecode(err)
 		return
 	}
 	if s.upd.HasLoop() {

@@ -1,0 +1,58 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"parallellives/internal/bgp"
+)
+
+// FuzzDecodeMRT drives the whole MRT decode surface — record framing,
+// PEER_INDEX_TABLE, RIB records, BGP4MP messages and the nested BGP
+// update parse — with arbitrary bytes. Nothing may panic: damaged
+// archives must always surface as errors the quarantine layer can count.
+func FuzzDecodeMRT(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not an mrt archive at all, just text"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		var tbl PeerIndexTable
+		var rib RIBRecord
+		var msg BGP4MPMessage
+		var upd bgp.Update
+		for {
+			h, body, err := r.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrTruncated) &&
+					!errors.Is(err, ErrMalformed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("framing error of unknown class: %v", err)
+				}
+				return
+			}
+			switch h.Type {
+			case TypeTableDumpV2:
+				switch h.Subtype {
+				case SubtypePeerIndexTable:
+					_ = DecodePeerIndexTable(&tbl, body)
+				case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
+					if DecodeRIBRecord(&rib, body, h.Subtype == SubtypeRIBIPv6Unicast) == nil {
+						for _, e := range rib.Entries {
+							upd.Reset()
+							_ = bgp.DecodeAttrs(&upd, e.Attrs, true)
+						}
+					}
+				}
+			case TypeBGP4MP, TypeBGP4MPET:
+				if h.Subtype != SubtypeBGP4MPMessage && h.Subtype != SubtypeBGP4MPMessageAS4 {
+					continue
+				}
+				if DecodeBGP4MPMessage(&msg, body, h.Subtype) == nil {
+					upd.Reset()
+					_ = bgp.DecodeUpdate(&upd, msg.Data, msg.FourByte)
+				}
+			}
+		}
+	})
+}

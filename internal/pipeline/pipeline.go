@@ -14,6 +14,8 @@ import (
 	"parallellives/internal/bgpscan"
 	"parallellives/internal/collector"
 	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/faults"
 	"parallellives/internal/registry"
 	"parallellives/internal/restore"
 	"parallellives/internal/worldsim"
@@ -35,6 +37,17 @@ type Options struct {
 	// Visibility is the minimum distinct-peer threshold (0 = the
 	// paper's 2).
 	Visibility int
+
+	// FaultPolicy selects FailFast (zero value, the seed behaviour) or
+	// Degrade handling of damaged inputs; see the policy docs.
+	FaultPolicy FaultPolicy
+	// Budget bounds how much damage a Degrade run absorbs before failing
+	// anyway (zero fields take defaults).
+	Budget ErrorBudget
+	// Inject, when non-nil, plants the plan's deterministic faults into
+	// the run's sources and MRT streams (chaos mode). MRT faults need
+	// Wire; delegation faults apply either way.
+	Inject *faults.Plan
 }
 
 // DefaultOptions runs the paper's configuration at the default scale.
@@ -59,6 +72,7 @@ type Dataset struct {
 	AdminStats core.AdminStats
 	Ops        *core.OpIndex
 	Joint      *core.Joint
+	Health     *Health
 }
 
 // Run executes the full pipeline.
@@ -73,54 +87,110 @@ func Run(opts Options) (*Dataset, error) {
 	ds.World = worldsim.Generate(opts.World)
 	ds.Archive = registry.Build(ds.World)
 
+	var inj *faults.Injector
+	if opts.Inject != nil {
+		inj = faults.NewInjector(*opts.Inject)
+	}
+	health := &Health{Policy: opts.FaultPolicy}
+
 	// Administrative dimension: restore the archive, build lifetimes.
 	sources := make([]registry.Source, 0, asn.NumRIRs)
+	var retriers []*faults.Retrier
 	for _, r := range asn.All() {
+		var src registry.Source
 		if opts.TextFiles {
-			sources = append(sources, ds.Archive.TextSource(r))
+			src = ds.Archive.TextSource(r)
 		} else {
-			sources = append(sources, ds.Archive.Source(r))
+			src = ds.Archive.Source(r)
 		}
+		if inj != nil {
+			// Chaos mode: the source becomes fallible; a Retrier recovers
+			// transient errors with bounded deterministic backoff and
+			// abandons days that keep failing.
+			ret := faults.NewRetrier(inj.WrapSource(src), faults.RetryPolicy{})
+			retriers = append(retriers, ret)
+			src = ret
+		}
+		sources = append(sources, src)
 	}
 	ds.Restored = restore.Restore(sources, ds.Archive.ERXReference())
+	for _, ret := range retriers {
+		st := ret.Stats()
+		health.Delegation.Retries += st.Retries
+		health.Delegation.AbandonedReads += st.Abandoned
+		health.Delegation.RetryBackoff += st.Backoff
+	}
+	health.Delegation.FilesScanned = ds.Restored.Report.FilesScanned
+	health.Delegation.MissingFileDays = ds.Restored.Report.MissingFileDays
+	health.Delegation.CorruptFileDays = ds.Restored.Report.CorruptFileDays
+	health.Coverage = ds.Restored.Coverage
+	if opts.FaultPolicy == FailFast && health.Delegation.AbandonedReads > 0 {
+		return nil, fmt.Errorf("pipeline: %d delegation day reads abandoned after retries (policy failfast)",
+			health.Delegation.AbandonedReads)
+	}
 	lifetimes, stats := core.BuildAdminLifetimes(ds.Restored)
 	ds.Admin = core.NewAdminIndex(lifetimes)
 	ds.AdminStats = stats
 
 	// Operational dimension: scan the collectors.
-	act, err := scan(ds.World, opts)
+	act, err := scan(ds.World, opts, inj, health)
 	if err != nil {
 		return nil, err
 	}
 	ds.Activity = act
 	ds.Ops = core.BuildOpLifetimes(act, opts.Timeout)
+	health.MRT.Records = act.Stats.RIBRecords + act.Stats.UpdateMessages
+	health.MRT.QuarantinedTruncated = act.Stats.QuarantinedTruncated
+	health.MRT.QuarantinedTails = act.Stats.QuarantinedTails
+	health.MRT.Malformed = act.Stats.DropMalformed
+	if inj != nil {
+		rep := inj.Report()
+		health.Injected = &rep
+	}
+	ds.Health = health
+	if opts.FaultPolicy == Degrade {
+		if err := health.checkBudget(opts.Budget); err != nil {
+			return nil, err
+		}
+	}
 
 	ds.Joint = core.Analyze(ds.Admin, ds.Ops)
 	return ds, nil
 }
 
 // scan runs the operational side of the pipeline.
-func scan(w *worldsim.World, opts Options) (*bgpscan.Activity, error) {
+func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health) (*bgpscan.Activity, error) {
 	inf := collector.New(w)
 	s := bgpscan.NewScannerWithVisibility(opts.Visibility)
+	s.Quarantine = opts.FaultPolicy == Degrade
 	it := inf.Iter()
 	for it.Next() {
-		if err := s.BeginDay(it.Day()); err != nil {
+		day := it.Day()
+		if err := s.BeginDay(day); err != nil {
 			return nil, err
 		}
+		health.DaysProcessed++
 		if opts.Wire {
 			ribs, updates, err := it.MRT()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("pipeline: encoding day %s: %w", day, err)
 			}
-			for _, rib := range ribs {
+			for ci, rib := range ribs {
+				if inj != nil {
+					rib = inj.MangleMRT(mrtSalt(day, ci, 0), rib)
+				}
+				health.MRT.Archives++
 				if err := s.ObserveMRT(rib); err != nil {
-					return nil, err
+					return nil, fmt.Errorf("pipeline: scanning day %s collector rrc%02d rib dump: %w", day, ci, err)
 				}
 			}
-			for _, upd := range updates {
+			for ci, upd := range updates {
+				if inj != nil {
+					upd = inj.MangleMRT(mrtSalt(day, ci, 1), upd)
+				}
+				health.MRT.Archives++
 				if err := s.ObserveMRT(upd); err != nil {
-					return nil, err
+					return nil, fmt.Errorf("pipeline: scanning day %s collector rrc%02d update dump: %w", day, ci, err)
 				}
 			}
 		} else {
@@ -133,6 +203,13 @@ func scan(w *worldsim.World, opts Options) (*bgpscan.Activity, error) {
 		}
 	}
 	return s.Finish(), nil
+}
+
+// mrtSalt derives the stable per-archive injection salt from the
+// archive's identity (day, collector, rib-or-update kind), so reruns
+// mangle exactly the same bytes.
+func mrtSalt(d dates.Day, ci, kind int) uint64 {
+	return uint64(uint32(d))<<16 | uint64(ci)<<1 | uint64(kind)
 }
 
 // Cones exposes the world's customer-cone ground truth as the ASRank

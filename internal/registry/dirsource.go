@@ -29,7 +29,27 @@ type DirSource struct {
 	reg  map[dates.Day]string
 	ext  map[dates.Day]string
 	i    int
+	rep  IngestReport
 }
+
+// IngestReport classifies what a DirSource scan and stream skipped, so
+// damaged archives surface in the pipeline Health report instead of
+// silently shrinking the dataset.
+type IngestReport struct {
+	// FilesMatched counts files with well-formed delegation names.
+	FilesMatched int
+	// CorruptNames lists files that matched the registry's naming prefix
+	// but whose embedded date failed to parse — corrupt snapshots (a
+	// mirror glitch or interrupted download), not unrelated files.
+	CorruptNames []string
+	// UnusableFiles counts named files whose content failed to parse
+	// (reported per read as corrupt snapshots in the day stream).
+	UnusableFiles int
+}
+
+// Report returns the ingest accounting accumulated so far. The name scan
+// runs in NewDirSource; UnusableFiles grows as days are streamed.
+func (s *DirSource) Report() IngestReport { return s.rep }
 
 // NewDirSource scans dir for one registry's delegation files.
 func NewDirSource(dir string, rir asn.RIR) (*DirSource, error) {
@@ -62,8 +82,13 @@ func NewDirSource(dir string, rir asn.RIR) (*DirSource, error) {
 		}
 		d, err := dates.ParseCompact(dateStr)
 		if err != nil || d == dates.None {
+			// The file is named like a delegation snapshot but carries a
+			// garbage date: a corrupt snapshot, recorded so restoration
+			// step (i) and the Health report can account for it.
+			s.rep.CorruptNames = append(s.rep.CorruptNames, name)
 			continue
 		}
+		s.rep.FilesMatched++
 		if extended {
 			s.ext[d] = name
 		} else {
@@ -97,28 +122,30 @@ func (s *DirSource) Next() (Snapshot, bool) {
 	}
 	d := s.days[s.i]
 	s.i++
-	return Snapshot{
-		Day:      d,
-		Regular:  s.load(s.reg[d]),
-		Extended: s.load(s.ext[d]),
-	}, true
+	snap := Snapshot{Day: d}
+	snap.Regular, snap.RegularCorrupt = s.load(s.reg[d])
+	snap.Extended, snap.ExtendedCorrupt = s.load(s.ext[d])
+	return snap, true
 }
 
-// load parses one file leniently; unusable files read as nil.
-func (s *DirSource) load(name string) *delegation.File {
+// load parses one file leniently; corrupt reports a file that existed on
+// disk but was unusable (open failure or unparseable content).
+func (s *DirSource) load(name string) (parsed *delegation.File, corrupt bool) {
 	if name == "" {
-		return nil
+		return nil, false
 	}
 	f, err := os.Open(filepath.Join(s.dir, name))
 	if err != nil {
-		return nil
+		s.rep.UnusableFiles++
+		return nil, true
 	}
 	defer f.Close()
-	parsed, _ := delegation.ParseLenient(f)
+	parsed, _ = delegation.ParseLenient(f)
 	if parsed == nil || (len(parsed.ASNs) == 0 && len(parsed.Other) == 0) {
-		return nil
+		s.rep.UnusableFiles++
+		return nil, true
 	}
-	return parsed
+	return parsed, false
 }
 
 // ExportDir writes the archive's files for [from, to] into dir using the

@@ -112,7 +112,38 @@ func TestDirSourceSkipsForeignAndJunkFiles(t *testing.T) {
 	if !ok || snap.Regular != nil {
 		t.Fatalf("garbage file should read as missing: %+v", snap)
 	}
+	if !snap.RegularCorrupt {
+		t.Error("garbage file should read as corrupt, not merely missing")
+	}
 	if _, ok := src.Next(); ok {
 		t.Error("source should end after the last named day")
+	}
+	rep := src.Report()
+	if rep.FilesMatched != 2 || rep.UnusableFiles != 1 || len(rep.CorruptNames) != 0 {
+		t.Errorf("ingest report = %+v", rep)
+	}
+}
+
+func TestDirSourceCountsCorruptNames(t *testing.T) {
+	dir := t.TempDir()
+	valid := "2|apnic|20040101|1|19930901|20040101|+1000\napnic|JP|asn|38500|1|20040101|allocated\n"
+	for name, content := range map[string]string{
+		"delegated-apnic-20040101": valid,
+		// Delegation-named files whose embedded date is garbage: corrupt
+		// snapshots, recorded by name rather than silently skipped.
+		"delegated-apnic-2004010x":          valid,
+		"delegated-apnic-extended-00000000": valid,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src, err := NewDirSource(dir, asn.APNIC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := src.Report()
+	if rep.FilesMatched != 1 || len(rep.CorruptNames) != 2 {
+		t.Errorf("ingest report = %+v", rep)
 	}
 }

@@ -24,6 +24,13 @@ type Snapshot struct {
 	Day      dates.Day
 	Regular  *delegation.File
 	Extended *delegation.File
+	// RegularCorrupt / ExtendedCorrupt report that the day's file existed
+	// in the archive but was unusable — retrieved bytes that failed to
+	// parse, as opposed to a file that was never there. The corresponding
+	// File field is nil; the restoration pipeline bridges the day either
+	// way but counts the two classes separately.
+	RegularCorrupt  bool
+	ExtendedCorrupt bool
 }
 
 // Source streams one registry's snapshots in day order — the interface
@@ -60,9 +67,11 @@ func (s *directSource) Next() (Snapshot, bool) {
 	d := s.day
 	s.day = s.day.AddDays(1)
 	return Snapshot{
-		Day:      d,
-		Regular:  s.a.File(s.rir, d, false),
-		Extended: s.a.File(s.rir, d, true),
+		Day:             d,
+		Regular:         s.a.File(s.rir, d, false),
+		Extended:        s.a.File(s.rir, d, true),
+		RegularCorrupt:  s.a.Status(s.rir, d, false) == FileCorrupt,
+		ExtendedCorrupt: s.a.Status(s.rir, d, true) == FileCorrupt,
 	}, true
 }
 
@@ -91,33 +100,35 @@ func (s *textSource) Next() (Snapshot, bool) {
 	}
 	d := s.day
 	s.day = s.day.AddDays(1)
-	return Snapshot{
-		Day:      d,
-		Regular:  s.roundTrip(d, false),
-		Extended: s.roundTrip(d, true),
-	}, true
+	snap := Snapshot{Day: d}
+	snap.Regular, snap.RegularCorrupt = s.roundTrip(d, false)
+	snap.Extended, snap.ExtendedCorrupt = s.roundTrip(d, true)
+	return snap, true
 }
 
-func (s *textSource) roundTrip(d dates.Day, extended bool) *delegation.File {
+// roundTrip yields the day's file after the text round trip; corrupt
+// reports a file that existed but did not survive parsing.
+func (s *textSource) roundTrip(d dates.Day, extended bool) (f *delegation.File, corrupt bool) {
 	switch s.a.Status(s.rir, d, extended) {
 	case FileAbsent:
-		return nil
+		return nil, false
 	case FileCorrupt:
 		// Corrupt files exist on disk but do not survive parsing; the
-		// pipeline treats them like missing days.
+		// pipeline treats them like missing days while counting them as
+		// corrupt retrievals.
 		f, _ := delegation.ParseLenient(bytes.NewReader(s.a.CorruptBytes(s.rir, d, extended)))
 		if f != nil && len(f.ASNs) > 0 {
-			return f
+			return f, false
 		}
-		return nil
+		return nil, true
 	}
-	f := s.a.buildFile(s.rir, d, extended)
+	f = s.a.buildFile(s.rir, d, extended)
 	s.buf.Reset()
 	if _, err := f.WriteTo(&s.buf); err != nil {
-		return nil
+		return nil, true
 	}
 	parsed, _ := delegation.ParseLenient(bytes.NewReader(s.buf.Bytes()))
-	return parsed
+	return parsed, parsed == nil
 }
 
 // CorruptBytes renders the mangled content of a corrupt file day: a

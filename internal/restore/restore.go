@@ -55,8 +55,12 @@ func (r Run) Delegated() bool { return r.Status.Delegated() }
 
 // Report counts the repairs performed, mirroring §3.1's inventory.
 type Report struct {
-	FilesScanned          int
-	MissingFileDays       int
+	FilesScanned    int
+	MissingFileDays int
+	// CorruptFileDays counts missing days whose files were retrieved but
+	// unusable (a subset of MissingFileDays): classified separately so the
+	// Health report can distinguish archive holes from damaged downloads.
+	CorruptFileDays       int
 	GapBridgedASNDays     int64
 	RecoveredFromRegular  int64
 	DivergenceReconciled  int64
@@ -69,11 +73,22 @@ type Report struct {
 	MistakenRecordsDroped int
 }
 
+// Coverage is one registry's share of usable archive days — the per-RIR
+// file inventory behind the pipeline Health report (Table 1's coverage
+// column, kept per run instead of recomputed from the archive).
+type Coverage struct {
+	Days        int // days the source yielded
+	FileDays    int // days with at least one usable file
+	MissingDays int // days with no usable file
+	CorruptDays int // missing days caused by corrupt retrievals
+}
+
 // Result is the restored archive view.
 type Result struct {
 	Start, End dates.Day
 	Runs       []Run // sorted by ASN, then span start
 	Report     Report
+	Coverage   [asn.NumRIRs]Coverage
 }
 
 // RunsOf returns the restored runs of one ASN in chronological order.
@@ -186,8 +201,14 @@ func scanSource(res *Result, src registry.Source, erxDates map[asn.ASN]dates.Day
 		if res.End == dates.None || day > res.End {
 			res.End = day
 		}
+		res.Coverage[rir].Days++
 		if snap.Regular == nil && snap.Extended == nil {
 			res.Report.MissingFileDays++
+			res.Coverage[rir].MissingDays++
+			if snap.RegularCorrupt || snap.ExtendedCorrupt {
+				res.Report.CorruptFileDays++
+				res.Coverage[rir].CorruptDays++
+			}
 			if opts.NoGapBridging {
 				// Ablation: treat the missing day as an empty file,
 				// terminating every open run.
@@ -206,6 +227,7 @@ func scanSource(res *Result, src registry.Source, erxDates map[asn.ASN]dates.Day
 			continue
 		}
 		res.Report.FilesScanned++
+		res.Coverage[rir].FileDays++
 		if firstFileDay == dates.None {
 			firstFileDay = day
 		}

@@ -101,6 +101,30 @@ func TestMissingFileBridged(t *testing.T) {
 	}
 }
 
+func TestCorruptFileDaysClassified(t *testing.T) {
+	// A retrieved-but-unusable day bridges like a missing day but is
+	// classified as corrupt, in both the report and the coverage table.
+	src := days(asn.ARIN, "2010-01-01",
+		file(asn.ARIN, rec(asn.ARIN, 1500, "US", "2010-01-01")),
+		nil, // corrupt retrieval (flag set below)
+		nil, // genuinely absent day
+		file(asn.ARIN, rec(asn.ARIN, 1500, "US", "2010-01-01")),
+	)
+	src.snaps[1].ExtendedCorrupt = true
+	res := restoreOne(src)
+	runs := res.RunsOf(1500)
+	if len(runs) != 1 || runs[0].Span.End != d("2010-01-04") {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if res.Report.MissingFileDays != 2 || res.Report.CorruptFileDays != 1 {
+		t.Errorf("report = %+v", res.Report)
+	}
+	cov := res.Coverage[asn.ARIN]
+	if cov.Days != 4 || cov.FileDays != 2 || cov.MissingDays != 2 || cov.CorruptDays != 1 {
+		t.Errorf("coverage = %+v", cov)
+	}
+}
+
 func TestMissingFileNotBridgedWhenGone(t *testing.T) {
 	// The ASN does not reappear after the gap: the run ends at its last
 	// day actually seen (§3.1 step i).

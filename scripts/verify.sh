@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verification: build, vet, the full test suite, and a race pass
+# over the fault-handling packages. Run from the repo root (make verify).
+set -eu
+
+echo "== go build"
+go build ./...
+echo "== go vet"
+go vet ./...
+echo "== go test"
+go test ./...
+echo "== go test -race (faults, bgpscan)"
+go test -race ./internal/faults/ ./internal/bgpscan/
+echo "== go test -race -short (pipeline)"
+go test -race -short ./internal/pipeline/
+echo "verify: OK"
