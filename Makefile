@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz
+.PHONY: build test vet race verify fuzz snapshot-smoke
 
 build:
 	go build ./...
@@ -11,7 +11,7 @@ vet:
 
 # Race-check the concurrency-sensitive and fault-handling packages.
 race:
-	go test -race ./internal/faults/ ./internal/bgpscan/
+	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/
 	go test -race -short ./internal/pipeline/
 
 # Short fuzz pass over the parser no-panic targets.
@@ -21,3 +21,11 @@ fuzz:
 
 verify:
 	./scripts/verify.sh
+
+# End-to-end snapshot proof: build a small snapshot with asnserve, reopen
+# it, and diff it against the in-memory dataset (-verify does the diff).
+snapshot-smoke:
+	go run ./cmd/asnserve -build -verify \
+		-snapshot $${TMPDIR:-/tmp}/parallellives-smoke.snap \
+		-scale 0.01 -start 2007-01-01 -end 2010-01-01
+	rm -f $${TMPDIR:-/tmp}/parallellives-smoke.snap

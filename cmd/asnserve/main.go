@@ -1,0 +1,156 @@
+// Command asnserve builds and serves ASN-lives snapshots: the bridge
+// from the batch pipeline to a long-running query service.
+//
+// Build mode runs the full pipeline once and persists the dataset:
+//
+//	asnserve -build -snapshot lives.snap [-scale 0.04 -seed 1 ...]
+//	asnserve -build -snapshot lives.snap -verify   # reopen + diff after writing
+//
+// Listen mode serves an existing snapshot over HTTP, cold-starting
+// without any recomputation:
+//
+//	asnserve -listen :8080 -snapshot lives.snap [-cache 256]
+//
+// Both modes together (-build -listen ...) build, save, then serve.
+//
+// Endpoints: /v1/asn/{n}, /v1/rir/{r}/series, /v1/taxonomy, /v1/health.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/faults"
+	"parallellives/internal/lifestore"
+	"parallellives/internal/pipeline"
+	"parallellives/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asnserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		snapshot = flag.String("snapshot", "lives.snap", "snapshot file path")
+		build    = flag.Bool("build", false, "run the pipeline and write the snapshot")
+		verify   = flag.Bool("verify", false, "with -build: reopen the written snapshot and diff it against the in-memory dataset")
+		listen   = flag.String("listen", "", "serve the snapshot on this address (e.g. :8080)")
+		cache    = flag.Int("cache", 256, "LRU response-cache capacity (entries, -1 disables)")
+		stride   = flag.Int("stride", 30, "default series downsampling stride (days)")
+
+		scale       = flag.Float64("scale", 0.04, "world scale")
+		seed        = flag.Int64("seed", 1, "simulation seed")
+		start       = flag.String("start", "2003-10-09", "window start")
+		end         = flag.String("end", "2021-03-01", "window end")
+		wire        = flag.Bool("wire", false, "route BGP data through MRT encode/decode")
+		directFiles = flag.Bool("direct-files", false, "skip the delegation text round trip")
+		timeout     = flag.Int("timeout", core.DefaultInactivityTimeout, "inactivity timeout (days)")
+		visibility  = flag.Int("visibility", 2, "minimum distinct peers per ASN-day")
+		faultPolicy = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
+		chaos       = flag.Bool("chaos", false, "inject the default deterministic fault storm (implies -wire)")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "fault injection seed for -chaos")
+	)
+	flag.Parse()
+
+	if !*build && *listen == "" {
+		return fmt.Errorf("nothing to do: pass -build to write a snapshot, -listen to serve one, or both")
+	}
+
+	if *build {
+		opts := pipeline.DefaultOptions()
+		opts.World.Scale = *scale
+		opts.World.Seed = *seed
+		opts.Wire = *wire
+		opts.TextFiles = !*directFiles
+		opts.Timeout = *timeout
+		opts.Visibility = *visibility
+		var err error
+		if opts.FaultPolicy, err = pipeline.ParseFaultPolicy(*faultPolicy); err != nil {
+			return err
+		}
+		if *chaos {
+			plan := faults.DefaultStorm(*chaosSeed)
+			opts.Inject = &plan
+			opts.Wire = true
+		}
+		if opts.World.Start, err = dates.Parse(*start); err != nil {
+			return err
+		}
+		if opts.World.End, err = dates.Parse(*end); err != nil {
+			return err
+		}
+
+		t0 := time.Now()
+		fmt.Fprintf(os.Stderr, "asnserve: building dataset (scale=%g, %s..%s)...\n", *scale, *start, *end)
+		ds, err := pipeline.Run(opts)
+		if err != nil {
+			return err
+		}
+		snap := lifestore.Capture(ds)
+		if err := lifestore.SaveSnapshot(snap, *snapshot); err != nil {
+			return err
+		}
+		info, err := os.Stat(*snapshot)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "asnserve: snapshot %s written in %v: %d ASNs, %d admin + %d op lives, %d bytes\n",
+			*snapshot, time.Since(t0).Round(time.Millisecond),
+			snap.Meta.ASNCount, snap.Meta.AdminLives, snap.Meta.OpLives, info.Size())
+
+		if *verify {
+			if err := verifySnapshot(snap, *snapshot); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "asnserve: verify OK (reopened snapshot is identical to the in-memory dataset)")
+		}
+	}
+
+	if *listen == "" {
+		return nil
+	}
+	st, err := lifestore.Open(*snapshot)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	m := st.Meta()
+	fmt.Fprintf(os.Stderr, "asnserve: serving %s (%s..%s, %d ASNs) on %s\n",
+		*snapshot, m.Start, m.End, m.ASNCount, *listen)
+	srv := serve.New(st, serve.Options{CacheSize: *cache, DefaultStride: *stride})
+	return http.ListenAndServe(*listen, srv)
+}
+
+// verifySnapshot proves the round trip: the file just written decodes to
+// exactly the snapshot captured from the in-memory dataset.
+func verifySnapshot(want *lifestore.Snapshot, path string) error {
+	st, err := lifestore.Open(path)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	got, err := st.Snapshot()
+	if err != nil {
+		return err
+	}
+	if diffs := lifestore.Diff(want, got); len(diffs) > 0 {
+		for i, d := range diffs {
+			if i >= 10 {
+				fmt.Fprintf(os.Stderr, "asnserve: ... and %d more differences\n", len(diffs)-i)
+				break
+			}
+			fmt.Fprintln(os.Stderr, "asnserve: diff:", d)
+		}
+		return fmt.Errorf("verify failed: reopened snapshot differs from the in-memory dataset in %d places", len(diffs))
+	}
+	return nil
+}

@@ -23,6 +23,7 @@
 //	-chaos               inject the default deterministic fault storm
 //	-chaos-seed N        fault injection seed for -chaos
 //	-datasets DIR        write Listing-1 JSON datasets into DIR
+//	-snapshot-out FILE   write a lifestore snapshot (servable by asnserve)
 //	-export-mrt DATE     write one day's MRT archives into -out
 //	-export-files DATE   write one day's delegation files into -out
 //	-out DIR             output directory for exports (default ".")
@@ -41,6 +42,7 @@ import (
 	"parallellives/internal/core"
 	"parallellives/internal/dates"
 	"parallellives/internal/faults"
+	"parallellives/internal/lifestore"
 	"parallellives/internal/pipeline"
 	"parallellives/internal/report"
 )
@@ -64,6 +66,7 @@ func run() error {
 		visibility  = flag.Int("visibility", 2, "minimum distinct peers per ASN-day")
 		experiments = flag.String("experiments", "all", "comma list of experiments, or 'all'")
 		datasets    = flag.String("datasets", "", "directory for Listing-1 JSON datasets")
+		snapshotOut = flag.String("snapshot-out", "", "write a lifestore snapshot to this path")
 		exportMRT   = flag.String("export-mrt", "", "export one day's MRT archives (YYYY-MM-DD)")
 		exportFiles = flag.String("export-files", "", "export one day's delegation files (YYYY-MM-DD)")
 		outDir      = flag.String("out", ".", "output directory for exports")
@@ -114,6 +117,13 @@ func run() error {
 		if err := writeDatasets(ds, *datasets); err != nil {
 			return err
 		}
+	}
+	if *snapshotOut != "" {
+		if err := lifestore.Save(ds, *snapshotOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot written to %s (serve it with: asnserve -listen :8080 -snapshot %s)\n",
+			*snapshotOut, *snapshotOut)
 	}
 	if *exportMRT != "" {
 		if err := doExportMRT(ds, *exportMRT, *outDir); err != nil {

@@ -1,0 +1,65 @@
+package core
+
+import "fmt"
+
+// The taxonomy's wire identity. Snapshots, JSON responses and any future
+// storage format identify a Category by these values, which are frozen:
+// the iota order of the Category constants is an in-memory detail, while
+// Code/Token pairs below are a compatibility contract (checked by tests).
+var categoryTokens = [...]string{
+	CatComplete: "complete",
+	CatPartial:  "partial",
+	CatUnused:   "unused",
+	CatOutside:  "outside",
+}
+
+// Code returns the stable one-byte wire code of the category, suitable
+// for binary snapshot encodings.
+func (c Category) Code() uint8 { return uint8(c) }
+
+// CategoryFromCode maps a wire code back to a Category.
+func CategoryFromCode(code uint8) (Category, error) {
+	if int(code) >= len(categoryTokens) {
+		return 0, fmt.Errorf("core: unknown category code %d", code)
+	}
+	return Category(code), nil
+}
+
+// Token returns the stable short identifier ("complete", "partial",
+// "unused", "outside") used in JSON APIs; String keeps the paper's long
+// display names.
+func (c Category) Token() string {
+	if int(c) < len(categoryTokens) {
+		return categoryTokens[c]
+	}
+	return "unknown"
+}
+
+// ParseCategory maps a token back to a Category.
+func ParseCategory(token string) (Category, error) {
+	for i, t := range categoryTokens {
+		if t == token {
+			return Category(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown category token %q", token)
+}
+
+// MarshalText encodes the category as its stable token, so JSON bodies
+// carry "complete" rather than a bare integer.
+func (c Category) MarshalText() ([]byte, error) {
+	if int(c) >= len(categoryTokens) {
+		return nil, fmt.Errorf("core: cannot marshal unknown category %d", uint8(c))
+	}
+	return []byte(categoryTokens[c]), nil
+}
+
+// UnmarshalText decodes a stable token.
+func (c *Category) UnmarshalText(text []byte) error {
+	v, err := ParseCategory(string(text))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}

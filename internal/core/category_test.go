@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCategoryWireContract pins the frozen code/token pairs. Changing
+// any expectation here breaks every snapshot and API client in the
+// field, so a failure means the code must change back, not the test.
+func TestCategoryWireContract(t *testing.T) {
+	wire := []struct {
+		cat   Category
+		code  uint8
+		token string
+	}{
+		{CatComplete, 0, "complete"},
+		{CatPartial, 1, "partial"},
+		{CatUnused, 2, "unused"},
+		{CatOutside, 3, "outside"},
+	}
+	for _, w := range wire {
+		if got := w.cat.Code(); got != w.code {
+			t.Errorf("%v.Code() = %d, want %d", w.cat, got, w.code)
+		}
+		if got := w.cat.Token(); got != w.token {
+			t.Errorf("%v.Token() = %q, want %q", w.cat, got, w.token)
+		}
+		back, err := CategoryFromCode(w.code)
+		if err != nil || back != w.cat {
+			t.Errorf("CategoryFromCode(%d) = %v, %v", w.code, back, err)
+		}
+		parsed, err := ParseCategory(w.token)
+		if err != nil || parsed != w.cat {
+			t.Errorf("ParseCategory(%q) = %v, %v", w.token, parsed, err)
+		}
+	}
+}
+
+func TestCategoryJSONRoundTrip(t *testing.T) {
+	for _, c := range []Category{CatComplete, CatPartial, CatUnused, CatOutside} {
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + c.Token() + `"`; string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", c, b, want)
+		}
+		var back Category
+		if err := json.Unmarshal(b, &back); err != nil || back != c {
+			t.Errorf("unmarshal %s = %v, %v", b, back, err)
+		}
+	}
+	if _, err := CategoryFromCode(200); err == nil {
+		t.Error("unknown code accepted")
+	}
+	if _, err := ParseCategory("bogus"); err == nil {
+		t.Error("unknown token accepted")
+	}
+	var c Category
+	if err := c.UnmarshalText([]byte("bogus")); err == nil {
+		t.Error("UnmarshalText accepted an unknown token")
+	}
+}

@@ -1,0 +1,51 @@
+package lifestore
+
+import "testing"
+
+// BenchmarkLifestoreOpenAndQuery measures the cold-start path a server
+// pays per snapshot: open (header + eager sections + index) plus one
+// lazy single-ASN lookup.
+func BenchmarkLifestoreOpenAndQuery(b *testing.B) {
+	ds := testDataset(b, 1, false)
+	snap := Capture(ds)
+	img, err := Encode(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := snap.Lives[len(snap.Lives)/2].ASN
+	b.ReportAllocs()
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := OpenBytes(img)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := st.Lookup(target); err != nil || !ok {
+			b.Fatalf("AS%s: ok=%v err=%v", target, ok, err)
+		}
+	}
+}
+
+// BenchmarkLookup isolates the steady-state per-query cost once the
+// store is open.
+func BenchmarkLookup(b *testing.B) {
+	ds := testDataset(b, 1, false)
+	snap := Capture(ds)
+	img, err := Encode(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := OpenBytes(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	asns := st.ASNs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := st.Lookup(asns[i%len(asns)]); err != nil || !ok {
+			b.Fatalf("lookup failed: ok=%v err=%v", ok, err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package lifestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"parallellives/internal/dates"
+)
+
+// All checksums in the format are CRC-32C (Castagnoli).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// enc accumulates a varint-encoded section payload.
+type enc struct{ b []byte }
+
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) byte(v uint8)     { e.b = append(e.b, v) }
+func (e *enc) day(d dates.Day)  { e.varint(int64(d)) }
+func (e *enc) count(n int)      { e.uvarint(uint64(n)) }
+func (e *enc) float(f float64)  { e.uvarint(math.Float64bits(f)) }
+func (e *enc) bool(v bool)      { e.byte(boolByte(v)) }
+
+func (e *enc) string(s string) {
+	e.count(len(s))
+	e.b = append(e.b, s...)
+}
+
+// ints delta-encodes an integer series; daily alive counts move slowly,
+// so deltas keep the series section small.
+func (e *enc) ints(vs []int) {
+	e.count(len(vs))
+	prev := int64(0)
+	for _, v := range vs {
+		e.varint(int64(v) - prev)
+		prev = int64(v)
+	}
+}
+
+func boolByte(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// dec consumes a varint-encoded section payload with a sticky error.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("lifestore: "+format, args...)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) byte() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) day() dates.Day { return dates.Day(d.varint()) }
+func (d *dec) float() float64 { return math.Float64frombits(d.uvarint()) }
+func (d *dec) bool() bool     { return d.byte() != 0 }
+
+// count reads a collection length and bounds it against the remaining
+// payload so corrupt sizes cannot drive huge allocations.
+func (d *dec) count() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.b)-d.off) {
+		d.fail("count %d exceeds remaining payload %d", v, len(d.b)-d.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) string() string {
+	n := d.count()
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) ints() []int {
+	n := d.count()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	prev := int64(0)
+	for i := range out {
+		prev += d.varint()
+		out[i] = int(prev)
+	}
+	return out
+}
+
+// done reports whether the whole payload was consumed cleanly.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("lifestore: %d trailing bytes in section payload", len(d.b)-d.off)
+	}
+	return nil
+}

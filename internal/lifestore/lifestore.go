@@ -1,0 +1,232 @@
+// Package lifestore persists a computed dual-lens dataset — the
+// administrative and operational lives of every ASN, their joint
+// taxonomy, the daily alive series, per-RIR coverage and the pipeline
+// health report — in a versioned, checksummed binary snapshot.
+//
+// A snapshot turns a batch pipeline.Run into a servable artifact: the
+// expensive 17-year computation happens once (Save), and any number of
+// later processes answer per-ASN queries from the file (Open) without
+// recomputing anything. The file carries a sorted per-ASN index so a
+// single-ASN lookup decodes only that ASN's block; everything else —
+// metadata, health, taxonomy, series — is small and loaded eagerly.
+//
+// See DESIGN.md §7 for the file layout, versioning rules and checksum
+// policy.
+package lifestore
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+	"parallellives/internal/pipeline"
+)
+
+// Meta identifies a snapshot: the format version it was written with,
+// the run configuration it captures, and the dataset's headline counts.
+type Meta struct {
+	FormatVersion uint16
+	// Start and End bound the observation window.
+	Start, End dates.Day
+	// Timeout, Visibility, Policy, Wire and TextFiles echo the pipeline
+	// options of the run.
+	Timeout    int
+	Visibility int
+	Policy     pipeline.FaultPolicy
+	Wire       bool
+	TextFiles  bool
+	// Scale and Seed identify the simulated world.
+	Scale             float64
+	Seed              int64
+	Collectors        int
+	PeersPerCollector int
+	// Chaos records whether deterministic faults were injected.
+	Chaos bool
+	// Dataset sizes.
+	ASNCount   int
+	AdminLives int
+	OpLives    int
+}
+
+// AdminLife is one administrative life as stored: the §4.1 lifetime plus
+// its joint-taxonomy category.
+type AdminLife struct {
+	RIR         asn.RIR
+	CC          string
+	OpaqueID    string
+	RegDate     dates.Day
+	Span        intervals.Interval
+	Open        bool
+	Transferred bool
+	Pieces      int
+	Category    core.Category
+}
+
+// OpLife is one operational life as stored.
+type OpLife struct {
+	Span     intervals.Interval
+	Category core.Category
+}
+
+// ASNLives is one ASN's block: both dimensions in chronological order.
+type ASNLives struct {
+	ASN   asn.ASN
+	Admin []AdminLife
+	Op    []OpLife
+}
+
+// Snapshot is the fully decoded in-memory form of a snapshot file.
+type Snapshot struct {
+	Meta     Meta
+	Health   pipeline.Health
+	Taxonomy core.TaxonomyCounts
+	Series   *core.AliveSeries
+	// Lives is sorted by ASN.
+	Lives []ASNLives
+}
+
+// Capture builds the serializable view of a dataset. The per-ASN lives
+// are ordered exactly as the dataset's indexes hold them (ASN, then span
+// start), so Capture is deterministic for a deterministic run.
+func Capture(ds *pipeline.Dataset) *Snapshot {
+	start, end := ds.Window()
+	snap := &Snapshot{
+		Meta: Meta{
+			FormatVersion:     FormatVersion,
+			Start:             start,
+			End:               end,
+			Timeout:           ds.Options.Timeout,
+			Visibility:        ds.Options.Visibility,
+			Policy:            ds.Options.FaultPolicy,
+			Wire:              ds.Options.Wire,
+			TextFiles:         ds.Options.TextFiles,
+			Scale:             ds.Options.World.Scale,
+			Seed:              ds.Options.World.Seed,
+			Collectors:        ds.Options.World.Collectors,
+			PeersPerCollector: ds.Options.World.PeersPerCollector,
+			Chaos:             ds.Options.Inject != nil,
+			AdminLives:        len(ds.Admin.Lifetimes),
+			OpLives:           len(ds.Ops.Lifetimes),
+		},
+		Health:   *ds.Health,
+		Taxonomy: ds.Joint.Taxonomy(),
+		Series:   ds.AliveSeries(),
+	}
+
+	byASN := make(map[asn.ASN]*ASNLives)
+	var order []asn.ASN
+	get := func(a asn.ASN) *ASNLives {
+		if l, ok := byASN[a]; ok {
+			return l
+		}
+		l := &ASNLives{ASN: a}
+		byASN[a] = l
+		order = append(order, a)
+		return l
+	}
+	for i, l := range ds.Admin.Lifetimes {
+		get(l.ASN).Admin = append(get(l.ASN).Admin, AdminLife{
+			RIR:         l.RIR,
+			CC:          l.CC,
+			OpaqueID:    l.OpaqueID,
+			RegDate:     l.RegDate,
+			Span:        l.Span,
+			Open:        l.Open,
+			Transferred: l.Transferred,
+			Pieces:      l.Pieces,
+			Category:    ds.Joint.AdminCat[i],
+		})
+	}
+	for i, l := range ds.Ops.Lifetimes {
+		get(l.ASN).Op = append(get(l.ASN).Op, OpLife{
+			Span:     l.Span,
+			Category: ds.Joint.OpCat[i],
+		})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	snap.Lives = make([]ASNLives, len(order))
+	for i, a := range order {
+		snap.Lives[i] = *byASN[a]
+	}
+	snap.Meta.ASNCount = len(snap.Lives)
+	return snap
+}
+
+// Lookup returns one ASN's lives from the in-memory snapshot.
+func (s *Snapshot) Lookup(a asn.ASN) (ASNLives, bool) {
+	i := sort.Search(len(s.Lives), func(i int) bool { return s.Lives[i].ASN >= a })
+	if i < len(s.Lives) && s.Lives[i].ASN == a {
+		return s.Lives[i], true
+	}
+	return ASNLives{}, false
+}
+
+// InMemory adapts a Snapshot to the same query surface a Store offers,
+// so a freshly computed dataset can be served without touching disk (and
+// so tests can compare served responses against the in-memory truth).
+type InMemory struct{ snap *Snapshot }
+
+// NewInMemory wraps a snapshot.
+func NewInMemory(s *Snapshot) *InMemory { return &InMemory{snap: s} }
+
+// Meta returns the snapshot metadata.
+func (m *InMemory) Meta() Meta { return m.snap.Meta }
+
+// Health returns the captured pipeline health report.
+func (m *InMemory) Health() pipeline.Health { return m.snap.Health }
+
+// Taxonomy returns the Table-3 counts.
+func (m *InMemory) Taxonomy() core.TaxonomyCounts { return m.snap.Taxonomy }
+
+// Series returns the daily alive series.
+func (m *InMemory) Series() *core.AliveSeries { return m.snap.Series }
+
+// Lookup returns one ASN's lives.
+func (m *InMemory) Lookup(a asn.ASN) (ASNLives, bool, error) {
+	l, ok := m.snap.Lookup(a)
+	return l, ok, nil
+}
+
+// ASNCount returns the number of distinct ASNs with at least one life.
+func (m *InMemory) ASNCount() int { return len(m.snap.Lives) }
+
+// Diff compares two snapshots and describes every difference, one string
+// per divergent component or ASN. An empty result means the snapshots
+// are identical — the property Save/Open round-trip tests assert.
+func Diff(a, b *Snapshot) []string {
+	var out []string
+	if a.Meta != b.Meta {
+		out = append(out, fmt.Sprintf("meta differs: %+v vs %+v", a.Meta, b.Meta))
+	}
+	if !reflect.DeepEqual(a.Health, b.Health) {
+		out = append(out, fmt.Sprintf("health differs: %+v vs %+v", a.Health, b.Health))
+	}
+	if a.Taxonomy != b.Taxonomy {
+		out = append(out, fmt.Sprintf("taxonomy differs: %+v vs %+v", a.Taxonomy, b.Taxonomy))
+	}
+	if !reflect.DeepEqual(a.Series, b.Series) {
+		out = append(out, "alive series differs")
+	}
+	i, j := 0, 0
+	for i < len(a.Lives) || j < len(b.Lives) {
+		switch {
+		case j >= len(b.Lives) || (i < len(a.Lives) && a.Lives[i].ASN < b.Lives[j].ASN):
+			out = append(out, fmt.Sprintf("AS%s only in first snapshot", a.Lives[i].ASN))
+			i++
+		case i >= len(a.Lives) || a.Lives[i].ASN > b.Lives[j].ASN:
+			out = append(out, fmt.Sprintf("AS%s only in second snapshot", b.Lives[j].ASN))
+			j++
+		default:
+			if !reflect.DeepEqual(a.Lives[i], b.Lives[j]) {
+				out = append(out, fmt.Sprintf("AS%s lives differ", a.Lives[i].ASN))
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}

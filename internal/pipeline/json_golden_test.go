@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallellives/internal/dates"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden JSON datasets")
+
+// goldenOptions is deliberately tiny: the golden files live in the repo,
+// so the world must stay small while still producing both datasets.
+func goldenOptions() Options {
+	opts := DefaultOptions()
+	opts.World.Scale = 0.01
+	opts.World.Seed = 1
+	opts.World.Start = dates.MustParse("2004-01-01")
+	opts.World.End = dates.MustParse("2005-12-31")
+	return opts
+}
+
+// TestJSONGolden pins the exact bytes of WriteAdminJSON and WriteOpJSON.
+// The encoding is a published interchange shape (Listing 1 of the
+// paper), so any drift — field order, date format, record order — is a
+// compatibility break and must show up as a diff here. Regenerate with
+//
+//	go test ./internal/pipeline/ -run TestJSONGolden -update
+func TestJSONGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-year pipeline run")
+	}
+	ds, err := Run(goldenOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := []struct {
+		name  string
+		write func(ds *Dataset, buf *bytes.Buffer) error
+	}{
+		{"admin_golden.jsonl", func(ds *Dataset, buf *bytes.Buffer) error { return ds.WriteAdminJSON(buf) }},
+		{"op_golden.jsonl", func(ds *Dataset, buf *bytes.Buffer) error { return ds.WriteOpJSON(buf) }},
+	}
+	for _, w := range writers {
+		t.Run(w.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := w.write(ds, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", w.name)
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output drifted from golden file %s (%d vs %d bytes); if the change is intentional, rerun with -update", path, buf.Len(), len(want))
+			}
+		})
+	}
+}
+
+// TestJSONDeterministic proves the writers are order-independent: two
+// runs of the same world encode identically.
+func TestJSONDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-year pipeline runs")
+	}
+	var outs [2][]byte
+	for i := range outs {
+		ds, err := Run(goldenOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var admin, op bytes.Buffer
+		if err := ds.WriteAdminJSON(&admin); err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.WriteOpJSON(&op); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = append(admin.Bytes(), op.Bytes()...)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatal("two identical runs produced different JSON datasets")
+	}
+}

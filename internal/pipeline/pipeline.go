@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"parallellives/internal/asn"
 	"parallellives/internal/bgpscan"
@@ -233,6 +234,18 @@ func (c *Cones) ConeSize(a asn.ASN) (int, bool) {
 	return n, ok
 }
 
+// Window returns the observation window the dataset was built over.
+func (ds *Dataset) Window() (start, end dates.Day) {
+	return ds.World.Config.Start, ds.World.Config.End
+}
+
+// AliveSeries computes the daily alive counts over the full observation
+// window — the series a snapshot stores so a served dataset can answer
+// /v1/rir/{r}/series without the activity data the computation needs.
+func (ds *Dataset) AliveSeries() *core.AliveSeries {
+	return ds.Joint.Alive(ds.World.Config.Start, ds.World.Config.End)
+}
+
 // adminRecord matches the paper's Listing 1 administrative dataset.
 type adminRecord struct {
 	ASN       asn.ASN `json:"ASN"`
@@ -251,10 +264,24 @@ type opRecord struct {
 }
 
 // WriteAdminJSON writes the administrative dataset in the paper's
-// published JSON shape (Listing 1).
+// published JSON shape (Listing 1). The output order is pinned — sorted
+// by ASN, then span start, then registry — independent of the index's
+// in-memory order, so the encoding is a stable identity for lives that
+// the snapshot store and its golden tests can rely on.
 func (ds *Dataset) WriteAdminJSON(w io.Writer) error {
+	lives := make([]core.AdminLifetime, len(ds.Admin.Lifetimes))
+	copy(lives, ds.Admin.Lifetimes)
+	sort.SliceStable(lives, func(a, b int) bool {
+		if lives[a].ASN != lives[b].ASN {
+			return lives[a].ASN < lives[b].ASN
+		}
+		if lives[a].Span.Start != lives[b].Span.Start {
+			return lives[a].Span.Start < lives[b].Span.Start
+		}
+		return lives[a].RIR < lives[b].RIR
+	})
 	enc := json.NewEncoder(w)
-	for _, l := range ds.Admin.Lifetimes {
+	for _, l := range lives {
 		rec := adminRecord{
 			ASN:       l.ASN,
 			RegDate:   l.RegDate.String(),
@@ -270,10 +297,19 @@ func (ds *Dataset) WriteAdminJSON(w io.Writer) error {
 	return nil
 }
 
-// WriteOpJSON writes the operational dataset (Listing 1).
+// WriteOpJSON writes the operational dataset (Listing 1), sorted by ASN
+// then span start regardless of the index's in-memory order.
 func (ds *Dataset) WriteOpJSON(w io.Writer) error {
+	lives := make([]core.OpLifetime, len(ds.Ops.Lifetimes))
+	copy(lives, ds.Ops.Lifetimes)
+	sort.SliceStable(lives, func(a, b int) bool {
+		if lives[a].ASN != lives[b].ASN {
+			return lives[a].ASN < lives[b].ASN
+		}
+		return lives[a].Span.Start < lives[b].Span.Start
+	})
 	enc := json.NewEncoder(w)
-	for _, l := range ds.Ops.Lifetimes {
+	for _, l := range lives {
 		rec := opRecord{
 			ASN:       l.ASN,
 			StartDate: l.Span.Start.String(),

@@ -76,30 +76,35 @@ type Figure4 struct {
 
 // BuildFigure4 samples the alive series every stride days.
 func BuildFigure4(j *core.Joint, start, end dates.Day, stride int) Figure4 {
-	s := j.Alive(start, end)
-	var f Figure4
+	return BuildFigure4FromSeries(j.Alive(start, end), stride)
+}
+
+// BuildFigure4FromSeries builds the figure from an already-computed alive
+// series — the path the query service takes when serving a snapshot, where
+// the series is stored rather than recomputed from lifetimes.
+func BuildFigure4FromSeries(s *core.AliveSeries, stride int) Figure4 {
+	sample := SampleAlive(s, stride)
+	f := Figure4{
+		Days:     sample.Days,
+		Admin:    sample.Admin,
+		Op:       sample.Op,
+		AdminAll: sample.AdminAll,
+		OpAll:    sample.OpAll,
+	}
 	f.Crossover.Admin = dates.None
 	f.Crossover.Op = dates.None
-	for off := 0; off < len(s.AdminOverall); off += stride {
-		d := start.AddDays(off)
-		f.Days = append(f.Days, d)
-		for _, r := range asn.All() {
-			f.Admin[r] = append(f.Admin[r], s.AdminPerRIR[r][off])
-			f.Op[r] = append(f.Op[r], s.OpPerRIR[r][off])
-		}
-		f.AdminAll = append(f.AdminAll, s.AdminOverall[off])
-		f.OpAll = append(f.OpAll, s.OpOverall[off])
+	for i, d := range sample.Days {
 		if f.Crossover.Admin == dates.None &&
-			s.AdminPerRIR[asn.RIPENCC][off] > s.AdminPerRIR[asn.ARIN][off] {
+			sample.Admin[asn.RIPENCC][i] > sample.Admin[asn.ARIN][i] {
 			f.Crossover.Admin = d
 		}
 		if f.Crossover.Op == dates.None &&
-			s.OpPerRIR[asn.RIPENCC][off] > s.OpPerRIR[asn.ARIN][off] {
+			sample.Op[asn.RIPENCC][i] > sample.Op[asn.ARIN][i] {
 			f.Crossover.Op = d
 		}
 	}
 	last := len(s.AdminOverall) - 1
-	if s.AdminOverall[last] > 0 {
+	if last >= 0 && s.AdminOverall[last] > 0 {
 		f.EndGap = 1 - float64(s.OpOverall[last])/float64(s.AdminOverall[last])
 	}
 	return f

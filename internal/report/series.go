@@ -1,0 +1,39 @@
+package report
+
+import (
+	"parallellives/internal/asn"
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+)
+
+// SeriesSample is a stride-sampled view of a core.AliveSeries: one point
+// every stride days, per registry and overall, in both dimensions. It is
+// the common series shape behind Figure 4 and the query service's
+// /v1/rir/{r}/series endpoint.
+type SeriesSample struct {
+	Stride   int
+	Days     []dates.Day
+	Admin    [asn.NumRIRs][]int
+	Op       [asn.NumRIRs][]int
+	AdminAll []int
+	OpAll    []int
+}
+
+// SampleAlive downsamples a daily alive series to one point every stride
+// days, always keeping the first day. stride <= 1 keeps every day.
+func SampleAlive(s *core.AliveSeries, stride int) SeriesSample {
+	if stride < 1 {
+		stride = 1
+	}
+	out := SeriesSample{Stride: stride}
+	for off := 0; off < len(s.AdminOverall); off += stride {
+		out.Days = append(out.Days, s.Start.AddDays(off))
+		for _, r := range asn.All() {
+			out.Admin[r] = append(out.Admin[r], s.AdminPerRIR[r][off])
+			out.Op[r] = append(out.Op[r], s.OpPerRIR[r][off])
+		}
+		out.AdminAll = append(out.AdminAll, s.AdminOverall[off])
+		out.OpAll = append(out.OpAll, s.OpOverall[off])
+	}
+	return out
+}

@@ -171,7 +171,12 @@ type Table3 struct {
 
 // BuildTable3 tallies the four categories.
 func BuildTable3(j *core.Joint) Table3 {
-	c := j.Taxonomy()
+	return BuildTable3FromCounts(j.Taxonomy())
+}
+
+// BuildTable3FromCounts derives the table from pre-tallied taxonomy
+// counts, as stored in a snapshot.
+func BuildTable3FromCounts(c core.TaxonomyCounts) Table3 {
 	t := Table3{Counts: c}
 	t.AdminTotal = c.AdminComplete + c.AdminPartial + c.AdminUnused
 	t.OpTotal = c.OpComplete + c.OpPartial + c.OpOutside

@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"parallellives/internal/lifestore"
+)
+
+// BenchmarkServeTaxonomy measures the full handler path — mux dispatch,
+// cache lookup, JSON render — for the hottest aggregate endpoint. With
+// the default cache this is the hit path after the first iteration.
+func BenchmarkServeTaxonomy(b *testing.B) {
+	snap, _ := fixtures(b)
+	srv := New(lifestore.NewInMemory(snap), Options{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/taxonomy", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+// BenchmarkServeASN measures a cache-missing single-ASN lookup from an
+// opened snapshot, the lazy-decode path a cold cache pays.
+func BenchmarkServeASN(b *testing.B) {
+	snap, img := fixtures(b)
+	st, err := lifestore.OpenBytes(img)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := New(st, Options{CacheSize: -1}) // disable the cache: measure the decode
+	req := httptest.NewRequest(http.MethodGet, "/v1/asn/"+snap.Lives[0].ASN.String(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cached is one stored response body with its content type.
+type cached struct {
+	contentType string
+	body        []byte
+}
+
+// lru is a fixed-capacity least-recently-used response cache. It is safe
+// for concurrent use; hit/miss counts are kept under the same lock as
+// the structure itself, so they are exact.
+type lru struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type lruEntry struct {
+	key string
+	val cached
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value for key, marking it most recently used.
+func (c *lru) get(key string) (cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return cached{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put stores a value, evicting the least recently used entry when full.
+func (c *lru) put(key string, val cached) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// stats returns the counters and current size.
+func (c *lru) stats() (hits, misses uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.capacity
+}

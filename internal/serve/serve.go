@@ -1,0 +1,378 @@
+// Package serve exposes a computed ASN-lives dataset over a concurrent
+// HTTP API. It answers from a lifestore — either a snapshot file opened
+// cold (lifestore.Store) or a freshly captured in-memory snapshot
+// (lifestore.InMemory) — so serving never re-runs the pipeline.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/v1/asn/{n}        one ASN's parallel lives with taxonomy categories
+//	/v1/rir/{r}/series daily alive counts for one registry (or "all"),
+//	                   downsampled with ?stride=N days
+//	/v1/taxonomy       the Table-3 taxonomy counts and shares
+//	/v1/health         pipeline health + store metadata + cache and
+//	                   per-endpoint request/latency counters
+//
+// Responses for the data endpoints are cached in a fixed-size LRU keyed
+// by path and query; /v1/health is always computed live.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/core"
+	"parallellives/internal/lifestore"
+	"parallellives/internal/pipeline"
+	"parallellives/internal/report"
+)
+
+// Source is the query surface the server needs; *lifestore.Store and
+// *lifestore.InMemory both implement it.
+type Source interface {
+	Meta() lifestore.Meta
+	Health() pipeline.Health
+	Taxonomy() core.TaxonomyCounts
+	Series() *core.AliveSeries
+	Lookup(a asn.ASN) (lifestore.ASNLives, bool, error)
+	ASNCount() int
+}
+
+// Options configures a server.
+type Options struct {
+	// CacheSize is the LRU response-cache capacity in entries
+	// (default 256; negative disables caching).
+	CacheSize int
+	// DefaultStride is the series downsampling default in days when the
+	// request carries no ?stride (default 30).
+	DefaultStride int
+}
+
+// Server is the HTTP API over one opened dataset. It is safe for
+// concurrent use.
+type Server struct {
+	src           Source
+	mux           *http.ServeMux
+	cache         *lru
+	metrics       map[string]*endpointMetrics
+	defaultStride int
+}
+
+// endpointMetrics counts one endpoint's traffic.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	latencyNs atomic.Int64
+}
+
+// New builds the server around a source.
+func New(src Source, opts Options) *Server {
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 256
+	}
+	if opts.CacheSize < 0 {
+		opts.CacheSize = 0
+	}
+	if opts.DefaultStride <= 0 {
+		opts.DefaultStride = 30
+	}
+	s := &Server{
+		src:           src,
+		mux:           http.NewServeMux(),
+		cache:         newLRU(opts.CacheSize),
+		metrics:       make(map[string]*endpointMetrics),
+		defaultStride: opts.DefaultStride,
+	}
+	s.mux.HandleFunc("GET /v1/asn/{n}", s.wrap("/v1/asn/{n}", true, s.handleASN))
+	s.mux.HandleFunc("GET /v1/rir/{r}/series", s.wrap("/v1/rir/{r}/series", true, s.handleSeries))
+	s.mux.HandleFunc("GET /v1/taxonomy", s.wrap("/v1/taxonomy", true, s.handleTaxonomy))
+	s.mux.HandleFunc("GET /v1/health", s.wrap("/v1/health", false, s.handleHealth))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// apiError is a handler failure with its HTTP status.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func errf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// wrap adds caching, metrics and JSON rendering around a handler.
+func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any, *apiError)) http.HandlerFunc {
+	m := &endpointMetrics{}
+	s.metrics[label] = m
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { m.latencyNs.Add(time.Since(start).Nanoseconds()) }()
+		m.requests.Add(1)
+
+		key := r.URL.Path
+		if r.URL.RawQuery != "" {
+			key += "?" + r.URL.RawQuery
+		}
+		if cacheable {
+			if c, ok := s.cache.get(key); ok {
+				writeBody(w, http.StatusOK, c)
+				return
+			}
+		}
+		payload, apiErr := fn(r)
+		if apiErr != nil {
+			m.errors.Add(1)
+			body, _ := json.Marshal(map[string]string{"error": apiErr.msg})
+			writeBody(w, apiErr.code, cached{contentType: "application/json", body: body})
+			return
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			m.errors.Add(1)
+			http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		c := cached{contentType: "application/json", body: body}
+		if cacheable {
+			s.cache.put(key, c)
+		}
+		writeBody(w, http.StatusOK, c)
+	}
+}
+
+func writeBody(w http.ResponseWriter, status int, c cached) {
+	w.Header().Set("Content-Type", c.contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(c.body)))
+	w.WriteHeader(status)
+	w.Write(c.body)
+}
+
+// adminLifeJSON is one administrative life in an /v1/asn response.
+type adminLifeJSON struct {
+	ID          string        `json:"id"`
+	RIR         string        `json:"rir"`
+	CC          string        `json:"cc,omitempty"`
+	OrgID       string        `json:"orgId,omitempty"`
+	RegDate     string        `json:"regDate"`
+	Start       string        `json:"start"`
+	End         string        `json:"end"`
+	Days        int           `json:"days"`
+	Open        bool          `json:"open"`
+	Transferred bool          `json:"transferred,omitempty"`
+	Pieces      int           `json:"pieces"`
+	Category    core.Category `json:"category"`
+}
+
+// opLifeJSON is one operational life in an /v1/asn response.
+type opLifeJSON struct {
+	ID       string        `json:"id"`
+	Start    string        `json:"start"`
+	End      string        `json:"end"`
+	Days     int           `json:"days"`
+	Category core.Category `json:"category"`
+}
+
+type asnResponse struct {
+	ASN   asn.ASN         `json:"asn"`
+	Admin []adminLifeJSON `json:"admin"`
+	Op    []opLifeJSON    `json:"op"`
+}
+
+func (s *Server) handleASN(r *http.Request) (any, *apiError) {
+	raw := strings.TrimPrefix(strings.TrimPrefix(r.PathValue("n"), "AS"), "as")
+	a, err := asn.Parse(raw)
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "bad ASN %q", r.PathValue("n"))
+	}
+	lives, ok, err := s.src.Lookup(a)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "reading AS%s: %v", a, err)
+	}
+	if !ok {
+		return nil, errf(http.StatusNotFound, "AS%s has no recorded lives", a)
+	}
+	resp := asnResponse{ASN: a, Admin: []adminLifeJSON{}, Op: []opLifeJSON{}}
+	for i, al := range lives.Admin {
+		resp.Admin = append(resp.Admin, adminLifeJSON{
+			ID:          fmt.Sprintf("AS%s:admin:%d", a, i),
+			RIR:         al.RIR.Token(),
+			CC:          al.CC,
+			OrgID:       al.OpaqueID,
+			RegDate:     al.RegDate.String(),
+			Start:       al.Span.Start.String(),
+			End:         al.Span.End.String(),
+			Days:        al.Span.Days(),
+			Open:        al.Open,
+			Transferred: al.Transferred,
+			Pieces:      al.Pieces,
+			Category:    al.Category,
+		})
+	}
+	for i, ol := range lives.Op {
+		resp.Op = append(resp.Op, opLifeJSON{
+			ID:       fmt.Sprintf("AS%s:op:%d", a, i),
+			Start:    ol.Span.Start.String(),
+			End:      ol.Span.End.String(),
+			Days:     ol.Span.Days(),
+			Category: ol.Category,
+		})
+	}
+	return resp, nil
+}
+
+type seriesResponse struct {
+	RIR    string   `json:"rir"`
+	Start  string   `json:"start"`
+	End    string   `json:"end"`
+	Stride int      `json:"stride"`
+	Days   []string `json:"days"`
+	Admin  []int    `json:"admin"`
+	Op     []int    `json:"op"`
+}
+
+func (s *Server) handleSeries(r *http.Request) (any, *apiError) {
+	token := r.PathValue("r")
+	series := s.src.Series()
+	if series == nil {
+		return nil, errf(http.StatusNotFound, "snapshot carries no alive series")
+	}
+	stride := s.defaultStride
+	if q := r.URL.Query().Get("stride"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			return nil, errf(http.StatusBadRequest, "bad stride %q", q)
+		}
+		stride = v
+	}
+	sample := report.SampleAlive(series, stride)
+	resp := seriesResponse{
+		RIR:    token,
+		Start:  series.Start.String(),
+		End:    series.End.String(),
+		Stride: stride,
+		Days:   make([]string, len(sample.Days)),
+	}
+	for i, d := range sample.Days {
+		resp.Days[i] = d.String()
+	}
+	if token == "all" {
+		resp.Admin = sample.AdminAll
+		resp.Op = sample.OpAll
+		return resp, nil
+	}
+	rir, err := asn.ParseRIR(token)
+	if err != nil {
+		return nil, errf(http.StatusNotFound, "unknown registry %q (want afrinic, apnic, arin, lacnic, ripencc or all)", token)
+	}
+	resp.Admin = sample.Admin[rir]
+	resp.Op = sample.Op[rir]
+	return resp, nil
+}
+
+type taxonomyResponse struct {
+	AdminComplete int     `json:"adminComplete"`
+	AdminPartial  int     `json:"adminPartial"`
+	AdminUnused   int     `json:"adminUnused"`
+	OpComplete    int     `json:"opComplete"`
+	OpPartial     int     `json:"opPartial"`
+	OpOutside     int     `json:"opOutside"`
+	AdminTotal    int     `json:"adminTotal"`
+	OpTotal       int     `json:"opTotal"`
+	CompleteShare float64 `json:"completeShare"`
+	PartialShare  float64 `json:"partialShare"`
+	UnusedShare   float64 `json:"unusedShare"`
+}
+
+func (s *Server) handleTaxonomy(*http.Request) (any, *apiError) {
+	t := report.BuildTable3FromCounts(s.src.Taxonomy())
+	return taxonomyResponse{
+		AdminComplete: t.Counts.AdminComplete,
+		AdminPartial:  t.Counts.AdminPartial,
+		AdminUnused:   t.Counts.AdminUnused,
+		OpComplete:    t.Counts.OpComplete,
+		OpPartial:     t.Counts.OpPartial,
+		OpOutside:     t.Counts.OpOutside,
+		AdminTotal:    t.AdminTotal,
+		OpTotal:       t.OpTotal,
+		CompleteShare: t.CompleteShare,
+		PartialShare:  t.PartialShare,
+		UnusedShare:   t.UnusedShare,
+	}, nil
+}
+
+type storeJSON struct {
+	FormatVersion uint16  `json:"formatVersion"`
+	Start         string  `json:"start"`
+	End           string  `json:"end"`
+	Timeout       int     `json:"timeout"`
+	Visibility    int     `json:"visibility"`
+	Policy        string  `json:"policy"`
+	Wire          bool    `json:"wire"`
+	Scale         float64 `json:"scale"`
+	Seed          int64   `json:"seed"`
+	Chaos         bool    `json:"chaos"`
+	ASNCount      int     `json:"asnCount"`
+	AdminLives    int     `json:"adminLives"`
+	OpLives       int     `json:"opLives"`
+}
+
+type cacheJSON struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+type endpointJSON struct {
+	Requests       int64 `json:"requests"`
+	Errors         int64 `json:"errors"`
+	TotalLatencyNs int64 `json:"totalLatencyNs"`
+}
+
+type healthResponse struct {
+	Store     storeJSON               `json:"store"`
+	Pipeline  pipeline.Health         `json:"pipeline"`
+	Cache     cacheJSON               `json:"cache"`
+	Endpoints map[string]endpointJSON `json:"endpoints"`
+}
+
+func (s *Server) handleHealth(*http.Request) (any, *apiError) {
+	m := s.src.Meta()
+	hits, misses, size, capacity := s.cache.stats()
+	resp := healthResponse{
+		Store: storeJSON{
+			FormatVersion: m.FormatVersion,
+			Start:         m.Start.String(),
+			End:           m.End.String(),
+			Timeout:       m.Timeout,
+			Visibility:    m.Visibility,
+			Policy:        m.Policy.String(),
+			Wire:          m.Wire,
+			Scale:         m.Scale,
+			Seed:          m.Seed,
+			Chaos:         m.Chaos,
+			ASNCount:      m.ASNCount,
+			AdminLives:    m.AdminLives,
+			OpLives:       m.OpLives,
+		},
+		Pipeline:  s.src.Health(),
+		Cache:     cacheJSON{Hits: hits, Misses: misses, Size: size, Capacity: capacity},
+		Endpoints: make(map[string]endpointJSON, len(s.metrics)),
+	}
+	for label, em := range s.metrics {
+		resp.Endpoints[label] = endpointJSON{
+			Requests:       em.requests.Load(),
+			Errors:         em.errors.Load(),
+			TotalLatencyNs: em.latencyNs.Load(),
+		}
+	}
+	return resp, nil
+}
