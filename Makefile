@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke
+.PHONY: build test vet race verify fuzz snapshot-smoke stage-report
 
 build:
 	go build ./...
@@ -11,7 +11,7 @@ vet:
 
 # Race-check the concurrency-sensitive and fault-handling packages.
 race:
-	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/
+	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/
 	go test -race -short ./internal/pipeline/
 
 # Short fuzz pass over the parser no-panic targets.
@@ -29,3 +29,10 @@ snapshot-smoke:
 		-snapshot $${TMPDIR:-/tmp}/parallellives-smoke.snap \
 		-scale 0.01 -start 2007-01-01 -end 2010-01-01
 	rm -f $${TMPDIR:-/tmp}/parallellives-smoke.snap
+
+# Observability smoke: a small instrumented run must print a stage table
+# with the scan stage in it.
+stage-report:
+	go run ./cmd/parallellives -scale 0.01 -start 2006-01-01 -end 2007-01-01 \
+		-experiments none -stage-report | grep -q bgpscan
+	@echo "stage-report: OK"

@@ -11,15 +11,20 @@
 //
 //	asnserve -listen :8080 -snapshot lives.snap [-cache 256]
 //
-// Both modes together (-build -listen ...) build, save, then serve.
+// Both modes together (-build -listen ...) build, save, then serve —
+// and because one observability core spans both, /metrics then carries
+// the build's pipeline counters next to live serving metrics, and
+// /v1/stages serves the build's stage trace.
 //
-// Endpoints: /v1/asn/{n}, /v1/rir/{r}/series, /v1/taxonomy, /v1/health.
+// Endpoints: /v1/asn/{n}, /v1/rir/{r}/series, /v1/taxonomy, /v1/health,
+// /v1/stages, /metrics, and with -pprof the /debug/pprof/* profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -27,6 +32,7 @@ import (
 	"parallellives/internal/dates"
 	"parallellives/internal/faults"
 	"parallellives/internal/lifestore"
+	"parallellives/internal/obs"
 	"parallellives/internal/pipeline"
 	"parallellives/internal/serve"
 )
@@ -46,6 +52,7 @@ func run() error {
 		listen   = flag.String("listen", "", "serve the snapshot on this address (e.g. :8080)")
 		cache    = flag.Int("cache", 256, "LRU response-cache capacity (entries, -1 disables)")
 		stride   = flag.Int("stride", 30, "default series downsampling stride (days)")
+		pprofOn  = flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints")
 
 		scale       = flag.Float64("scale", 0.04, "world scale")
 		seed        = flag.Int64("seed", 1, "simulation seed")
@@ -64,6 +71,11 @@ func run() error {
 	if !*build && *listen == "" {
 		return fmt.Errorf("nothing to do: pass -build to write a snapshot, -listen to serve one, or both")
 	}
+
+	// One observability core spans build and serve: the pipeline's
+	// counters and stage trace land on the same registry /metrics
+	// exposes later.
+	o := obs.New()
 
 	if *build {
 		opts := pipeline.DefaultOptions()
@@ -89,6 +101,7 @@ func run() error {
 			return err
 		}
 
+		opts.Obs = o
 		t0 := time.Now()
 		fmt.Fprintf(os.Stderr, "asnserve: building dataset (scale=%g, %s..%s)...\n", *scale, *start, *end)
 		ds, err := pipeline.Run(opts)
@@ -118,7 +131,7 @@ func run() error {
 	if *listen == "" {
 		return nil
 	}
-	st, err := lifestore.Open(*snapshot)
+	st, err := lifestore.OpenObserved(*snapshot, o.Registry)
 	if err != nil {
 		return err
 	}
@@ -126,8 +139,22 @@ func run() error {
 	m := st.Meta()
 	fmt.Fprintf(os.Stderr, "asnserve: serving %s (%s..%s, %d ASNs) on %s\n",
 		*snapshot, m.Start, m.End, m.ASNCount, *listen)
-	srv := serve.New(st, serve.Options{CacheSize: *cache, DefaultStride: *stride})
-	return http.ListenAndServe(*listen, srv)
+	srv := serve.New(st, serve.Options{CacheSize: *cache, DefaultStride: *stride, Obs: o})
+	handler := http.Handler(srv)
+	if *pprofOn {
+		// The profiling handlers live on an outer mux so the serve
+		// package itself stays free of pprof's global side effects.
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "asnserve: pprof enabled on %s/debug/pprof/\n", *listen)
+	}
+	return http.ListenAndServe(*listen, handler)
 }
 
 // verifySnapshot proves the round trip: the file just written decodes to

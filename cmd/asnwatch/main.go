@@ -11,6 +11,7 @@
 //	-kinds dormant-awakening,post-deallocation-use   filter event kinds
 //	-limit 50                                        stop after N events
 //	-check ASN:YYYY-MM-DD                            one delegation check and exit
+//	-progress 2s                                     periodic build progress line
 //
 // World/pipeline flags mirror cmd/parallellives (-scale, -seed, -start,
 // -end).
@@ -21,10 +22,13 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"parallellives/internal/asn"
 	"parallellives/internal/core"
 	"parallellives/internal/dates"
+	"parallellives/internal/obs"
 	"parallellives/internal/pipeline"
 )
 
@@ -37,14 +41,15 @@ func main() {
 
 func run() error {
 	var (
-		scale  = flag.Float64("scale", 0.04, "world scale")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		start  = flag.String("start", "2003-10-09", "window start")
-		end    = flag.String("end", "2021-03-01", "window end")
-		kinds  = flag.String("kinds", "", "comma list of event kinds (default: all)")
-		limit  = flag.Int("limit", 0, "stop after N events (0 = all)")
-		check  = flag.String("check", "", "one delegation check, ASN:YYYY-MM-DD")
-		policy = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
+		scale    = flag.Float64("scale", 0.04, "world scale")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		start    = flag.String("start", "2003-10-09", "window start")
+		end      = flag.String("end", "2021-03-01", "window end")
+		kinds    = flag.String("kinds", "", "comma list of event kinds (default: all)")
+		limit    = flag.Int("limit", 0, "stop after N events (0 = all)")
+		check    = flag.String("check", "", "one delegation check, ASN:YYYY-MM-DD")
+		policy   = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
+		progress = flag.Duration("progress", 0, "print a build progress line every interval, e.g. 2s (0 disables)")
 	)
 	flag.Parse()
 
@@ -62,7 +67,15 @@ func run() error {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "asnwatch: building dataset...")
+	var stopProgress func()
+	if *progress > 0 {
+		opts.Obs = obs.New()
+		stopProgress = watchProgress(opts.Obs.Registry, *progress)
+	}
 	ds, err := pipeline.Run(opts)
+	if stopProgress != nil {
+		stopProgress()
+	}
 	if err != nil {
 		return err
 	}
@@ -97,6 +110,38 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "asnwatch: %d events (%d total in feed)\n", printed, len(events))
 	return nil
+}
+
+// watchProgress samples the build's registry counters every interval
+// and prints a liveness line: the scan publishes per-day deltas, so
+// days, route records and quarantines all move while the run is going.
+// The returned stop function ends the sampler and waits for it.
+func watchProgress(reg *obs.Registry, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var lastRoutes float64
+		last := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				days, _ := reg.Value(pipeline.MetricDaysProcessed)
+				routes, _ := reg.Value(pipeline.MetricRoutes)
+				quar, _ := reg.Sum(pipeline.MetricQuarantined)
+				rate := (routes - lastRoutes) / now.Sub(last).Seconds()
+				fmt.Fprintf(os.Stderr, "asnwatch: progress days=%d routes=%d (%.0f records/s) quarantined=%d\n",
+					int64(days), int64(routes), rate, int64(quar))
+				lastRoutes, last = routes, now
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
 }
 
 // runCheck answers one "was this ASN delegated on this day" query — the

@@ -22,6 +22,7 @@
 //	                     inputs and finish, reporting them in the health block
 //	-chaos               inject the default deterministic fault storm
 //	-chaos-seed N        fault injection seed for -chaos
+//	-stage-report        print a per-stage duration and record-flow table
 //	-datasets DIR        write Listing-1 JSON datasets into DIR
 //	-snapshot-out FILE   write a lifestore snapshot (servable by asnserve)
 //	-export-mrt DATE     write one day's MRT archives into -out
@@ -43,6 +44,7 @@ import (
 	"parallellives/internal/dates"
 	"parallellives/internal/faults"
 	"parallellives/internal/lifestore"
+	"parallellives/internal/obs"
 	"parallellives/internal/pipeline"
 	"parallellives/internal/report"
 )
@@ -74,6 +76,7 @@ func run() error {
 		faultPolicy = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
 		chaos       = flag.Bool("chaos", false, "inject the default deterministic fault storm (implies -wire)")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault injection seed for -chaos")
+		stageReport = flag.Bool("stage-report", false, "print a per-stage duration and record-flow table after the run")
 	)
 	flag.Parse()
 
@@ -99,6 +102,9 @@ func run() error {
 	if opts.World.End, err = dates.Parse(*end); err != nil {
 		return err
 	}
+	if *stageReport {
+		opts.Obs = obs.New()
+	}
 
 	t0 := time.Now()
 	fmt.Fprintf(os.Stderr, "building dataset (scale=%g, %s..%s, wire=%v)...\n",
@@ -112,6 +118,9 @@ func run() error {
 		len(ds.Admin.Lifetimes), ds.AdminStats.ASNs,
 		len(ds.Ops.Lifetimes), ds.Ops.ASNs())
 	fmt.Fprintln(os.Stderr, ds.Health.Summary())
+	if *stageReport {
+		fmt.Print(obs.StageTable(ds.Trace))
+	}
 
 	if *datasets != "" {
 		if err := writeDatasets(ds, *datasets); err != nil {

@@ -427,6 +427,14 @@ func (s *Scanner) scanBGP4MP() {
 	}
 }
 
+// Stats returns the counters accumulated so far. It is valid mid-scan —
+// the observability hook the pipeline uses to publish per-day deltas
+// (and progress reporters use to compute records/s) without waiting for
+// Finish. The scanner is single-goroutine, so callers sampling from
+// another goroutine must read through the pipeline's metrics registry,
+// not this method.
+func (s *Scanner) Stats() Stats { return s.stats }
+
 // EndDay commits the day's visibility decisions into the per-ASN runs.
 func (s *Scanner) EndDay() error {
 	if !s.inDay {

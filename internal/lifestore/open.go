@@ -7,6 +7,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"parallellives/internal/asn"
 	"parallellives/internal/core"
@@ -23,6 +25,11 @@ import (
 type Store struct {
 	r      io.ReaderAt
 	closer io.Closer
+
+	// met is the optional metrics attachment (see Instrument). An
+	// atomic pointer so instrumentation can be added or removed while
+	// concurrent lookups are in flight.
+	met atomic.Pointer[storeMetrics]
 
 	meta     Meta
 	health   pipeline.Health
@@ -168,27 +175,49 @@ func (st *Store) ASNs() []asn.ASN {
 // Lookup reads, verifies and decodes one ASN's block. The second result
 // reports whether the ASN exists in the snapshot.
 func (st *Store) Lookup(a asn.ASN) (ASNLives, bool, error) {
+	m := st.met.Load()
+	if m == nil {
+		l, ok, _, err := st.lookup(a)
+		return l, ok, err
+	}
+	start := time.Now()
+	l, ok, n, err := st.lookup(a)
+	m.lookupSeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case err != nil:
+		m.errors.Inc()
+	case !ok:
+		m.misses.Inc()
+	default:
+		m.hits.Inc()
+		m.blockBytes.Add(int64(n))
+	}
+	return l, ok, err
+}
+
+// lookup is the uninstrumented read; n is the block bytes read.
+func (st *Store) lookup(a asn.ASN) (l ASNLives, ok bool, n int, err error) {
 	i := sort.Search(len(st.index), func(i int) bool { return st.index[i].asn >= a })
 	if i >= len(st.index) || st.index[i].asn != a {
-		return ASNLives{}, false, nil
+		return ASNLives{}, false, 0, nil
 	}
 	e := st.index[i]
 	if e.off+e.length > st.blocksLen {
-		return ASNLives{}, false, fmt.Errorf("lifestore: AS%s block [%d,%d) outside blocks section of %d bytes",
+		return ASNLives{}, false, 0, fmt.Errorf("lifestore: AS%s block [%d,%d) outside blocks section of %d bytes",
 			a, e.off, e.off+e.length, st.blocksLen)
 	}
 	buf := make([]byte, e.length)
 	if _, err := st.r.ReadAt(buf, int64(st.blocksOff+e.off)); err != nil {
-		return ASNLives{}, false, fmt.Errorf("lifestore: reading AS%s block: %w", a, err)
+		return ASNLives{}, false, 0, fmt.Errorf("lifestore: reading AS%s block: %w", a, err)
 	}
-	l, err := decodeBlock(buf)
+	l, err = decodeBlock(buf)
 	if err != nil {
-		return ASNLives{}, false, fmt.Errorf("lifestore: AS%s block: %w", a, err)
+		return ASNLives{}, false, 0, fmt.Errorf("lifestore: AS%s block: %w", a, err)
 	}
 	if l.ASN != a {
-		return ASNLives{}, false, fmt.Errorf("lifestore: index points AS%s at a block for AS%s", a, l.ASN)
+		return ASNLives{}, false, 0, fmt.Errorf("lifestore: index points AS%s at a block for AS%s", a, l.ASN)
 	}
-	return l, true, nil
+	return l, true, len(buf), nil
 }
 
 // Snapshot decodes the entire store back into memory, verifying the

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRegistryCounterParallel is the acceptance benchmark for the
+// metric hot path: a resolved counter handle increments with a single
+// atomic add — no locks, no map lookups — and must stay around or below
+// ~20ns/op so instrumenting per-record paths is free in practice.
+func BenchmarkRegistryCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.CounterVec("parallellives_bench_events_total", "", "worker").With("w0")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != int64(b.N) {
+		b.Fatalf("lost increments: %d != %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkRegistryVecLookup measures the labeled lookup path (RLock +
+// map hit) for callers that cannot pre-resolve handles.
+func BenchmarkRegistryVecLookup(b *testing.B) {
+	r := NewRegistry()
+	v := r.CounterVec("parallellives_bench_lookup_total", "", "endpoint")
+	v.With("/v1/asn/{n}")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("/v1/asn/{n}").Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the histogram hot path: binary
+// search over immutable bounds plus three atomic updates.
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("parallellives_bench_latency_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) / 1000)
+	}
+}
+
+// BenchmarkSpanOverhead measures one start/attr/end cycle, bounding what
+// a per-stage (not per-record) trace costs. The tracer retains spans, so
+// it is recycled periodically to keep the benchmark memory-flat.
+func BenchmarkSpanOverhead(b *testing.B) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			tr = NewTracer()
+			ctx = WithTracer(context.Background(), tr)
+		}
+		_, sp := StartSpan(ctx, "stage")
+		sp.SetAttr(AttrOut, int64(i))
+		sp.End()
+	}
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden exposition file")
+
+// TestPrometheusGolden pins the exact bytes of the exposition format.
+// Any drift — ordering, escaping, float rendering, histogram layout —
+// is a scrape-compatibility break and must show up as a diff here.
+// Regenerate with
+//
+//	go test ./internal/obs/ -run TestPrometheusGolden -update
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("parallellives_serve_requests_total",
+		"HTTP requests served, by endpoint.", "endpoint").With("/v1/asn/{n}").Add(42)
+	r.CounterVec("parallellives_serve_requests_total",
+		"HTTP requests served, by endpoint.", "endpoint").With("/v1/health").Add(7)
+	r.Gauge("parallellives_pipeline_health_mrt_quarantined_frac",
+		"Fraction of MRT route records quarantined.").Set(0.0625)
+	r.Gauge("parallellives_serve_cache_entries", "Response cache entries.").Set(3)
+	h := r.Histogram("parallellives_lifestore_block_read_seconds",
+		"Per-ASN block read+decode time.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	hv := r.HistogramVec("parallellives_serve_request_seconds",
+		"Request latency by endpoint.", []float64{0.005, 0.05}, "endpoint")
+	hv.With(`odd"label\value`).Observe(0.001) // escaping must round-trip
+	r.CounterVec("parallellives_pipeline_mrt_quarantined_total",
+		"MRT records quarantined, by damage class.", "class").With("truncated").Add(9)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file %s; if intentional, rerun with -update.\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}

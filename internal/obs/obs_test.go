@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("parallellives_test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	v := r.CounterVec("parallellives_test_reqs_total", "requests", "endpoint")
+	v.With("/a").Add(2)
+	v.With("/b").Inc()
+	v.With("/a").Inc()
+	if got, ok := r.Value("parallellives_test_reqs_total", "/a"); !ok || got != 3 {
+		t.Fatalf("Value(/a) = %v,%v, want 3,true", got, ok)
+	}
+	if sum, ok := r.Sum("parallellives_test_reqs_total"); !ok || sum != 4 {
+		t.Fatalf("Sum = %v,%v, want 4,true", sum, ok)
+	}
+	// Re-registration with identical shape returns the same family.
+	if got := r.CounterVec("parallellives_test_reqs_total", "requests", "endpoint").With("/a").Value(); got != 3 {
+		t.Fatalf("re-registered counter = %d, want 3", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("parallellives_test_temp", "temperature")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %v, want 2.0", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("parallellives_test_latency_seconds", "latency", []float64{0.1, 0.2, 0.4})
+	for _, v := range []float64{0.05, 0.15, 0.15, 0.3, 0.9} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.15+0.15+0.3+0.9; got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("sum = %v, want ≈%v", got, want)
+	}
+	snap := r.Gather()
+	if len(snap) != 1 || snap[0].Kind != KindHistogram {
+		t.Fatalf("unexpected gather: %+v", snap)
+	}
+	wantBuckets := []int64{1, 2, 1, 1} // ≤0.1, ≤0.2, ≤0.4, +Inf
+	for i, n := range snap[0].Series[0].Buckets {
+		if n != wantBuckets[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, wantBuckets[i])
+		}
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 0.1 || p50 > 0.2 {
+		t.Fatalf("p50 = %v, want within (0.1, 0.2]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 0.4 {
+		t.Fatalf("p99 = %v, want clamp to highest finite bound 0.4", p99)
+	}
+	if empty := NewRegistry().Histogram("parallellives_test_empty_seconds", "", nil); empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestBoundaryValueLandsInInclusiveBucket(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	if got := h.buckets[0].Load(); got != 1 {
+		t.Fatalf("boundary observation in bucket 0 = %d, want 1", got)
+	}
+}
+
+func TestRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("parallellives_test_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("parallellives_test_x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name should panic")
+		}
+	}()
+	NewRegistry().Counter("bad name!", "")
+}
+
+// TestRegistryHammer is the concurrency acceptance check: 64 goroutines
+// hammer labeled counters, a gauge and a histogram while a reader
+// gathers snapshots. Run under -race via make verify.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("parallellives_test_hammer_total", "", "worker")
+	gv := r.GaugeVec("parallellives_test_hammer_depth", "", "worker")
+	hv := r.HistogramVec("parallellives_test_hammer_seconds", "", []float64{0.001, 0.01, 0.1}, "worker")
+
+	const goroutines = 64
+	const perGoroutine = 1000
+	labels := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lbl := labels[g%len(labels)]
+			c := cv.With(lbl)
+			h := hv.With(lbl)
+			for i := 0; i < perGoroutine; i++ {
+				c.Inc()
+				gv.With(lbl).Set(float64(i))
+				h.Observe(float64(i%100) / 1000)
+				if i%100 == 0 {
+					r.Gather() // concurrent snapshotting must be safe
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if sum, _ := r.Sum("parallellives_test_hammer_total"); sum != goroutines*perGoroutine {
+		t.Fatalf("hammer counter sum = %v, want %d", sum, goroutines*perGoroutine)
+	}
+	var count int64
+	for _, f := range r.Gather() {
+		if f.Name == "parallellives_test_hammer_seconds" {
+			for _, s := range f.Series {
+				count += s.Count
+			}
+		}
+	}
+	if count != goroutines*perGoroutine {
+		t.Fatalf("hammer histogram count = %d, want %d", count, goroutines*perGoroutine)
+	}
+}
+
+func TestGatherDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insertion order deliberately scrambled vs name order.
+		r.CounterVec("parallellives_test_z_total", "z", "k").With("v2").Add(2)
+		r.CounterVec("parallellives_test_z_total", "z", "k").With("v1").Add(1)
+		r.Gauge("parallellives_test_a_ratio", "a").Set(0.5)
+		return r
+	}
+	var outs [2]string
+	for i := range outs {
+		var b strings.Builder
+		if err := WritePrometheus(&b, build()); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = b.String()
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("non-deterministic exposition:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], `parallellives_test_z_total{k="v1"} 1`) {
+		t.Fatalf("missing series in exposition:\n%s", outs[0])
+	}
+	// Families must appear in name order.
+	if strings.Index(outs[0], "parallellives_test_a_ratio") > strings.Index(outs[0], "parallellives_test_z_total") {
+		t.Fatalf("families not sorted by name:\n%s", outs[0])
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if diff := got[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("ExpBuckets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := newHistogram([]float64{0.5, 1.5})
+	h.ObserveDuration(time.Second)
+	if got := h.buckets[1].Load(); got != 1 {
+		t.Fatalf("1s landed in bucket %v, want index 1", got)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sort by
+// name, series by label values, histogram buckets by bound.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, s := range f.Series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {
+	switch f.Kind {
+	case KindHistogram:
+		var cum int64
+		for i, n := range s.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(f.Bounds) {
+				le = formatFloat(f.Bounds[i])
+			}
+			lbl := labelString(f.Labels, s.LabelValues, "le", le)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, lbl, cum); err != nil {
+				return err
+			}
+		}
+		lbl := labelString(f.Labels, s.LabelValues, "", "")
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, lbl, formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, lbl, s.Count)
+		return err
+	default:
+		lbl := labelString(f.Labels, s.LabelValues, "", "")
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, lbl, formatFloat(s.Value))
+		return err
+	}
+}
+
+// labelString renders {a="x",b="y"} with an optional extra label (the
+// histogram le), or "" with no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(v))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, escapeLabel(extraValue))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition-format label value escapes:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp escapes HELP text (backslash and newline only, per spec).
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else in Go's shortest form, infinities as +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+)
+
+// Clock abstracts time for the tracer. The real clock is the default;
+// tests and deterministic harnesses plug a FakeClock so span durations
+// are reproducible.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at t.
+func NewFakeClock(t time.Time) *FakeClock { return &FakeClock{t: t} }
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the fake time forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Tracer records span trees. It is safe for concurrent use; spans are
+// cheap (one small allocation each) and the tracer keeps every root it
+// started, so long-running processes should scope tracers per run.
+type Tracer struct {
+	clock Clock
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns a tracer on the wall clock.
+func NewTracer() *Tracer { return NewTracerWithClock(realClock{}) }
+
+// NewTracerWithClock returns a tracer reading time from c.
+func NewTracerWithClock(c Clock) *Tracer { return &Tracer{clock: c} }
+
+// Roots returns the root spans started so far, in start order.
+// Nil-safe, so a hand-built Obs with no tracer can still be queried.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Attr is one span attribute — an integer measure such as records
+// parsed, records quarantined, or bytes read.
+type Attr struct {
+	Key   string
+	Value int64
+}
+
+// Span is one timed operation. All methods are nil-safe: a nil *Span
+// (what StartSpan returns without a tracer in context) no-ops, so
+// instrumented code needs no conditionals.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+func (t *Tracer) startSpan(name string, parent *Span) *Span {
+	s := &Span{tracer: t, name: name, start: t.clock.Now()}
+	if parent == nil {
+		t.mu.Lock()
+		t.roots = append(t.roots, s)
+		t.mu.Unlock()
+	} else {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	return s
+}
+
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer attaches a tracer to the context; subsequent StartSpan
+// calls on that context record into it.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer attached to the context, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan starts a span named name as a child of the context's current
+// span (or as a root). Without a tracer in the context it returns the
+// context unchanged and a nil span whose methods all no-op, so
+// instrumentation costs nothing when observability is off.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	s := t.startSpan(name, parent)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.clock.Now()
+	s.mu.Lock()
+	if !s.ended {
+		s.end = now
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr sets (or replaces) an attribute.
+func (s *Span) SetAttr(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// AddAttr adds delta to an attribute, creating it at delta.
+func (s *Span) AddAttr(key string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value += delta
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: delta})
+}
+
+// Name returns the span name. Nil-safe.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns end−start for an ended span, 0 otherwise. Nil-safe.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Attrs returns a copy of the attributes in insertion order. Nil-safe.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Attr returns one attribute's value (0, false when absent). Nil-safe.
+func (s *Span) Attr(key string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Children returns a copy of the child spans in start order. Nil-safe.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Child returns the first child with the given name, or nil. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	for _, c := range s.Children() {
+		if c.name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// SpanSummary is the JSON form of a span tree. Attribute maps marshal
+// with sorted keys, so the encoding is deterministic.
+type SpanSummary struct {
+	Name       string           `json:"name"`
+	DurationNs int64            `json:"durationNs"`
+	Attrs      map[string]int64 `json:"attrs,omitempty"`
+	Children   []SpanSummary    `json:"children,omitempty"`
+}
+
+// Summarize converts a span tree into its JSON form. Nil-safe (returns
+// the zero summary).
+func Summarize(s *Span) SpanSummary {
+	if s == nil {
+		return SpanSummary{}
+	}
+	sum := SpanSummary{Name: s.Name(), DurationNs: s.Duration().Nanoseconds()}
+	if attrs := s.Attrs(); len(attrs) > 0 {
+		sum.Attrs = make(map[string]int64, len(attrs))
+		for _, a := range attrs {
+			sum.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.Children() {
+		sum.Children = append(sum.Children, Summarize(c))
+	}
+	return sum
+}
+
+// Summary returns every root span's JSON form.
+func (t *Tracer) Summary() []SpanSummary {
+	roots := t.Roots()
+	out := make([]SpanSummary, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, Summarize(r))
+	}
+	return out
+}
+
+// Well-known attribute keys the stage table renders as columns. Stages
+// set these for their record flow; anything else lands in the detail
+// column.
+const (
+	AttrIn          = "in"          // records entering the stage
+	AttrOut         = "out"         // records leaving the stage
+	AttrDrops       = "drops"       // records discarded by sanitization
+	AttrQuarantined = "quarantined" // records quarantined as damaged
+)
+
+// StageTable renders a span tree as an aligned per-stage table: one row
+// per span with its duration, the well-known record-flow attributes as
+// columns, and remaining attributes as key=value detail. Nil-safe
+// (returns an empty string).
+func StageTable(root *Span) string {
+	if root == nil {
+		return ""
+	}
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "STAGE\tDURATION\tIN\tOUT\tDROPS\tQUARANTINED\tDETAIL")
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		cell := func(key string) string {
+			if v, ok := s.Attr(key); ok {
+				return fmt.Sprintf("%d", v)
+			}
+			return "-"
+		}
+		var detail []string
+		for _, a := range s.Attrs() {
+			switch a.Key {
+			case AttrIn, AttrOut, AttrDrops, AttrQuarantined:
+			default:
+				detail = append(detail, fmt.Sprintf("%s=%d", a.Key, a.Value))
+			}
+		}
+		sort.Strings(detail)
+		fmt.Fprintf(w, "%s%s\t%v\t%s\t%s\t%s\t%s\t%s\n",
+			strings.Repeat("  ", depth), s.Name(),
+			s.Duration().Round(time.Microsecond),
+			cell(AttrIn), cell(AttrOut), cell(AttrDrops), cell(AttrQuarantined),
+			strings.Join(detail, " "))
+		for _, c := range s.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	w.Flush()
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 
 	"parallellives/internal/asn"
 	"parallellives/internal/faults"
+	"parallellives/internal/obs"
 	"parallellives/internal/restore"
 )
 
@@ -128,6 +129,74 @@ func (h *Health) checkBudget(b ErrorBudget) error {
 		}
 	}
 	return nil
+}
+
+// Export publishes the report as gauges under
+// parallellives_pipeline_health_*, bridging a finished (or snapshot-
+// restored) run's account into a registry so /metrics scrapes carry the
+// build's health next to live serving metrics. Gauges, not counters:
+// the report is a state to republish, not an event stream — calling
+// Export again after another Run overwrites rather than double-counts.
+func (h *Health) Export(reg *obs.Registry) {
+	if h == nil || reg == nil {
+		return
+	}
+	reg.GaugeVec("parallellives_pipeline_health_policy",
+		"Fault policy the dataset was built under (value 1 on the active policy).",
+		"policy").With(h.Policy.String()).Set(1)
+	reg.Gauge("parallellives_pipeline_health_days_processed",
+		"Operational-side days scanned by the build.").Set(float64(h.DaysProcessed))
+
+	mrt := reg.GaugeVec("parallellives_pipeline_health_mrt",
+		"Operational-side ingest account of the build, by field.", "field")
+	mrt.With("archives").Set(float64(h.MRT.Archives))
+	mrt.With("records").Set(float64(h.MRT.Records))
+	mrt.With("quarantined_truncated").Set(float64(h.MRT.QuarantinedTruncated))
+	mrt.With("quarantined_tails").Set(float64(h.MRT.QuarantinedTails))
+	mrt.With("malformed").Set(float64(h.MRT.Malformed))
+	reg.Gauge("parallellives_pipeline_health_quarantined_frac",
+		"Fraction of MRT route records quarantined during the build.").Set(h.MRT.QuarantinedFrac())
+
+	del := reg.GaugeVec("parallellives_pipeline_health_delegation",
+		"Administrative-side ingest account of the build, by field.", "field")
+	del.With("files_scanned").Set(float64(h.Delegation.FilesScanned))
+	del.With("missing_file_days").Set(float64(h.Delegation.MissingFileDays))
+	del.With("corrupt_file_days").Set(float64(h.Delegation.CorruptFileDays))
+	del.With("retries").Set(float64(h.Delegation.Retries))
+	del.With("abandoned_reads").Set(float64(h.Delegation.AbandonedReads))
+	reg.Gauge("parallellives_pipeline_health_retry_backoff_seconds",
+		"Total virtual backoff spent retrying delegation reads.").Set(h.Delegation.RetryBackoff.Seconds())
+
+	fileDays := reg.GaugeVec("parallellives_pipeline_health_coverage_file_days",
+		"Delegation days with a usable file, per registry.", "rir")
+	missDays := reg.GaugeVec("parallellives_pipeline_health_coverage_missing_days",
+		"Delegation days bridged with no usable file, per registry.", "rir")
+	var worstLost float64
+	for _, r := range asn.All() {
+		c := h.Coverage[r]
+		if c.Days == 0 {
+			continue
+		}
+		fileDays.With(r.Token()).Set(float64(c.FileDays))
+		missDays.With(r.Token()).Set(float64(c.MissingDays))
+		if f := float64(c.MissingDays) / float64(c.Days); f > worstLost {
+			worstLost = f
+		}
+	}
+	reg.Gauge("parallellives_pipeline_health_worst_lost_day_frac",
+		"Largest per-registry fraction of unusable delegation days.").Set(worstLost)
+
+	if h.Injected != nil {
+		inj := reg.GaugeVec("parallellives_pipeline_health_injected_faults",
+			"Faults planted by the chaos injector, by class.", "class")
+		inj.With("truncated_records").Set(float64(h.Injected.TruncatedRecords))
+		inj.With("tail_chops").Set(float64(h.Injected.TailChops))
+		inj.With("corrupt_days").Set(float64(h.Injected.CorruptDays))
+		inj.With("dropped_days").Set(float64(h.Injected.DroppedDays))
+		inj.With("transient_errs").Set(float64(h.Injected.TransientErrs))
+		inj.With("short_reads").Set(float64(h.Injected.ShortReads))
+		inj.With("stalls").Set(float64(h.Injected.Stalls))
+	}
 }
 
 // Summary returns a one-line digest for command output.

@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/obs"
+)
+
+// Registry metric names the pipeline publishes. Exported so commands and
+// progress reporters can read them back without string drift.
+const (
+	// MetricDaysProcessed counts operational-side days scanned; it rises
+	// once per day during the scan, so samplers see liveness mid-run.
+	MetricDaysProcessed = "parallellives_pipeline_days_processed_total"
+	// MetricMRTArchives counts MRT archives fed to the scanner (wire mode).
+	MetricMRTArchives = "parallellives_pipeline_mrt_archives_total"
+	// MetricMRTRecords counts accepted MRT route records (RIB + updates).
+	MetricMRTRecords = "parallellives_pipeline_mrt_records_total"
+	// MetricRoutes counts sanitized route observations accepted into day
+	// state — the record stream in both wire and direct modes.
+	MetricRoutes = "parallellives_pipeline_routes_total"
+	// MetricQuarantined counts quarantined/skipped records by damage
+	// class ("truncated", "tail", "malformed").
+	MetricQuarantined = "parallellives_pipeline_mrt_quarantined_total"
+	// MetricStageSeconds is the per-stage wall-clock histogram ("stage"
+	// label), observed once per stage per run.
+	MetricStageSeconds = "parallellives_pipeline_stage_duration_seconds"
+)
+
+// runMetrics holds the pre-resolved instrument handles one Run updates.
+// A nil *runMetrics (observability off) no-ops everywhere, so the hot
+// loops carry a single pointer test.
+type runMetrics struct {
+	days          *obs.Counter
+	archives      *obs.Counter
+	records       *obs.Counter
+	routes        *obs.Counter
+	quarTruncated *obs.Counter
+	quarTails     *obs.Counter
+	malformed     *obs.Counter
+	stageSeconds  *obs.HistogramVec
+
+	prev bgpscan.Stats // last published scanner snapshot, for deltas
+}
+
+func newRunMetrics(reg *obs.Registry) *runMetrics {
+	if reg == nil {
+		return nil
+	}
+	quar := reg.CounterVec(MetricQuarantined,
+		"Route records quarantined or skipped by the scanner, by damage class.", "class")
+	return &runMetrics{
+		days:          reg.Counter(MetricDaysProcessed, "Operational-side days scanned."),
+		archives:      reg.Counter(MetricMRTArchives, "MRT archives fed to the scanner."),
+		records:       reg.Counter(MetricMRTRecords, "MRT route records accepted (RIB entries + update messages)."),
+		routes:        reg.Counter(MetricRoutes, "Sanitized route observations accepted into day state."),
+		quarTruncated: quar.With("truncated"),
+		quarTails:     quar.With("tail"),
+		malformed:     quar.With("malformed"),
+		stageSeconds: reg.HistogramVec(MetricStageSeconds,
+			"Wall-clock duration of each pipeline stage.", nil, "stage"),
+	}
+}
+
+// archive counts one MRT archive handed to the scanner.
+func (m *runMetrics) archive() {
+	if m == nil {
+		return
+	}
+	m.archives.Inc()
+}
+
+// endOfDay publishes the day's scanner-stat deltas so samplers watching
+// the registry see records and quarantines grow while the scan runs.
+func (m *runMetrics) endOfDay(st bgpscan.Stats) {
+	if m == nil {
+		return
+	}
+	m.days.Inc()
+	m.records.Add((st.RIBRecords + st.UpdateMessages) - (m.prev.RIBRecords + m.prev.UpdateMessages))
+	m.routes.Add(st.Routes - m.prev.Routes)
+	m.quarTruncated.Add(st.QuarantinedTruncated - m.prev.QuarantinedTruncated)
+	m.quarTails.Add(st.QuarantinedTails - m.prev.QuarantinedTails)
+	m.malformed.Add(st.DropMalformed - m.prev.DropMalformed)
+	m.prev = st
+}
+
+// observeStages records every stage span's duration into the stage
+// histogram once the run's root span has ended.
+func (m *runMetrics) observeStages(root *obs.Span) {
+	if m == nil || root == nil {
+		return
+	}
+	for _, stage := range root.Children() {
+		m.stageSeconds.With(stage.Name()).ObserveDuration(stage.Duration())
+	}
+}

@@ -6,6 +6,7 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"parallellives/internal/core"
 	"parallellives/internal/dates"
 	"parallellives/internal/faults"
+	"parallellives/internal/obs"
 	"parallellives/internal/registry"
 	"parallellives/internal/restore"
 	"parallellives/internal/worldsim"
@@ -49,6 +51,13 @@ type Options struct {
 	// the run's sources and MRT streams (chaos mode). MRT faults need
 	// Wire; delegation faults apply either way.
 	Inject *faults.Plan
+
+	// Obs, when non-nil, instruments the run: each stage becomes a span
+	// on Obs.Tracer (the tree behind -stage-report and /v1/stages), and
+	// record/quarantine counters are published to Obs.Registry per day,
+	// so progress reporters and /metrics scrapes observe the run live.
+	// Nil costs nothing on the hot paths.
+	Obs *obs.Obs
 }
 
 // DefaultOptions runs the paper's configuration at the default scale.
@@ -74,6 +83,10 @@ type Dataset struct {
 	Ops        *core.OpIndex
 	Joint      *core.Joint
 	Health     *Health
+	// Trace is the run's root span when Options.Obs was set (nil
+	// otherwise): one child span per stage, carrying the record-flow
+	// attributes the -stage-report table renders.
+	Trace *obs.Span
 }
 
 // Run executes the full pipeline.
@@ -85,8 +98,22 @@ func Run(opts Options) (*Dataset, error) {
 		opts.Visibility = bgpscan.MinPeerVisibility
 	}
 	ds := &Dataset{Options: opts}
+
+	ctx := context.Background()
+	var m *runMetrics
+	if opts.Obs != nil {
+		ctx = obs.WithTracer(ctx, opts.Obs.Tracer)
+		m = newRunMetrics(opts.Obs.Registry)
+	}
+	ctx, root := obs.StartSpan(ctx, "pipeline.run")
+	ds.Trace = root
+
+	_, spSim := obs.StartSpan(ctx, "worldsim")
 	ds.World = worldsim.Generate(opts.World)
 	ds.Archive = registry.Build(ds.World)
+	spSim.SetAttr(obs.AttrOut, int64(len(ds.World.Lives)))
+	spSim.SetAttr("orgs", int64(len(ds.World.Orgs)))
+	spSim.End()
 
 	var inj *faults.Injector
 	if opts.Inject != nil {
@@ -95,6 +122,7 @@ func Run(opts Options) (*Dataset, error) {
 	health := &Health{Policy: opts.FaultPolicy}
 
 	// Administrative dimension: restore the archive, build lifetimes.
+	_, spRestore := obs.StartSpan(ctx, "restore")
 	sources := make([]registry.Source, 0, asn.NumRIRs)
 	var retriers []*faults.Retrier
 	for _, r := range asn.All() {
@@ -125,21 +153,46 @@ func Run(opts Options) (*Dataset, error) {
 	health.Delegation.MissingFileDays = ds.Restored.Report.MissingFileDays
 	health.Delegation.CorruptFileDays = ds.Restored.Report.CorruptFileDays
 	health.Coverage = ds.Restored.Coverage
+	spRestore.SetAttr(obs.AttrIn, int64(ds.Restored.Report.FilesScanned))
+	spRestore.SetAttr(obs.AttrOut, int64(len(ds.Restored.Runs)))
+	spRestore.SetAttr(obs.AttrDrops, int64(ds.Restored.Report.MistakenRecordsDroped))
+	spRestore.SetAttr("missing_file_days", int64(ds.Restored.Report.MissingFileDays))
+	spRestore.SetAttr("corrupt_file_days", int64(ds.Restored.Report.CorruptFileDays))
+	spRestore.SetAttr("retries", health.Delegation.Retries)
+	spRestore.End()
 	if opts.FaultPolicy == FailFast && health.Delegation.AbandonedReads > 0 {
 		return nil, fmt.Errorf("pipeline: %d delegation day reads abandoned after retries (policy failfast)",
 			health.Delegation.AbandonedReads)
 	}
+	_, spAdmin := obs.StartSpan(ctx, "segment.admin")
 	lifetimes, stats := core.BuildAdminLifetimes(ds.Restored)
 	ds.Admin = core.NewAdminIndex(lifetimes)
 	ds.AdminStats = stats
+	spAdmin.SetAttr(obs.AttrIn, int64(len(ds.Restored.Runs)))
+	spAdmin.SetAttr(obs.AttrOut, int64(len(ds.Admin.Lifetimes)))
+	spAdmin.SetAttr("asns", int64(stats.ASNs))
+	spAdmin.End()
 
 	// Operational dimension: scan the collectors.
-	act, err := scan(ds.World, opts, inj, health)
+	_, spScan := obs.StartSpan(ctx, "bgpscan")
+	act, err := scan(ds.World, opts, inj, health, m)
 	if err != nil {
 		return nil, err
 	}
 	ds.Activity = act
+	spScan.SetAttr("days", int64(health.DaysProcessed))
+	spScan.SetAttr(obs.AttrIn, health.MRT.Archives)
+	spScan.SetAttr(obs.AttrOut, act.Stats.Routes)
+	spScan.SetAttr("records", act.Stats.RIBRecords+act.Stats.UpdateMessages)
+	spScan.SetAttr(obs.AttrDrops, act.Stats.DropPrefixLen+act.Stats.DropLoop+
+		act.Stats.DropMalformed+act.Stats.DropLowVis)
+	spScan.SetAttr(obs.AttrQuarantined, act.Stats.QuarantinedTruncated+act.Stats.QuarantinedTails)
+	spScan.End()
+	_, spOp := obs.StartSpan(ctx, "segment.op")
 	ds.Ops = core.BuildOpLifetimes(act, opts.Timeout)
+	spOp.SetAttr(obs.AttrIn, int64(len(act.ASNs)))
+	spOp.SetAttr(obs.AttrOut, int64(len(ds.Ops.Lifetimes)))
+	spOp.End()
 	health.MRT.Records = act.Stats.RIBRecords + act.Stats.UpdateMessages
 	health.MRT.QuarantinedTruncated = act.Stats.QuarantinedTruncated
 	health.MRT.QuarantinedTails = act.Stats.QuarantinedTails
@@ -155,12 +208,23 @@ func Run(opts Options) (*Dataset, error) {
 		}
 	}
 
+	_, spJoin := obs.StartSpan(ctx, "join")
 	ds.Joint = core.Analyze(ds.Admin, ds.Ops)
+	tax := ds.Joint.Taxonomy()
+	spJoin.SetAttr(obs.AttrIn, int64(len(ds.Admin.Lifetimes)+len(ds.Ops.Lifetimes)))
+	spJoin.SetAttr(obs.AttrOut, int64(tax.AdminComplete+tax.AdminPartial+tax.AdminUnused))
+	spJoin.SetAttr("admin_complete", int64(tax.AdminComplete))
+	spJoin.SetAttr("op_outside", int64(tax.OpOutside))
+	spJoin.End()
+	root.End()
+	m.observeStages(root)
 	return ds, nil
 }
 
-// scan runs the operational side of the pipeline.
-func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health) (*bgpscan.Activity, error) {
+// scan runs the operational side of the pipeline. Day-granular spans
+// would explode the trace tree, so scan publishes per-day registry
+// deltas through m instead; m may be nil (observability off).
+func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health, m *runMetrics) (*bgpscan.Activity, error) {
 	inf := collector.New(w)
 	s := bgpscan.NewScannerWithVisibility(opts.Visibility)
 	s.Quarantine = opts.FaultPolicy == Degrade
@@ -181,6 +245,7 @@ func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health)
 					rib = inj.MangleMRT(mrtSalt(day, ci, 0), rib)
 				}
 				health.MRT.Archives++
+				m.archive()
 				if err := s.ObserveMRT(rib); err != nil {
 					return nil, fmt.Errorf("pipeline: scanning day %s collector rrc%02d rib dump: %w", day, ci, err)
 				}
@@ -190,6 +255,7 @@ func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health)
 					upd = inj.MangleMRT(mrtSalt(day, ci, 1), upd)
 				}
 				health.MRT.Archives++
+				m.archive()
 				if err := s.ObserveMRT(upd); err != nil {
 					return nil, fmt.Errorf("pipeline: scanning day %s collector rrc%02d update dump: %w", day, ci, err)
 				}
@@ -202,6 +268,7 @@ func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health)
 		if err := s.EndDay(); err != nil {
 			return nil, err
 		}
+		m.endOfDay(s.Stats())
 	}
 	return s.Finish(), nil
 }

@@ -11,9 +11,20 @@
 //	/v1/taxonomy       the Table-3 taxonomy counts and shares
 //	/v1/health         pipeline health + store metadata + cache and
 //	                   per-endpoint request/latency counters
+//	/v1/stages         the build's stage trace (404 when the dataset was
+//	                   built without observability attached)
+//	/metrics           Prometheus text exposition of the server's
+//	                   registry: serve traffic, cache state, the build's
+//	                   pipeline/health metrics, and anything else
+//	                   published to the shared registry (lifestore reads,
+//	                   pipeline counters)
 //
 // Responses for the data endpoints are cached in a fixed-size LRU keyed
 // by path and query; /v1/health is always computed live.
+//
+// Endpoint counters live on an obs.Registry rather than ad-hoc atomics,
+// so the same numbers surface identically on /v1/health (JSON, with
+// derived p50/p99) and /metrics (Prometheus histogram).
 package serve
 
 import (
@@ -22,14 +33,29 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"parallellives/internal/asn"
 	"parallellives/internal/core"
 	"parallellives/internal/lifestore"
+	"parallellives/internal/obs"
 	"parallellives/internal/pipeline"
 	"parallellives/internal/report"
+)
+
+// Registry metric names the server publishes.
+const (
+	// MetricRequests counts requests by endpoint pattern.
+	MetricRequests = "parallellives_serve_requests_total"
+	// MetricErrors counts handler failures by endpoint pattern.
+	MetricErrors = "parallellives_serve_errors_total"
+	// MetricLatency is the per-endpoint request latency histogram.
+	MetricLatency = "parallellives_serve_request_seconds"
+	// MetricCacheHits / MetricCacheMisses / MetricCacheEntries mirror the
+	// LRU's own accounting into the registry at scrape time.
+	MetricCacheHits    = "parallellives_serve_cache_hits"
+	MetricCacheMisses  = "parallellives_serve_cache_misses"
+	MetricCacheEntries = "parallellives_serve_cache_entries"
 )
 
 // Source is the query surface the server needs; *lifestore.Store and
@@ -51,6 +77,11 @@ type Options struct {
 	// DefaultStride is the series downsampling default in days when the
 	// request carries no ?stride (default 30).
 	DefaultStride int
+	// Obs supplies the observability core the server publishes to. Pass
+	// the same Obs the pipeline built with and /metrics exposes build
+	// and serve metrics side by side while /v1/stages serves the build
+	// trace. Nil gets the server a private obs.New().
+	Obs *obs.Obs
 }
 
 // Server is the HTTP API over one opened dataset. It is safe for
@@ -59,16 +90,24 @@ type Server struct {
 	src           Source
 	mux           *http.ServeMux
 	cache         *lru
+	obs           *obs.Obs
 	metrics       map[string]*endpointMetrics
+	cacheHits     *obs.Gauge
+	cacheMisses   *obs.Gauge
+	cacheEntries  *obs.Gauge
 	defaultStride int
 }
 
-// endpointMetrics counts one endpoint's traffic.
+// endpointMetrics holds one endpoint's pre-resolved registry handles.
 type endpointMetrics struct {
-	requests  atomic.Int64
-	errors    atomic.Int64
-	latencyNs atomic.Int64
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
 }
+
+// latencyBuckets spans the in-process serving range: cache hits land in
+// the low microseconds, cold block reads in the milliseconds.
+func latencyBuckets() []float64 { return obs.ExpBuckets(0.000001, 10, 8) }
 
 // New builds the server around a source.
 func New(src Source, opts Options) *Server {
@@ -81,17 +120,32 @@ func New(src Source, opts Options) *Server {
 	if opts.DefaultStride <= 0 {
 		opts.DefaultStride = 30
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.New()
+	}
+	reg := opts.Obs.Registry
 	s := &Server{
 		src:           src,
 		mux:           http.NewServeMux(),
 		cache:         newLRU(opts.CacheSize),
+		obs:           opts.Obs,
 		metrics:       make(map[string]*endpointMetrics),
+		cacheHits:     reg.Gauge(MetricCacheHits, "LRU response-cache hits since start."),
+		cacheMisses:   reg.Gauge(MetricCacheMisses, "LRU response-cache misses since start."),
+		cacheEntries:  reg.Gauge(MetricCacheEntries, "LRU response-cache entries currently held."),
 		defaultStride: opts.DefaultStride,
 	}
+	// Bridge the build's health report into the registry so a /metrics
+	// scrape carries the dataset's provenance even when the server was
+	// handed a cold snapshot rather than a live pipeline run.
+	h := src.Health()
+	h.Export(reg)
 	s.mux.HandleFunc("GET /v1/asn/{n}", s.wrap("/v1/asn/{n}", true, s.handleASN))
 	s.mux.HandleFunc("GET /v1/rir/{r}/series", s.wrap("/v1/rir/{r}/series", true, s.handleSeries))
 	s.mux.HandleFunc("GET /v1/taxonomy", s.wrap("/v1/taxonomy", true, s.handleTaxonomy))
 	s.mux.HandleFunc("GET /v1/health", s.wrap("/v1/health", false, s.handleHealth))
+	s.mux.HandleFunc("GET /v1/stages", s.wrap("/v1/stages", false, s.handleStages))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -108,14 +162,22 @@ func errf(code int, format string, args ...any) *apiError {
 	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
-// wrap adds caching, metrics and JSON rendering around a handler.
+// wrap adds caching, metrics and JSON rendering around a handler. The
+// registry handles are resolved once here, so the per-request cost is
+// pure atomics.
 func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any, *apiError)) http.HandlerFunc {
-	m := &endpointMetrics{}
+	reg := s.obs.Registry
+	m := &endpointMetrics{
+		requests: reg.CounterVec(MetricRequests, "API requests by endpoint pattern.", "endpoint").With(label),
+		errors:   reg.CounterVec(MetricErrors, "API handler failures by endpoint pattern.", "endpoint").With(label),
+		latency: reg.HistogramVec(MetricLatency, "API request latency by endpoint pattern.",
+			latencyBuckets(), "endpoint").With(label),
+	}
 	s.metrics[label] = m
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		defer func() { m.latencyNs.Add(time.Since(start).Nanoseconds()) }()
-		m.requests.Add(1)
+		defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
+		m.requests.Inc()
 
 		key := r.URL.Path
 		if r.URL.RawQuery != "" {
@@ -129,14 +191,14 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 		}
 		payload, apiErr := fn(r)
 		if apiErr != nil {
-			m.errors.Add(1)
+			m.errors.Inc()
 			body, _ := json.Marshal(map[string]string{"error": apiErr.msg})
 			writeBody(w, apiErr.code, cached{contentType: "application/json", body: body})
 			return
 		}
 		body, err := json.Marshal(payload)
 		if err != nil {
-			m.errors.Add(1)
+			m.errors.Inc()
 			http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -335,6 +397,10 @@ type endpointJSON struct {
 	Requests       int64 `json:"requests"`
 	Errors         int64 `json:"errors"`
 	TotalLatencyNs int64 `json:"totalLatencyNs"`
+	// LatencyP50Ns / LatencyP99Ns are estimated from the latency
+	// histogram — additive fields the pre-registry clients never saw.
+	LatencyP50Ns int64 `json:"latencyP50Ns"`
+	LatencyP99Ns int64 `json:"latencyP99Ns"`
 }
 
 type healthResponse struct {
@@ -369,10 +435,37 @@ func (s *Server) handleHealth(*http.Request) (any, *apiError) {
 	}
 	for label, em := range s.metrics {
 		resp.Endpoints[label] = endpointJSON{
-			Requests:       em.requests.Load(),
-			Errors:         em.errors.Load(),
-			TotalLatencyNs: em.latencyNs.Load(),
+			Requests:       em.requests.Value(),
+			Errors:         em.errors.Value(),
+			TotalLatencyNs: int64(em.latency.Sum() * 1e9),
+			LatencyP50Ns:   int64(em.latency.Quantile(0.5) * 1e9),
+			LatencyP99Ns:   int64(em.latency.Quantile(0.99) * 1e9),
 		}
 	}
 	return resp, nil
+}
+
+// handleStages serves the build's stage trace when the dataset was
+// built with observability attached to the same Obs this server uses.
+func (s *Server) handleStages(*http.Request) (any, *apiError) {
+	summaries := s.obs.Tracer.Summary()
+	if len(summaries) == 0 {
+		return nil, errf(http.StatusNotFound,
+			"no stage trace recorded: build the dataset with the same observability core this server was given")
+	}
+	return summaries, nil
+}
+
+// handleMetrics is the Prometheus scrape endpoint. The LRU's own
+// counters are mirrored into the registry here, at scrape time, so the
+// cache's hot path stays untouched.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, size, _ := s.cache.stats()
+	s.cacheHits.Set(float64(hits))
+	s.cacheMisses.Set(float64(misses))
+	s.cacheEntries.Set(float64(size))
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := obs.WritePrometheus(w, s.obs.Registry); err != nil {
+		http.Error(w, "rendering metrics: "+err.Error(), http.StatusInternalServerError)
+	}
 }

@@ -9,8 +9,8 @@ echo "== go vet"
 go vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (faults, bgpscan, serve)"
-go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/
+echo "== go test -race (faults, bgpscan, serve, obs)"
+go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/
 echo "== go test -race -short (pipeline)"
 go test -race -short ./internal/pipeline/
 echo "verify: OK"
