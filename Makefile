@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke stage-report
+.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report
 
 build:
 	go build ./...
@@ -18,6 +18,7 @@ race:
 fuzz:
 	go test ./internal/delegation/ -fuzz FuzzLenientParse -fuzztime 15s
 	go test ./internal/mrt/ -fuzz FuzzDecodeMRT -fuzztime 15s
+	go test ./internal/lifestore/ -fuzz FuzzOpenBytes -fuzztime 15s
 
 verify:
 	./scripts/verify.sh
@@ -29,6 +30,12 @@ snapshot-smoke:
 		-snapshot $${TMPDIR:-/tmp}/parallellives-smoke.snap \
 		-scale 0.01 -start 2007-01-01 -end 2010-01-01
 	rm -f $${TMPDIR:-/tmp}/parallellives-smoke.snap
+
+# Serving-resilience smoke: the chaos soak under the race detector —
+# fault window over a flaky store, breaker trip and recovery, mid-soak
+# hot reload, zero corrupt 200 bodies.
+chaos-serve:
+	go test -race -short -count=1 -run TestChaosSoak ./internal/serve/ -v
 
 # Observability smoke: a small instrumented run must print a stage table
 # with the scan stage in it.

@@ -16,16 +16,26 @@
 // the build's pipeline counters next to live serving metrics, and
 // /v1/stages serves the build's stage trace.
 //
+// The server runs with a full lifecycle: every http.Server timeout is
+// set, SIGINT/SIGTERM trigger a graceful drain (bounded by -drain),
+// and SIGHUP — or POST /v1/admin/reload — hot-reloads the snapshot
+// file after verifying every block, atomically swapping generations
+// without dropping in-flight requests.
+//
 // Endpoints: /v1/asn/{n}, /v1/rir/{r}/series, /v1/taxonomy, /v1/health,
-// /v1/stages, /metrics, and with -pprof the /debug/pprof/* profiles.
+// /v1/stages, /v1/admin/reload, /healthz, /readyz, /metrics, and with
+// -pprof the /debug/pprof/* profiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"parallellives/internal/core"
@@ -53,6 +63,10 @@ func run() error {
 		cache    = flag.Int("cache", 256, "LRU response-cache capacity (entries, -1 disables)")
 		stride   = flag.Int("stride", 30, "default series downsampling stride (days)")
 		pprofOn  = flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints")
+
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
+		maxInfl    = flag.Int("max-inflight", 512, "concurrent-request admission cap (-1 disables shedding)")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated into lookups (-1ns disables)")
 
 		scale       = flag.Float64("scale", 0.04, "world scale")
 		seed        = flag.Int64("seed", 1, "simulation seed")
@@ -131,17 +145,44 @@ func run() error {
 	if *listen == "" {
 		return nil
 	}
-	st, err := lifestore.OpenObserved(*snapshot, o.Registry)
+	return serveSnapshot(o, *snapshot, *listen, serveConfig{
+		cache: *cache, stride: *stride, pprofOn: *pprofOn,
+		drain: *drain, maxInFlight: *maxInfl, requestTimeout: *reqTimeout,
+	})
+}
+
+// serveConfig carries the listen-mode knobs from flags into the server.
+type serveConfig struct {
+	cache, stride  int
+	pprofOn        bool
+	drain          time.Duration
+	maxInFlight    int
+	requestTimeout time.Duration
+}
+
+// serveSnapshot opens and fully verifies the snapshot, binds the
+// listener (surfacing bind errors before any "serving" output), and
+// runs the hardened HTTP server until SIGINT/SIGTERM, draining
+// in-flight requests before returning. SIGHUP hot-reloads the snapshot
+// file in place.
+func serveSnapshot(o *obs.Obs, snapshot, listen string, cfg serveConfig) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	open := serve.FileOpener(snapshot, o.Registry)
+	src, closer, source, err := open(ctx)
 	if err != nil {
 		return err
 	}
-	defer st.Close()
-	m := st.Meta()
-	fmt.Fprintf(os.Stderr, "asnserve: serving %s (%s..%s, %d ASNs) on %s\n",
-		*snapshot, m.Start, m.End, m.ASNCount, *listen)
-	srv := serve.New(st, serve.Options{CacheSize: *cache, DefaultStride: *stride, Obs: o})
+	sw := serve.NewSwappable(src, closer, source)
+	rel := serve.NewReloader(sw, open, o.Registry)
+	srv := serve.New(sw, serve.Options{
+		CacheSize: cfg.cache, DefaultStride: cfg.stride, Obs: o,
+		MaxInFlight: cfg.maxInFlight, RequestTimeout: cfg.requestTimeout,
+		Reloader: rel,
+	})
 	handler := http.Handler(srv)
-	if *pprofOn {
+	if cfg.pprofOn {
 		// The profiling handlers live on an outer mux so the serve
 		// package itself stays free of pprof's global side effects.
 		mux := http.NewServeMux()
@@ -152,9 +193,40 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
-		fmt.Fprintf(os.Stderr, "asnserve: pprof enabled on %s/debug/pprof/\n", *listen)
 	}
-	return http.ListenAndServe(*listen, handler)
+
+	// Bind first: a taken port or bad address fails here, before any
+	// "serving" line suggests the process is up.
+	ln, err := serve.Listen(listen)
+	if err != nil {
+		return err
+	}
+	m := src.Meta()
+	fmt.Fprintf(os.Stderr, "asnserve: serving %s (%s..%s, %d ASNs) on %s\n",
+		snapshot, m.Start, m.End, m.ASNCount, ln.Addr())
+	if cfg.pprofOn {
+		fmt.Fprintf(os.Stderr, "asnserve: pprof enabled on %s/debug/pprof/\n", listen)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if info, err := rel.Reload(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "asnserve: reload failed, previous snapshot still serving:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "asnserve: reloaded %s (generation %d, %d ASNs)\n",
+					info.Source, info.Gen, info.ASNCount)
+			}
+		}
+	}()
+
+	err = serve.Run(ctx, ln, handler, serve.HTTPOptions{DrainTimeout: cfg.drain})
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "asnserve: shut down after drain")
+	}
+	return err
 }
 
 // verifySnapshot proves the round trip: the file just written decodes to

@@ -18,11 +18,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"parallellives/internal/asn"
@@ -91,9 +94,18 @@ func run() error {
 			want[k] = true
 		}
 	}
+	// A watch feed can be long; let Ctrl-C cut it off cleanly with the
+	// summary line instead of killing the process mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	events := ds.Joint.WatchEvents(core.DefaultSquatParams())
 	printed := 0
 	for _, e := range events {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "asnwatch: interrupted")
+			break
+		}
 		if len(want) > 0 && !want[e.Kind.String()] {
 			continue
 		}

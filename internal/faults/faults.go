@@ -61,6 +61,14 @@ type Plan struct {
 	ShortReadRate float64
 	StallRate     float64
 	StallDuration time.Duration
+
+	// ReadAtErrorRate is the fraction of FlakyReaderAt reads that fail
+	// with a transient error; ReadAtFlipRate the fraction served with a
+	// single bit flipped — the random-access fault classes a snapshot
+	// store's checksum and retry layers must absorb. Counted on the
+	// FlakyReaderAt itself (see its doc), not in the Report.
+	ReadAtErrorRate float64
+	ReadAtFlipRate  float64
 }
 
 // DefaultStorm is the acceptance-level fault storm: well above the
@@ -121,6 +129,8 @@ const (
 	saltTransient
 	saltShortRead
 	saltStall
+	saltReadAtErr
+	saltReadAtFlip
 )
 
 // hash is seeded FNV-1a over the keys, the same shared-state-free idiom

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// FlakyReaderAt wraps an io.ReaderAt with deterministic transient read
+// errors and single-bit corruption — the random-access counterpart of
+// FlakyReader, shaped for snapshot stores whose lookups go through
+// io.ReaderAt. Each injection decision is a pure function of (plan
+// seed, salt, offset, length), so the same read always faults the same
+// way and two runs over the same access pattern inject identically.
+//
+// Unlike the Injector's streaming methods, a FlakyReaderAt is safe for
+// concurrent use: a serving layer issues lookups from many goroutines
+// at once, so decisions stay pure and the counters are atomics held on
+// the wrapper itself (they are not mirrored into the Injector's
+// Report).
+type FlakyReaderAt struct {
+	in      *Injector
+	r       io.ReaderAt
+	salt    uint64
+	enabled atomic.Bool
+	errs    atomic.Int64
+	flips   atomic.Int64
+}
+
+// WrapReaderAt wraps r with the plan's ReadAt faults, initially
+// enabled. salt must be stable per underlying reader.
+func (in *Injector) WrapReaderAt(salt uint64, r io.ReaderAt) *FlakyReaderAt {
+	f := &FlakyReaderAt{in: in, r: r, salt: salt}
+	f.enabled.Store(true)
+	return f
+}
+
+// SetEnabled switches injection on or off atomically. Chaos tests use
+// this to open and close fault windows mid-soak without replacing the
+// reader under a live store.
+func (f *FlakyReaderAt) SetEnabled(on bool) { f.enabled.Store(on) }
+
+// Errs returns the transient errors injected so far.
+func (f *FlakyReaderAt) Errs() int64 { return f.errs.Load() }
+
+// Flips returns the bit-flipped reads served so far.
+func (f *FlakyReaderAt) Flips() int64 { return f.flips.Load() }
+
+// ReadAt implements io.ReaderAt. A read either fails outright with an
+// ErrTransient-classified error, succeeds with exactly one bit flipped
+// somewhere in the returned buffer (which a checksummed consumer must
+// catch), or passes through untouched.
+func (f *FlakyReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if !f.enabled.Load() || len(p) == 0 {
+		return f.r.ReadAt(p, off)
+	}
+	key := []uint64{f.salt, uint64(off), uint64(len(p))}
+	if f.in.coin(f.in.plan.ReadAtErrorRate, append([]uint64{saltReadAtErr}, key...)...) {
+		f.errs.Add(1)
+		return 0, fmt.Errorf("%w: read of %d bytes at offset %d", ErrTransient, len(p), off)
+	}
+	n, err := f.r.ReadAt(p, off)
+	if err == nil && n > 0 && f.in.coin(f.in.plan.ReadAtFlipRate, append([]uint64{saltReadAtFlip}, key...)...) {
+		bit := f.in.hash(append([]uint64{saltReadAtFlip, 0xb17}, key...)...) % uint64(n*8)
+		p[bit/8] ^= 1 << (bit % 8)
+		f.flips.Add(1)
+	}
+	return n, err
+}

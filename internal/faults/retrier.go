@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -88,25 +89,58 @@ func (r *Retrier) Registry() asn.RIR { return r.src.Registry() }
 // Stats returns the recovery counters accumulated so far.
 func (r *Retrier) Stats() RetryStats { return r.stats }
 
-// Next implements registry.Source.
+// Next implements registry.Source. With no Sleep injected the backoff
+// is virtual (recorded, not waited), which keeps batch pipeline runs
+// deterministic in time; long-lived services that need real, cancellable
+// waits use NextContext instead.
 func (r *Retrier) Next() (registry.Snapshot, bool) {
+	snap, ok, _ := r.next(nil)
+	return snap, ok
+}
+
+// NextContext is Next with real, cancellable backoff: with no Sleep
+// injected each wait really sleeps, and cancelling ctx mid-backoff
+// returns promptly with ctx.Err() — the pending day is neither consumed
+// nor abandoned, so a later call can resume it. The error is non-nil
+// only when ctx ended the wait.
+func (r *Retrier) NextContext(ctx context.Context) (registry.Snapshot, bool, error) {
+	return r.next(ctx)
+}
+
+// next runs the retry loop. A nil ctx selects virtual backoff (the
+// legacy Next semantics); a real ctx selects cancellable sleeping.
+func (r *Retrier) next(ctx context.Context) (registry.Snapshot, bool, error) {
 	for attempt := 1; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return registry.Snapshot{}, false, err
+			}
+		}
 		snap, ok, err := r.src.Next()
 		if err == nil {
-			return snap, ok
+			return snap, ok, nil
 		}
 		if attempt >= r.pol.MaxAttempts {
 			r.stats.Abandoned++
 			if lost, ok := r.src.Abandon(); ok {
-				return lost, true
+				return lost, true, nil
 			}
-			return registry.Snapshot{}, false
+			return registry.Snapshot{}, false, nil
 		}
 		r.stats.Retries++
 		d := r.pol.Backoff(attempt)
 		r.stats.Backoff += d
-		if r.pol.Sleep != nil {
+		switch {
+		case r.pol.Sleep != nil:
 			r.pol.Sleep(d)
+		case ctx != nil:
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return registry.Snapshot{}, false, ctx.Err()
+			case <-t.C:
+			}
 		}
 	}
 }

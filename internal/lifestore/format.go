@@ -259,11 +259,11 @@ func encodeBlock(l ASNLives) []byte {
 
 func decodeBlock(b []byte) (ASNLives, error) {
 	if len(b) < 4 {
-		return ASNLives{}, fmt.Errorf("lifestore: block shorter than its checksum")
+		return ASNLives{}, corruptf("block shorter than its checksum")
 	}
 	payload, tail := b[:len(b)-4], b[len(b)-4:]
 	if got, want := checksum(payload), binary.LittleEndian.Uint32(tail); got != want {
-		return ASNLives{}, fmt.Errorf("lifestore: block checksum mismatch (got %08x, want %08x)", got, want)
+		return ASNLives{}, corruptf("block checksum mismatch (got %08x, want %08x)", got, want)
 	}
 	d := dec{b: payload}
 	var l ASNLives
@@ -302,7 +302,7 @@ func decodeBlock(b []byte) (ASNLives, error) {
 		}
 	}
 	if err := d.done(); err != nil {
-		return ASNLives{}, err
+		return ASNLives{}, fmt.Errorf("%w: %w", ErrCorrupt, err)
 	}
 	return l, nil
 }

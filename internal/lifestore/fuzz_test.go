@@ -1,0 +1,138 @@
+package lifestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// fuzzSnapshot builds a small but fully featured snapshot by hand — a
+// few ASNs with both admin and op lives — without running the pipeline,
+// so the fuzz seeds are cheap and deterministic.
+func fuzzSnapshot() *Snapshot {
+	day := dates.MustParse
+	snap := &Snapshot{
+		Meta: Meta{
+			FormatVersion: FormatVersion,
+			Start:         day("2004-01-01"),
+			End:           day("2006-01-01"),
+			Timeout:       365,
+			Visibility:    2,
+			Scale:         0.01,
+			Seed:          7,
+		},
+		Taxonomy: core.TaxonomyCounts{AdminComplete: 2, AdminPartial: 1, OpComplete: 2, OpPartial: 1},
+	}
+	for i, a := range []asn.ASN{64496, 64500, 65550} {
+		start := day("2004-03-01").AddDays(40 * i)
+		snap.Lives = append(snap.Lives, ASNLives{
+			ASN: a,
+			Admin: []AdminLife{{
+				RIR:      asn.RIPENCC,
+				CC:       "NL",
+				OpaqueID: fmt.Sprintf("org-%d", i),
+				RegDate:  start,
+				Span:     intervals.Interval{Start: start, End: start.AddDays(300)},
+				Open:     i == 2,
+				Pieces:   1,
+				Category: core.CatComplete,
+			}},
+			Op: []OpLife{{
+				Span:     intervals.Interval{Start: start.AddDays(10), End: start.AddDays(250)},
+				Category: core.CatPartial,
+			}},
+		})
+	}
+	snap.Meta.ASNCount = len(snap.Lives)
+	snap.Meta.AdminLives = len(snap.Lives)
+	snap.Meta.OpLives = len(snap.Lives)
+	return snap
+}
+
+// fuzzImage is the encoded form of fuzzSnapshot.
+func fuzzImage(tb testing.TB) []byte {
+	tb.Helper()
+	img, err := Encode(fuzzSnapshot())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// FuzzOpenBytes pins the corruption contract of the whole open path: no
+// input may panic OpenBytes, and every rejected input must carry the
+// ErrCorrupt classification so callers (the reload path, the serve
+// circuit breaker) can tell permanent damage from transient read
+// errors. Inputs that do open are walked end to end — every indexed
+// lookup plus the full Snapshot decode — which additionally must not
+// panic, whatever the blocks contain.
+func FuzzOpenBytes(f *testing.F) {
+	img, err := Encode(fuzzSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add([]byte{})
+	f.Add([]byte("ASNLIVES"))
+	for _, cut := range []int{1, len(img) / 2, len(img) - 1} {
+		f.Add(img[:cut])
+	}
+	for _, flip := range []int{9, headerFixedLen + 3, len(img) / 2, len(img) - 3} {
+		mut := append([]byte(nil), img...)
+		mut[flip] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := OpenBytes(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("OpenBytes error not ErrCorrupt-classified: %v", err)
+			}
+			return
+		}
+		for _, a := range st.ASNs() {
+			_, _, _ = st.Lookup(a)
+		}
+		_ = st.VerifyBlocks()
+		_, _ = st.Snapshot()
+	})
+}
+
+// TestRegenerateFuzzCorpus rewrites the committed FuzzOpenBytes corpus
+// from the current encoder when LIFESTORE_REGEN_CORPUS=1 is set, and is
+// skipped otherwise. The corpus pins the truncated and bit-flipped
+// shapes of a real encoded snapshot, so it must be refreshed whenever
+// the format changes.
+func TestRegenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("LIFESTORE_REGEN_CORPUS") == "" {
+		t.Skip("set LIFESTORE_REGEN_CORPUS=1 to rewrite testdata/fuzz/FuzzOpenBytes")
+	}
+	img := fuzzImage(t)
+	dir := filepath.Join("testdata", "fuzz", "FuzzOpenBytes")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("valid", img)
+	write("truncated-header", img[:headerFixedLen-2])
+	write("truncated-half", img[:len(img)/2])
+	write("truncated-tail", img[:len(img)-1])
+	flipped := append([]byte(nil), img...)
+	flipped[headerFixedLen+5] ^= 0x08 // inside the section table
+	write("bitflip-table", flipped)
+	flipped = append([]byte(nil), img...)
+	flipped[len(img)-6] ^= 0x80 // inside the last block
+	write("bitflip-block", flipped)
+}

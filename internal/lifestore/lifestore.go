@@ -15,6 +15,7 @@
 package lifestore
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sort"
@@ -189,6 +190,15 @@ func (m *InMemory) Series() *core.AliveSeries { return m.snap.Series }
 func (m *InMemory) Lookup(a asn.ASN) (ASNLives, bool, error) {
 	l, ok := m.snap.Lookup(a)
 	return l, ok, nil
+}
+
+// LookupContext is Lookup honouring request cancellation, matching the
+// Store's context-aware surface so servers treat both sources alike.
+func (m *InMemory) LookupContext(ctx context.Context, a asn.ASN) (ASNLives, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return ASNLives{}, false, err
+	}
+	return m.Lookup(a)
 }
 
 // ASNCount returns the number of distinct ASNs with at least one life.

@@ -2,7 +2,9 @@ package lifestore
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +16,18 @@ import (
 	"parallellives/internal/core"
 	"parallellives/internal/pipeline"
 )
+
+// ErrCorrupt classifies every structural snapshot failure — bad magic,
+// version or section-table shape, checksum mismatches, and block decode
+// errors. Callers branch on it with errors.Is: corruption is permanent
+// (reload or rebuild the snapshot), unlike a transient read error which
+// a retry or circuit-breaker half-open may clear.
+var ErrCorrupt = errors.New("corrupt snapshot")
+
+// corruptf builds an ErrCorrupt-classified error.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
 
 // Store is an opened snapshot. The small sections (metadata, health,
 // taxonomy, series, index) are decoded eagerly at Open; per-ASN life
@@ -57,9 +71,16 @@ func Open(path string) (*Store, error) {
 	return st, nil
 }
 
-// OpenBytes opens an in-memory snapshot image, mostly for tests.
+// OpenBytes opens an in-memory snapshot image, mostly for tests. Every
+// failure is ErrCorrupt-classified: with the whole image in memory there
+// are no transient reads, so any error — including a short read past the
+// end of a truncated image — means the bytes themselves are damaged.
 func OpenBytes(b []byte) (*Store, error) {
-	return NewStore(bytes.NewReader(b))
+	st, err := NewStore(bytes.NewReader(b))
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		err = fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	return st, err
 }
 
 // NewStore reads the header, section table and eager sections from r,
@@ -71,10 +92,10 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 		return nil, fmt.Errorf("reading header: %w", err)
 	}
 	if string(fixed[:8]) != magic {
-		return nil, fmt.Errorf("not a lifestore snapshot (bad magic %q)", fixed[:8])
+		return nil, corruptf("not a lifestore snapshot (bad magic %q)", fixed[:8])
 	}
 	if v := binary.LittleEndian.Uint16(fixed[8:10]); v != FormatVersion {
-		return nil, fmt.Errorf("unsupported snapshot format version %d (reader supports %d)", v, FormatVersion)
+		return nil, corruptf("unsupported snapshot format version %d (reader supports %d)", v, FormatVersion)
 	}
 	nsec := int(binary.LittleEndian.Uint16(fixed[10:12]))
 	table := make([]byte, sectionEntryLen*nsec+4)
@@ -83,7 +104,7 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 	}
 	sealed := append(append([]byte{}, fixed...), table[:len(table)-4]...)
 	if got, want := checksum(sealed), binary.LittleEndian.Uint32(table[len(table)-4:]); got != want {
-		return nil, fmt.Errorf("header checksum mismatch (got %08x, want %08x)", got, want)
+		return nil, corruptf("header checksum mismatch (got %08x, want %08x)", got, want)
 	}
 
 	st := &Store{r: r}
@@ -95,7 +116,7 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 		length := binary.LittleEndian.Uint64(entry[12:20])
 		crc := binary.LittleEndian.Uint32(entry[20:24])
 		if seen[id] {
-			return nil, fmt.Errorf("duplicate section %d", id)
+			return nil, corruptf("duplicate section %d", id)
 		}
 		seen[id] = true
 
@@ -113,7 +134,7 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 			return nil, fmt.Errorf("reading section %d: %w", id, err)
 		}
 		if got := checksum(payload); got != crc {
-			return nil, fmt.Errorf("section %d checksum mismatch (got %08x, want %08x)", id, got, crc)
+			return nil, corruptf("section %d checksum mismatch (got %08x, want %08x)", id, got, crc)
 		}
 		var err error
 		switch id {
@@ -129,12 +150,15 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 			st.index, err = decodeIndex(payload)
 		}
 		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				err = fmt.Errorf("%w: %w", ErrCorrupt, err)
+			}
 			return nil, err
 		}
 	}
 	for id := secMeta; id <= secBlocks; id++ {
 		if !seen[id] {
-			return nil, fmt.Errorf("missing section %d", id)
+			return nil, corruptf("missing section %d", id)
 		}
 	}
 	return st, nil
@@ -195,6 +219,17 @@ func (st *Store) Lookup(a asn.ASN) (ASNLives, bool, error) {
 	return l, ok, err
 }
 
+// LookupContext is Lookup with cancellation: a request whose deadline
+// already expired (or whose client went away) returns ctx.Err() before
+// paying for the block read, so an overloaded server sheds dead work
+// instead of decoding blocks nobody is waiting for.
+func (st *Store) LookupContext(ctx context.Context, a asn.ASN) (ASNLives, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return ASNLives{}, false, err
+	}
+	return st.Lookup(a)
+}
+
 // lookup is the uninstrumented read; n is the block bytes read.
 func (st *Store) lookup(a asn.ASN) (l ASNLives, ok bool, n int, err error) {
 	i := sort.Search(len(st.index), func(i int) bool { return st.index[i].asn >= a })
@@ -203,8 +238,8 @@ func (st *Store) lookup(a asn.ASN) (l ASNLives, ok bool, n int, err error) {
 	}
 	e := st.index[i]
 	if e.off+e.length > st.blocksLen {
-		return ASNLives{}, false, 0, fmt.Errorf("lifestore: AS%s block [%d,%d) outside blocks section of %d bytes",
-			a, e.off, e.off+e.length, st.blocksLen)
+		return ASNLives{}, false, 0, fmt.Errorf("lifestore: %w", corruptf("AS%s block [%d,%d) outside blocks section of %d bytes",
+			a, e.off, e.off+e.length, st.blocksLen))
 	}
 	buf := make([]byte, e.length)
 	if _, err := st.r.ReadAt(buf, int64(st.blocksOff+e.off)); err != nil {
@@ -215,7 +250,7 @@ func (st *Store) lookup(a asn.ASN) (l ASNLives, ok bool, n int, err error) {
 		return ASNLives{}, false, 0, fmt.Errorf("lifestore: AS%s block: %w", a, err)
 	}
 	if l.ASN != a {
-		return ASNLives{}, false, 0, fmt.Errorf("lifestore: index points AS%s at a block for AS%s", a, l.ASN)
+		return ASNLives{}, false, 0, fmt.Errorf("lifestore: %w", corruptf("index points AS%s at a block for AS%s", a, l.ASN))
 	}
 	return l, true, len(buf), nil
 }
@@ -224,12 +259,9 @@ func (st *Store) lookup(a asn.ASN) (l ASNLives, ok bool, n int, err error) {
 // whole-section blocks checksum on the way — the full-fidelity read that
 // Diff-based round-trip proofs use.
 func (st *Store) Snapshot() (*Snapshot, error) {
-	blocks := make([]byte, st.blocksLen)
-	if _, err := st.r.ReadAt(blocks, int64(st.blocksOff)); err != nil {
-		return nil, fmt.Errorf("lifestore: reading blocks section: %w", err)
-	}
-	if got := checksum(blocks); got != st.blocksCRC {
-		return nil, fmt.Errorf("lifestore: blocks section checksum mismatch (got %08x, want %08x)", got, st.blocksCRC)
+	blocks, err := st.readBlocks()
+	if err != nil {
+		return nil, err
 	}
 	snap := &Snapshot{
 		Meta:     st.meta,
@@ -239,14 +271,59 @@ func (st *Store) Snapshot() (*Snapshot, error) {
 		Lives:    make([]ASNLives, 0, len(st.index)),
 	}
 	for _, e := range st.index {
-		if e.off+e.length > st.blocksLen {
-			return nil, fmt.Errorf("lifestore: AS%s block outside blocks section", e.asn)
-		}
-		l, err := decodeBlock(blocks[e.off : e.off+e.length])
+		l, err := st.decodeIndexed(blocks, e)
 		if err != nil {
-			return nil, fmt.Errorf("lifestore: AS%s block: %w", e.asn, err)
+			return nil, err
 		}
 		snap.Lives = append(snap.Lives, l)
 	}
 	return snap, nil
+}
+
+// readBlocks loads the whole blocks section and verifies its section
+// checksum.
+func (st *Store) readBlocks() ([]byte, error) {
+	blocks := make([]byte, st.blocksLen)
+	if _, err := st.r.ReadAt(blocks, int64(st.blocksOff)); err != nil {
+		return nil, fmt.Errorf("lifestore: reading blocks section: %w", err)
+	}
+	if got := checksum(blocks); got != st.blocksCRC {
+		return nil, fmt.Errorf("lifestore: %w", corruptf("blocks section checksum mismatch (got %08x, want %08x)", got, st.blocksCRC))
+	}
+	return blocks, nil
+}
+
+// decodeIndexed decodes one index entry's block out of the loaded
+// blocks section.
+func (st *Store) decodeIndexed(blocks []byte, e indexEntry) (ASNLives, error) {
+	if e.off+e.length > st.blocksLen {
+		return ASNLives{}, fmt.Errorf("lifestore: %w", corruptf("AS%s block outside blocks section", e.asn))
+	}
+	l, err := decodeBlock(blocks[e.off : e.off+e.length])
+	if err != nil {
+		return ASNLives{}, fmt.Errorf("lifestore: AS%s block: %w", e.asn, err)
+	}
+	if l.ASN != e.asn {
+		return ASNLives{}, fmt.Errorf("lifestore: %w", corruptf("index points AS%s at a block for AS%s", e.asn, l.ASN))
+	}
+	return l, nil
+}
+
+// VerifyBlocks proves every byte of the lazy blocks section is intact:
+// the whole-section checksum matches and each indexed block reads,
+// checksums and decodes to the ASN the index claims. Open verifies only
+// the eager sections; a hot reload calls VerifyBlocks before swapping a
+// new snapshot in, so a half-written or bit-rotted file is rejected
+// while the old generation keeps serving.
+func (st *Store) VerifyBlocks() error {
+	blocks, err := st.readBlocks()
+	if err != nil {
+		return err
+	}
+	for _, e := range st.index {
+		if _, err := st.decodeIndexed(blocks, e); err != nil {
+			return err
+		}
+	}
+	return nil
 }

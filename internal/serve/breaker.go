@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"parallellives/internal/obs"
+)
+
+// Breaker states, exported on the MetricBreakerState gauge and in
+// /v1/health. The wire values are frozen: dashboards alert on them.
+const (
+	breakerClosed   = 0 // normal operation
+	breakerOpen     = 1 // tripping: lookups short-circuit
+	breakerHalfOpen = 2 // cooled down: one probe request allowed through
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker guarding the
+// lifestore block-decode path. Closed, it passes every lookup and
+// counts consecutive failures; at threshold it opens, and lookups
+// short-circuit to 503 without touching the store — a snapshot file on
+// a failing disk or NFS mount would otherwise turn every request into a
+// slow error. After cooldown it half-opens: exactly one probe request
+// is let through, and its outcome decides between closing (recovered)
+// and re-opening (still broken).
+//
+// Context cancellations are deliberately not failures: a client giving
+// up says nothing about the store's health.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu       sync.Mutex
+	state    int
+	consec   int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	stateGauge    *obs.Gauge
+	trips         *obs.Counter
+	shortCircuits *obs.Counter
+}
+
+// newBreaker builds a closed breaker publishing to reg.
+func newBreaker(threshold int, cooldown time.Duration, reg *obs.Registry) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		stateGauge: reg.Gauge(MetricBreakerState,
+			"Lifestore circuit-breaker state (0 closed, 1 open, 2 half-open)."),
+		trips: reg.Counter(MetricBreakerTrips,
+			"Times the lifestore circuit breaker opened."),
+		shortCircuits: reg.Counter(MetricBreakerShortCircuits,
+			"Lookups rejected without touching the store while the breaker was open."),
+	}
+}
+
+// allow reports whether a lookup may proceed. While open it returns
+// false (counting a short-circuit) until the cooldown elapses, then
+// admits a single probe in half-open state.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.shortCircuits.Inc()
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.stateGauge.Set(breakerHalfOpen)
+		return true
+	default: // half-open
+		if b.probing {
+			b.shortCircuits.Inc()
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onSuccess records a successful lookup: closed resets the failure run,
+// half-open closes the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.probing = false
+		b.stateGauge.Set(breakerClosed)
+	}
+}
+
+// onNeutral records a lookup that ended without evidence either way —
+// a context cancellation says nothing about the store. Its only effect
+// is releasing a half-open probe slot so the next lookup probes
+// instead.
+func (b *breaker) onNeutral() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// onFailure records a failed lookup: at threshold consecutive failures
+// the breaker opens; a failed half-open probe re-opens immediately.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.consec++
+		if b.consec >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.consec = 0
+	b.probing = false
+	b.trips.Inc()
+	b.stateGauge.Set(breakerOpen)
+}
+
+// snapshot returns the current state for /v1/health.
+func (b *breaker) snapshot() (state string, consecutive int, trips, shortCircuits int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStateName(b.state), b.consec, b.trips.Value(), b.shortCircuits.Value()
+}

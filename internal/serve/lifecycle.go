@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// gateExempt lists the paths admission control never sheds: liveness
+// and readiness probes must answer while the server is saturated (an
+// orchestrator that cannot reach /healthz restarts a merely busy
+// process), and /metrics is how operators see the overload at all.
+func gateExempt(path string) bool {
+	switch path {
+	case "/healthz", "/readyz", "/metrics":
+		return true
+	}
+	return false
+}
+
+// withRecovery converts a handler panic into a 500 response and keeps
+// the process alive. The outermost middleware: whatever blows up below
+// it — handler bugs, corrupt data tripping an invariant — one request
+// fails instead of the whole service.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("internal panic: %v", v)})
+				// Headers may already be out if the handler panicked
+				// mid-write; the write below then fails harmlessly.
+				writeBody(w, http.StatusInternalServerError, cached{contentType: "application/json", body: body})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withGate applies admission control: past MaxInFlight concurrent
+// requests, new work is shed immediately with 503 + Retry-After rather
+// than queued into memory. Shedding early keeps latency bounded for the
+// requests actually admitted — the difference between a brownout and a
+// collapse under a traffic spike.
+func (s *Server) withGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if gateExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		in := s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			s.inflightGauge.Add(-1)
+		}()
+		s.inflightGauge.Add(1)
+		if s.maxInFlight > 0 && in > int64(s.maxInFlight) {
+			s.sheds.Inc()
+			w.Header().Set("Retry-After", "1")
+			body, _ := json.Marshal(map[string]string{
+				"error": fmt.Sprintf("overloaded: %d requests in flight (cap %d)", in, s.maxInFlight)})
+			writeBody(w, http.StatusServiceUnavailable, cached{contentType: "application/json", body: body})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline attaches the per-request deadline to the context, which
+// handlers propagate into lifestore lookups: a request that outlives
+// RequestTimeout stops consuming backend reads.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.requestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// HTTPOptions configures the hardened http.Server and its shutdown
+// drain. Zero fields take the listed defaults; serving with no timeouts
+// at all (the bare http.ListenAndServe shape) is not expressible here,
+// by design — a single slow-loris client would otherwise pin a
+// connection forever.
+type HTTPOptions struct {
+	// ReadHeaderTimeout bounds header arrival (default 5s); ReadTimeout
+	// the whole request read (default 30s); WriteTimeout the response
+	// write (default 60s); IdleTimeout keep-alive idling (default 120s).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to finish after the stop signal before the server is torn
+	// down hard (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (o HTTPOptions) withDefaults() HTTPOptions {
+	if o.ReadHeaderTimeout <= 0 {
+		o.ReadHeaderTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 30 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 60 * time.Second
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = 120 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// NewHTTPServer builds an http.Server with every timeout set.
+func NewHTTPServer(h http.Handler, opts HTTPOptions) *http.Server {
+	opts = opts.withDefaults()
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: opts.ReadHeaderTimeout,
+		ReadTimeout:       opts.ReadTimeout,
+		WriteTimeout:      opts.WriteTimeout,
+		IdleTimeout:       opts.IdleTimeout,
+	}
+}
+
+// Listen binds addr, surfacing bind errors (port taken, bad address)
+// before any serving output is produced.
+func Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: binding %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// Run serves h on ln until ctx is cancelled, then shuts down
+// gracefully: the listener closes (new connections are refused), every
+// in-flight request gets up to DrainTimeout to complete, and only then
+// are the survivors' connections torn down. Returns nil on a clean
+// drain, the shutdown error when the drain deadline expired, or the
+// serve error if the listener failed first.
+func Run(ctx context.Context, ln net.Listener, h http.Handler, opts HTTPOptions) error {
+	opts = opts.withDefaults()
+	srv := NewHTTPServer(h, opts)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drain, cancel := context.WithTimeout(context.Background(), opts.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(drain)
+	<-errc // Serve has returned http.ErrServerClosed by now
+	if err != nil {
+		return fmt.Errorf("serve: shutdown drain incomplete after %v: %w", opts.DrainTimeout, err)
+	}
+	return nil
+}
+
+// retryAfter is the value shed and short-circuit responses advertise.
+func retryAfterHeader(w http.ResponseWriter, seconds int) {
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+}

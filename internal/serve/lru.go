@@ -70,6 +70,16 @@ func (c *lru) put(key string, val cached) {
 	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
 }
 
+// flush drops every entry, keeping the hit/miss history. A snapshot
+// reload flushes so no cached body outlives the generation that
+// rendered it.
+func (c *lru) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+}
+
 // stats returns the counters and current size.
 func (c *lru) stats() (hits, misses uint64, size, capacity int) {
 	c.mu.Lock()

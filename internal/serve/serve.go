@@ -18,9 +18,21 @@
 //	                   pipeline/health metrics, and anything else
 //	                   published to the shared registry (lifestore reads,
 //	                   pipeline counters)
+//	/healthz           liveness probe (always 200 while the process runs)
+//	/readyz            readiness probe (503 while the breaker is open)
+//	/v1/admin/reload   POST: verified hot snapshot reload (only with
+//	                   Options.Reloader)
 //
 // Responses for the data endpoints are cached in a fixed-size LRU keyed
 // by path and query; /v1/health is always computed live.
+//
+// Every request runs inside a lifecycle-control chain (lifecycle.go):
+// panic recovery, an admission gate that sheds load past a concurrency
+// cap with 503 + Retry-After, and a per-request deadline propagated via
+// context into lifestore lookups. Block reads are additionally guarded
+// by a circuit breaker (breaker.go) that trips on consecutive
+// checksum/IO failures, and the backing snapshot can be hot-reloaded
+// through a generation-refcounted swap (reload.go). See DESIGN.md §9.
 //
 // Endpoint counters live on an obs.Registry rather than ad-hoc atomics,
 // so the same numbers surface identically on /v1/health (JSON, with
@@ -28,11 +40,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"parallellives/internal/asn"
@@ -56,16 +71,33 @@ const (
 	MetricCacheHits    = "parallellives_serve_cache_hits"
 	MetricCacheMisses  = "parallellives_serve_cache_misses"
 	MetricCacheEntries = "parallellives_serve_cache_entries"
+	// MetricInFlight gauges requests currently being handled;
+	// MetricSheds counts admissions refused past the in-flight cap.
+	MetricInFlight = "parallellives_serve_inflight"
+	MetricSheds    = "parallellives_serve_shed_total"
+	// MetricPanics counts handler panics converted into 500s.
+	MetricPanics = "parallellives_serve_panics_total"
+	// MetricTimeouts counts lookups abandoned at the request deadline.
+	MetricTimeouts = "parallellives_serve_timeouts_total"
+	// Breaker instrumentation (see breaker.go for the state values).
+	MetricBreakerState         = "parallellives_serve_breaker_state"
+	MetricBreakerTrips         = "parallellives_serve_breaker_trips_total"
+	MetricBreakerShortCircuits = "parallellives_serve_breaker_short_circuits_total"
+	// Reload instrumentation (see reload.go).
+	MetricReloads    = "parallellives_serve_reload_total"
+	MetricGeneration = "parallellives_serve_generation"
 )
 
-// Source is the query surface the server needs; *lifestore.Store and
-// *lifestore.InMemory both implement it.
+// Source is the query surface the server needs; *lifestore.Store,
+// *lifestore.InMemory and *Swappable all implement it. Lookups carry
+// the request context so a server-side deadline or a departed client
+// stops backend reads.
 type Source interface {
 	Meta() lifestore.Meta
 	Health() pipeline.Health
 	Taxonomy() core.TaxonomyCounts
 	Series() *core.AliveSeries
-	Lookup(a asn.ASN) (lifestore.ASNLives, bool, error)
+	LookupContext(ctx context.Context, a asn.ASN) (lifestore.ASNLives, bool, error)
 	ASNCount() int
 }
 
@@ -82,6 +114,26 @@ type Options struct {
 	// and serve metrics side by side while /v1/stages serves the build
 	// trace. Nil gets the server a private obs.New().
 	Obs *obs.Obs
+
+	// MaxInFlight caps concurrently handled requests; past it new
+	// requests are shed with 503 + Retry-After (default 512; negative
+	// disables admission control). Probes and /metrics are exempt.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline propagated into
+	// lifestore lookups (default 10s; negative disables).
+	RequestTimeout time.Duration
+	// BreakerThreshold is the consecutive lookup failures that trip the
+	// lifestore circuit breaker (default 5; negative disables the
+	// breaker). BreakerCooldown is how long it stays open before
+	// half-opening a probe (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Reloader, when set, enables POST /v1/admin/reload and ties the
+	// response cache to the snapshot generation: every successful swap
+	// flushes it. Serve through the Reloader's Swappable as the Source,
+	// or reloads will swap a store nobody queries.
+	Reloader *Reloader
 }
 
 // Server is the HTTP API over one opened dataset. It is safe for
@@ -89,6 +141,7 @@ type Options struct {
 type Server struct {
 	src           Source
 	mux           *http.ServeMux
+	handler       http.Handler // mux wrapped in the lifecycle middleware
 	cache         *lru
 	obs           *obs.Obs
 	metrics       map[string]*endpointMetrics
@@ -96,6 +149,17 @@ type Server struct {
 	cacheMisses   *obs.Gauge
 	cacheEntries  *obs.Gauge
 	defaultStride int
+
+	// Request lifecycle control (see lifecycle.go).
+	maxInFlight    int
+	requestTimeout time.Duration
+	inflight       atomic.Int64
+	inflightGauge  *obs.Gauge
+	sheds          *obs.Counter
+	panics         *obs.Counter
+	timeouts       *obs.Counter
+	breaker        *breaker
+	reloader       *Reloader
 }
 
 // endpointMetrics holds one endpoint's pre-resolved registry handles.
@@ -123,6 +187,18 @@ func New(src Source, opts Options) *Server {
 	if opts.Obs == nil {
 		opts.Obs = obs.New()
 	}
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = 512
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
 	reg := opts.Obs.Registry
 	s := &Server{
 		src:           src,
@@ -134,6 +210,17 @@ func New(src Source, opts Options) *Server {
 		cacheMisses:   reg.Gauge(MetricCacheMisses, "LRU response-cache misses since start."),
 		cacheEntries:  reg.Gauge(MetricCacheEntries, "LRU response-cache entries currently held."),
 		defaultStride: opts.DefaultStride,
+
+		maxInFlight:    opts.MaxInFlight,
+		requestTimeout: opts.RequestTimeout,
+		inflightGauge:  reg.Gauge(MetricInFlight, "Requests currently being handled."),
+		sheds:          reg.Counter(MetricSheds, "Requests shed at the admission gate (503 + Retry-After)."),
+		panics:         reg.Counter(MetricPanics, "Handler panics converted into 500 responses."),
+		timeouts:       reg.Counter(MetricTimeouts, "Lookups abandoned at the request deadline (504)."),
+		reloader:       opts.Reloader,
+	}
+	if opts.BreakerThreshold > 0 {
+		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, reg)
 	}
 	// Bridge the build's health report into the registry so a /metrics
 	// scrape carries the dataset's provenance even when the server was
@@ -146,20 +233,37 @@ func New(src Source, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/health", s.wrap("/v1/health", false, s.handleHealth))
 	s.mux.HandleFunc("GET /v1/stages", s.wrap("/v1/stages", false, s.handleStages))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.reloader != nil {
+		s.mux.HandleFunc("POST /v1/admin/reload", s.wrap("/v1/admin/reload", false, s.handleReload))
+		// Cached bodies belong to the generation that rendered them.
+		s.reloader.OnSwap(s.cache.flush)
+	}
+	s.handler = s.withRecovery(s.withGate(s.withDeadline(s.mux)))
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: the mux behind the lifecycle
+// middleware chain — panic recovery around admission control around the
+// per-request deadline.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// apiError is a handler failure with its HTTP status.
+// apiError is a handler failure with its HTTP status. retryAfter > 0
+// adds a Retry-After header — the explicit "come back later" that
+// distinguishes a shed or short-circuited request from a dead one.
 type apiError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func errf(code int, format string, args ...any) *apiError {
 	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+func retryf(code, after int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...), retryAfter: after}
 }
 
 // wrap adds caching, metrics and JSON rendering around a handler. The
@@ -192,6 +296,9 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 		payload, apiErr := fn(r)
 		if apiErr != nil {
 			m.errors.Inc()
+			if apiErr.retryAfter > 0 {
+				retryAfterHeader(w, apiErr.retryAfter)
+			}
 			body, _ := json.Marshal(map[string]string{"error": apiErr.msg})
 			writeBody(w, apiErr.code, cached{contentType: "application/json", body: body})
 			return
@@ -254,9 +361,9 @@ func (s *Server) handleASN(r *http.Request) (any, *apiError) {
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "bad ASN %q", r.PathValue("n"))
 	}
-	lives, ok, err := s.src.Lookup(a)
-	if err != nil {
-		return nil, errf(http.StatusInternalServerError, "reading AS%s: %v", a, err)
+	lives, ok, apiErr := s.lookup(r.Context(), a)
+	if apiErr != nil {
+		return nil, apiErr
 	}
 	if !ok {
 		return nil, errf(http.StatusNotFound, "AS%s has no recorded lives", a)
@@ -288,6 +395,37 @@ func (s *Server) handleASN(r *http.Request) (any, *apiError) {
 		})
 	}
 	return resp, nil
+}
+
+// lookup is the breaker-guarded, context-aware read of one ASN's block.
+// The error taxonomy is deliberate: 503 + Retry-After while the breaker
+// is open (the store may recover), 504 when the request deadline
+// expired or the client left (the store is fine), 500 for an actual
+// failed read (which feeds the breaker).
+func (s *Server) lookup(ctx context.Context, a asn.ASN) (lifestore.ASNLives, bool, *apiError) {
+	if s.breaker != nil && !s.breaker.allow() {
+		return lifestore.ASNLives{}, false, retryf(http.StatusServiceUnavailable, 1,
+			"lifestore circuit open after repeated read failures; retrying shortly")
+	}
+	lives, ok, err := s.src.LookupContext(ctx, a)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Inc()
+			if s.breaker != nil {
+				s.breaker.onNeutral()
+			}
+			return lifestore.ASNLives{}, false, errf(http.StatusGatewayTimeout,
+				"deadline exceeded reading AS%s", a)
+		}
+		if s.breaker != nil {
+			s.breaker.onFailure()
+		}
+		return lifestore.ASNLives{}, false, errf(http.StatusInternalServerError, "reading AS%s: %v", a, err)
+	}
+	if s.breaker != nil {
+		s.breaker.onSuccess()
+	}
+	return lives, ok, nil
 }
 
 type seriesResponse struct {
@@ -403,11 +541,33 @@ type endpointJSON struct {
 	LatencyP99Ns int64 `json:"latencyP99Ns"`
 }
 
+// breakerJSON is the circuit breaker's live state in /v1/health.
+type breakerJSON struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	Trips               int64  `json:"trips"`
+	ShortCircuits       int64  `json:"shortCircuits"`
+}
+
+// lifecycleJSON is the serving-resilience state in /v1/health — all
+// additive fields the pre-hardening clients never saw.
+type lifecycleJSON struct {
+	InFlight       int64        `json:"inFlight"`
+	MaxInFlight    int          `json:"maxInFlight"`
+	Sheds          int64        `json:"sheds"`
+	Panics         int64        `json:"panics"`
+	Timeouts       int64        `json:"timeouts"`
+	Breaker        *breakerJSON `json:"breaker,omitempty"`
+	Generation     *GenInfo     `json:"generation,omitempty"`
+	PrevGeneration *GenInfo     `json:"prevGeneration,omitempty"`
+}
+
 type healthResponse struct {
 	Store     storeJSON               `json:"store"`
 	Pipeline  pipeline.Health         `json:"pipeline"`
 	Cache     cacheJSON               `json:"cache"`
 	Endpoints map[string]endpointJSON `json:"endpoints"`
+	Lifecycle lifecycleJSON           `json:"lifecycle"`
 }
 
 func (s *Server) handleHealth(*http.Request) (any, *apiError) {
@@ -442,7 +602,64 @@ func (s *Server) handleHealth(*http.Request) (any, *apiError) {
 			LatencyP99Ns:   int64(em.latency.Quantile(0.99) * 1e9),
 		}
 	}
+	resp.Lifecycle = lifecycleJSON{
+		InFlight:    s.inflight.Load(),
+		MaxInFlight: s.maxInFlight,
+		Sheds:       s.sheds.Value(),
+		Panics:      s.panics.Value(),
+		Timeouts:    s.timeouts.Value(),
+	}
+	if s.breaker != nil {
+		state, consec, trips, shorts := s.breaker.snapshot()
+		resp.Lifecycle.Breaker = &breakerJSON{
+			State: state, ConsecutiveFailures: consec, Trips: trips, ShortCircuits: shorts,
+		}
+	}
+	if sw, ok := s.src.(*Swappable); ok {
+		cur, prev := sw.Generations()
+		resp.Lifecycle.Generation = &cur
+		resp.Lifecycle.PrevGeneration = prev
+	}
 	return resp, nil
+}
+
+// handleHealthz is the liveness probe: the process is up and the
+// handler chain runs. Deliberately free of backend reads — liveness
+// must not flap with data trouble, or an orchestrator restarts a
+// process whose snapshot merely needs a reload.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the readiness probe: 200 while the server should
+// receive traffic, 503 while the lifestore breaker is open (most
+// lookups would be short-circuited anyway, so drain traffic elsewhere
+// until the store recovers).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.breaker != nil {
+		if state, _, _, _ := s.breaker.snapshot(); state == "open" {
+			retryAfterHeader(w, 1)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("lifestore circuit open\n"))
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}
+
+// handleReload runs a verified hot reload and reports the new
+// generation. Failures leave the old generation serving and surface as
+// 502: the snapshot on disk, not this server, is the broken party.
+func (s *Server) handleReload(r *http.Request) (any, *apiError) {
+	info, err := s.reloader.Reload(r.Context())
+	if err != nil {
+		return nil, errf(http.StatusBadGateway, "%v", err)
+	}
+	return info, nil
 }
 
 // handleStages serves the build's stage trace when the dataset was

@@ -13,4 +13,6 @@ echo "== go test -race (faults, bgpscan, serve, obs)"
 go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/
 echo "== go test -race -short (pipeline)"
 go test -race -short ./internal/pipeline/
+echo "== go test -race -short (serve chaos soak + lifecycle)"
+go test -race -short -count=1 -run 'TestChaosSoak|TestGracefulShutdown|TestReload|TestAdmissionGate|TestBreaker' ./internal/serve/
 echo "verify: OK"
