@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report
+.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke
 
 build:
 	go build ./...
@@ -11,7 +11,7 @@ vet:
 
 # Race-check the concurrency-sensitive and fault-handling packages.
 race:
-	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/
+	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/
 	go test -race -short ./internal/pipeline/
 
 # Short fuzz pass over the parser no-panic targets.
@@ -36,6 +36,16 @@ snapshot-smoke:
 # hot reload, zero corrupt 200 bodies.
 chaos-serve:
 	go test -race -short -count=1 -run TestChaosSoak ./internal/serve/ -v
+
+# Machine-readable perf trajectory: Pipeline/Lifestore/Serve benchmarks
+# (3 counts, -benchmem) distilled into BENCH_pipeline.json, including the
+# sequential vs -workers=N pipeline.Run comparison rows.
+bench:
+	./scripts/bench.sh
+
+# One-iteration bench pass so the harness can't rot (CI).
+bench-smoke:
+	BENCH_COUNT=1 BENCH_TIME=1x ./scripts/bench.sh
 
 # Observability smoke: a small instrumented run must print a stage table
 # with the scan stage in it.

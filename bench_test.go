@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -355,4 +356,40 @@ func naiveSources(d *pipeline.Dataset) []registry.Source {
 		out = append(out, d.Archive.Source(r))
 	}
 	return out
+}
+
+// pipelineBenchOptions is the end-to-end pipeline benchmark
+// configuration: the default scale over a reduced window, so one full
+// Run fits a benchmark iteration while exercising every stage at real
+// per-day cost.
+func pipelineBenchOptions(workers int) pipeline.Options {
+	opts := pipeline.DefaultOptions()
+	opts.World.Start = dates.MustParse("2004-01-01")
+	opts.World.End = dates.MustParse("2005-12-31")
+	opts.Workers = workers
+	return opts
+}
+
+// BenchmarkPipelineRun measures the end-to-end pipeline, sequential
+// (workers=1) versus sharded (workers=4) — the before/after rows
+// scripts/bench.sh records into BENCH_pipeline.json. The outputs are
+// bit-for-bit identical across worker counts (pinned by
+// TestParallelEquivalence); this benchmark tracks the wall-clock side of
+// that contract on whatever hardware it runs on.
+func BenchmarkPipelineRun(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := pipelineBenchOptions(workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := pipeline.Run(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(d.Admin.Lifetimes) == 0 || len(d.Ops.Lifetimes) == 0 {
+					b.Fatal("benchmark run produced an empty dataset")
+				}
+			}
+		})
+	}
 }

@@ -76,6 +76,7 @@ func run() error {
 		directFiles = flag.Bool("direct-files", false, "skip the delegation text round trip")
 		timeout     = flag.Int("timeout", core.DefaultInactivityTimeout, "inactivity timeout (days)")
 		visibility  = flag.Int("visibility", 2, "minimum distinct peers per ASN-day")
+		workers     = flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS); output is identical for any value)")
 		faultPolicy = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
 		chaos       = flag.Bool("chaos", false, "inject the default deterministic fault storm (implies -wire)")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault injection seed for -chaos")
@@ -99,6 +100,7 @@ func run() error {
 		opts.TextFiles = !*directFiles
 		opts.Timeout = *timeout
 		opts.Visibility = *visibility
+		opts.Workers = *workers
 		var err error
 		if opts.FaultPolicy, err = pipeline.ParseFaultPolicy(*faultPolicy); err != nil {
 			return err

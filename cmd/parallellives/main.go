@@ -66,6 +66,7 @@ func run() error {
 		directFiles = flag.Bool("direct-files", false, "skip the delegation text round trip")
 		timeout     = flag.Int("timeout", core.DefaultInactivityTimeout, "inactivity timeout (days)")
 		visibility  = flag.Int("visibility", 2, "minimum distinct peers per ASN-day")
+		workers     = flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS); output is identical for any value)")
 		experiments = flag.String("experiments", "all", "comma list of experiments, or 'all'")
 		datasets    = flag.String("datasets", "", "directory for Listing-1 JSON datasets")
 		snapshotOut = flag.String("snapshot-out", "", "write a lifestore snapshot to this path")
@@ -87,6 +88,7 @@ func run() error {
 	opts.TextFiles = !*directFiles
 	opts.Timeout = *timeout
 	opts.Visibility = *visibility
+	opts.Workers = *workers
 	var err error
 	if opts.FaultPolicy, err = pipeline.ParseFaultPolicy(*faultPolicy); err != nil {
 		return err

@@ -207,18 +207,23 @@ func (s *Scanner) BeginDay(d dates.Day) error {
 	}
 	s.curDay = d
 	s.inDay = true
+	clear(s.peerIdx)
 	clear(s.dayPeers)
 	clear(s.dayOrigin)
 	return nil
 }
 
-// peerBit registers (or finds) the bitmask bit for a peer AS.
+// peerBit registers (or finds) the bitmask bit for a peer AS. Bits are
+// assigned per day (peerIdx is cleared in BeginDay), so a day's
+// visibility mask depends only on that day's observations — the
+// self-containment property that lets a day range be sharded across
+// scanners and merged back exactly.
 func (s *Scanner) peerBit(peer asn.ASN) uint64 {
 	i, ok := s.peerIdx[peer]
 	if !ok {
 		i = len(s.peerIdx)
 		if i >= 64 {
-			i = 63 // clamp: more than 64 peers collapse onto one bit
+			i = 63 // clamp: more than 64 peers in a day collapse onto one bit
 		}
 		s.peerIdx[peer] = i
 	}
@@ -479,7 +484,17 @@ func (s *Scanner) EndDay() error {
 
 // Finish returns the accumulated activity. The scanner must not be used
 // afterwards.
-func (s *Scanner) Finish() *Activity {
+func (s *Scanner) Finish() *Activity { return s.finish(false) }
+
+// FinishPartial returns the activity of one shard of a day-sharded scan.
+// Unlike Finish it keeps ASNs that never passed the visibility threshold
+// in this shard: their upstream counts may combine with another shard's
+// visible days, so the invisible-ASN drop must happen on the union (see
+// MergeActivities), not per shard. The scanner must not be used
+// afterwards.
+func (s *Scanner) FinishPartial() *Activity { return s.finish(true) }
+
+func (s *Scanner) finish(keepInvisible bool) *Activity {
 	act := &Activity{
 		Start: s.start,
 		End:   s.end,
@@ -487,7 +502,7 @@ func (s *Scanner) Finish() *Activity {
 		Stats: s.stats,
 	}
 	for a, b := range s.building {
-		if len(b.days) == 0 {
+		if len(b.days) == 0 && !keepInvisible {
 			continue // upstream bookkeeping only; never passed visibility
 		}
 		act.ASNs[a] = &ASNActivity{
@@ -499,6 +514,103 @@ func (s *Scanner) Finish() *Activity {
 	}
 	s.building = nil
 	return act
+}
+
+// add accumulates another shard's counters — the stats half of the
+// MergeActivities reduce.
+func (st *Stats) add(o Stats) {
+	st.RIBRecords += o.RIBRecords
+	st.UpdateMessages += o.UpdateMessages
+	st.Routes += o.Routes
+	st.DropPrefixLen += o.DropPrefixLen
+	st.DropLoop += o.DropLoop
+	st.DropMalformed += o.DropMalformed
+	st.DropLowVis += o.DropLowVis
+	st.QuarantinedTruncated += o.QuarantinedTruncated
+	st.QuarantinedTails += o.QuarantinedTails
+}
+
+// appendCoalesced appends src's day intervals to dst, merging across the
+// shard boundary with exactly EndDay's rule (consecutive days join).
+// Within each input the intervals are already maximal, so only boundary
+// pairs can actually coalesce.
+func appendCoalesced(dst, src intervals.Set) intervals.Set {
+	for _, iv := range src {
+		if n := len(dst); n > 0 && dst[n-1].End+1 == iv.Start {
+			dst[n-1].End = iv.End
+		} else {
+			dst = append(dst, iv)
+		}
+	}
+	return dst
+}
+
+// appendRuns appends src's prefix runs to dst, coalescing across the
+// shard boundary under EndDay's rule: consecutive days with identical
+// count and signature extend the previous run.
+func appendRuns(dst, src []PrefixRun) []PrefixRun {
+	for _, r := range src {
+		if n := len(dst); n > 0 && dst[n-1].To+1 == r.From &&
+			dst[n-1].Count == r.Count && dst[n-1].Sig == r.Sig {
+			dst[n-1].To = r.To
+		} else {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// MergeActivities combines the FinishPartial results of consecutive day
+// shards — given in ascending day order — into the activity a single
+// scanner fed the whole range would have produced. Day and origin-day
+// intervals concatenate with boundary coalescing, prefix runs coalesce
+// when count and signature match across the boundary, upstream counts
+// and stats sum, and ASNs that never passed the visibility threshold in
+// any shard are dropped at the end — reproducing Finish's filtering on
+// the union. Each day is self-contained (per-day peer bitmaps), so the
+// merged result is bit-for-bit the sequential one.
+func MergeActivities(parts ...*Activity) *Activity {
+	out := &Activity{
+		Start: dates.None,
+		End:   dates.None,
+		ASNs:  make(map[asn.ASN]*ASNActivity),
+	}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		out.Stats.add(p.Stats)
+		if p.Start != dates.None && (out.Start == dates.None || p.Start < out.Start) {
+			out.Start = p.Start
+		}
+		if p.End != dates.None && (out.End == dates.None || p.End > out.End) {
+			out.End = p.End
+		}
+		for a, aa := range p.ASNs {
+			m := out.ASNs[a]
+			if m == nil {
+				m = &ASNActivity{}
+				out.ASNs[a] = m
+			}
+			m.Days = appendCoalesced(m.Days, aa.Days)
+			m.OriginDays = appendCoalesced(m.OriginDays, aa.OriginDays)
+			m.PrefixRuns = appendRuns(m.PrefixRuns, aa.PrefixRuns)
+			if len(aa.Upstreams) > 0 {
+				if m.Upstreams == nil {
+					m.Upstreams = make(map[asn.ASN]int64, len(aa.Upstreams))
+				}
+				for up, n := range aa.Upstreams {
+					m.Upstreams[up] += n
+				}
+			}
+		}
+	}
+	for a, m := range out.ASNs {
+		if len(m.Days) == 0 {
+			delete(out.ASNs, a)
+		}
+	}
+	return out
 }
 
 func popcount(x uint64) int { return bits.OnesCount64(x) }

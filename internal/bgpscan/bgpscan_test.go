@@ -2,6 +2,7 @@ package bgpscan
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"parallellives/internal/asn"
@@ -359,5 +360,88 @@ func TestObserveMRTRejectsGarbage(t *testing.T) {
 	s2 := NewScanner()
 	if err := s2.ObserveMRT(nil); err == nil {
 		t.Error("ObserveMRT outside a day should error")
+	}
+}
+
+// TestScannerDayShardIndependence pins the invariant the pipeline's
+// day-sharded scan relies on: splitting an observation stream at any day
+// boundary across two scanners and merging their partials reproduces the
+// single-scanner result exactly — days are self-contained, so no state
+// crosses the boundary.
+func TestScannerDayShardIndependence(t *testing.T) {
+	cfg := shortWorldConfig()
+	cfg.End = dates.MustParse("2004-06-30")
+	w := worldsim.Generate(cfg)
+	inf := collector.New(w)
+
+	var days []dates.Day
+	for it := inf.Iter(); it.Next(); {
+		days = append(days, it.Day())
+	}
+	n := len(days)
+	if n < 4 {
+		t.Fatalf("world too small: %d days", n)
+	}
+
+	// scanRange feeds day indices [lo, hi) into a fresh scanner and
+	// returns its shard partial.
+	scanRange := func(lo, hi int) *Activity {
+		s := NewScanner()
+		idx := 0
+		for it := inf.Iter(); it.Next(); idx++ {
+			if idx < lo || idx >= hi {
+				continue
+			}
+			if err := s.BeginDay(it.Day()); err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range it.Observations() {
+				s.ObserveRoutes(o.Prefixes, o.Path)
+			}
+			if err := s.EndDay(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.FinishPartial()
+	}
+
+	seq := NewScanner()
+	for it := inf.Iter(); it.Next(); {
+		if err := seq.BeginDay(it.Day()); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range it.Observations() {
+			seq.ObserveRoutes(o.Prefixes, o.Path)
+		}
+		if err := seq.EndDay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Finish()
+	if len(want.ASNs) == 0 {
+		t.Fatal("no activity scanned")
+	}
+
+	for _, cut := range []int{1, n / 4, n / 2, 3 * n / 4, n - 1} {
+		got := MergeActivities(scanRange(0, cut), scanRange(cut, n))
+		if got.Start != want.Start || got.End != want.End {
+			t.Fatalf("cut %d: window [%v,%v], want [%v,%v]",
+				cut, got.Start, got.End, want.Start, want.End)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("cut %d: stats %+v, want %+v", cut, got.Stats, want.Stats)
+		}
+		if !reflect.DeepEqual(got.ASNs, want.ASNs) {
+			if len(got.ASNs) != len(want.ASNs) {
+				t.Fatalf("cut %d: %d ASNs, want %d", cut, len(got.ASNs), len(want.ASNs))
+			}
+			for a, wa := range want.ASNs {
+				if !reflect.DeepEqual(got.ASNs[a], wa) {
+					t.Fatalf("cut %d: ASN %v differs:\n got  %+v\n want %+v",
+						cut, a, got.ASNs[a], wa)
+				}
+			}
+			t.Fatalf("cut %d: activities differ", cut)
+		}
 	}
 }

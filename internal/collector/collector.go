@@ -213,6 +213,7 @@ func (inf *Infrastructure) pathFor(seg *worldsim.Segment, peer asn.ASN, d dates.
 type Iter struct {
 	inf  *Infrastructure
 	day  dates.Day
+	end  dates.Day
 	next int // index of first segment not yet activated
 	// active segments, compacted lazily.
 	active []int
@@ -230,17 +231,34 @@ type segState struct {
 
 // Iter returns a day iterator positioned before the window start.
 func (inf *Infrastructure) Iter() *Iter {
+	return inf.IterRange(inf.world.Config.Start, inf.world.Config.End)
+}
+
+// IterRange returns a day iterator over the window subrange
+// [start, end], clamped to the window. A day's state is a pure function
+// of the day — segment activation depends only on spans and the
+// observation rendering only on (segment, day) — so an IterRange
+// iterator yields on each day exactly what the full iterator yields
+// there: the property the day-sharded scan relies on.
+func (inf *Infrastructure) IterRange(start, end dates.Day) *Iter {
+	if start < inf.world.Config.Start {
+		start = inf.world.Config.Start
+	}
+	if end > inf.world.Config.End {
+		end = inf.world.Config.End
+	}
 	return &Iter{
 		inf:      inf,
-		day:      inf.world.Config.Start.AddDays(-1),
+		day:      start.AddDays(-1),
+		end:      end,
 		segCache: make(map[int]*segState),
 	}
 }
 
-// Next advances to the next day; false past the window end.
+// Next advances to the next day; false past the iterator's end.
 func (it *Iter) Next() bool {
 	it.day = it.day.AddDays(1)
-	if it.day > it.inf.world.Config.End {
+	if it.day > it.end {
 		return false
 	}
 	for it.next < len(it.inf.segments) && it.inf.segments[it.next].Span.Start <= it.day {

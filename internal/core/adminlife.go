@@ -7,8 +7,6 @@
 package core
 
 import (
-	"sort"
-
 	"parallellives/internal/asn"
 	"parallellives/internal/dates"
 	"parallellives/internal/intervals"
@@ -57,41 +55,7 @@ type AdminStats struct {
 
 // BuildAdminLifetimes applies the §4.1 rules to the restored status runs.
 func BuildAdminLifetimes(res *restore.Result) ([]AdminLifetime, AdminStats) {
-	var stats AdminStats
-	var out []AdminLifetime
-
-	runs := res.Runs
-	for i := 0; i < len(runs); {
-		j := i
-		for j < len(runs) && runs[j].ASN == runs[i].ASN {
-			j++
-		}
-		group := runs[i:j]
-		i = j
-		out = appendLifetimes(out, group, &stats)
-	}
-
-	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].ASN != out[b].ASN {
-			return out[a].ASN < out[b].ASN
-		}
-		return out[a].Span.Start < out[b].Span.Start
-	})
-	stats.Lifetimes = len(out)
-	seen := make(map[asn.ASN]int)
-	for _, l := range out {
-		seen[l.ASN]++
-		if l.Open {
-			stats.OpenLifetimes++
-		}
-	}
-	stats.ASNs = len(seen)
-	for _, n := range seen {
-		if n > 1 {
-			stats.ReallocatedASNs++
-		}
-	}
-	return out, stats
+	return BuildAdminLifetimesParallel(res, 1)
 }
 
 // appendLifetimes merges one ASN's runs into lifetimes.

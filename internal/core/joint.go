@@ -57,50 +57,7 @@ type Joint struct {
 
 // Analyze aligns the two dimensions and classifies every lifetime.
 func Analyze(admin *AdminIndex, ops *OpIndex) *Joint {
-	j := &Joint{
-		Admin:        admin,
-		Ops:          ops,
-		AdminCat:     make([]Category, len(admin.Lifetimes)),
-		OpCat:        make([]Category, len(ops.Lifetimes)),
-		ContainedOps: make([][]int, len(admin.Lifetimes)),
-		OverlapOps:   make([][]int, len(admin.Lifetimes)),
-	}
-	opOverlapped := make([]bool, len(ops.Lifetimes))
-	opContained := make([]bool, len(ops.Lifetimes))
-
-	for ai := range admin.Lifetimes {
-		al := &admin.Lifetimes[ai]
-		cat := CatUnused
-		for _, oi := range ops.Of(al.ASN) {
-			ol := &ops.Lifetimes[oi]
-			if !al.Span.Overlaps(ol.Span) {
-				continue
-			}
-			j.OverlapOps[ai] = append(j.OverlapOps[ai], oi)
-			opOverlapped[oi] = true
-			if al.Span.ContainsInterval(ol.Span) {
-				j.ContainedOps[ai] = append(j.ContainedOps[ai], oi)
-				opContained[oi] = true
-				if cat == CatUnused {
-					cat = CatComplete
-				}
-			} else {
-				cat = CatPartial
-			}
-		}
-		j.AdminCat[ai] = cat
-	}
-	for oi := range ops.Lifetimes {
-		switch {
-		case opContained[oi]:
-			j.OpCat[oi] = CatComplete
-		case opOverlapped[oi]:
-			j.OpCat[oi] = CatPartial
-		default:
-			j.OpCat[oi] = CatOutside
-		}
-	}
-	return j
+	return AnalyzeParallel(admin, ops, 1)
 }
 
 // TaxonomyCounts is the Table 3 summary.

@@ -30,23 +30,7 @@ type OpIndex struct {
 // BuildOpLifetimes segments each ASN's activity days into operational
 // lifetimes using the inactivity timeout.
 func BuildOpLifetimes(act *bgpscan.Activity, timeout int) *OpIndex {
-	idx := &OpIndex{
-		Timeout:  timeout,
-		Activity: act,
-		byASN:    make(map[asn.ASN][]int, len(act.ASNs)),
-	}
-	asns := make([]asn.ASN, 0, len(act.ASNs))
-	for a := range act.ASNs {
-		asns = append(asns, a)
-	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-	for _, a := range asns {
-		for _, seg := range act.ASNs[a].Days.SplitByTimeout(timeout) {
-			idx.byASN[a] = append(idx.byASN[a], len(idx.Lifetimes))
-			idx.Lifetimes = append(idx.Lifetimes, OpLifetime{ASN: a, Span: seg})
-		}
-	}
-	return idx
+	return BuildOpLifetimesParallel(act, timeout, 1)
 }
 
 // Of returns the operational lifetime indices of an ASN in time order.

@@ -17,6 +17,7 @@ package faults
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 	"time"
 
 	"parallellives/internal/mrt"
@@ -103,12 +104,27 @@ func (r Report) Total() int64 {
 		r.DroppedDays + r.TransientErrs + r.ShortReads + r.Stalls
 }
 
-// Injector plants the Plan's faults into streams and sources. Methods
-// are not safe for concurrent use; the pipeline drives one injector per
-// run from a single goroutine.
+// Injector plants the Plan's faults into streams and sources. Every
+// injection decision is a pure function of identity-derived salts, so
+// one injector may be shared by concurrently running shards: the only
+// mutable state is the report tallies, which are atomic. (Derived
+// per-stream wrappers — SourceInjector, FlakyReader — carry their own
+// single-stream state and stay one-goroutine-per-stream.)
 type Injector struct {
 	plan Plan
-	rep  Report
+	rep  reportCounters
+}
+
+// reportCounters is the Report held as atomics — the merge-safe form the
+// day-sharded scan increments from several goroutines at once.
+type reportCounters struct {
+	truncatedRecords atomic.Int64
+	tailChops        atomic.Int64
+	corruptDays      atomic.Int64
+	droppedDays      atomic.Int64
+	transientErrs    atomic.Int64
+	shortReads       atomic.Int64
+	stalls           atomic.Int64
 }
 
 // NewInjector returns an injector for the plan.
@@ -118,7 +134,17 @@ func NewInjector(plan Plan) *Injector { return &Injector{plan: plan} }
 func (in *Injector) Plan() Plan { return in.plan }
 
 // Report returns the faults injected so far.
-func (in *Injector) Report() Report { return in.rep }
+func (in *Injector) Report() Report {
+	return Report{
+		TruncatedRecords: in.rep.truncatedRecords.Load(),
+		TailChops:        in.rep.tailChops.Load(),
+		CorruptDays:      in.rep.corruptDays.Load(),
+		DroppedDays:      in.rep.droppedDays.Load(),
+		TransientErrs:    in.rep.transientErrs.Load(),
+		ShortReads:       in.rep.shortReads.Load(),
+		Stalls:           in.rep.stalls.Load(),
+	}
+}
 
 // Per-class hash salts keep decision streams independent.
 const (
@@ -215,7 +241,7 @@ func (in *Injector) MangleMRT(salt uint64, data []byte) []byte {
 			if rc.bodyLen >= 4 && in.coin(in.plan.TailChopRate, saltTail, salt) {
 				out = append(out, hdr...)
 				out = append(out, body[:rc.bodyLen/2]...)
-				in.rep.TailChops++
+				in.rep.tailChops.Add(1)
 				return out
 			}
 		} else if rc.eligible && in.coin(in.plan.TruncateRecordRate, saltTruncate, salt, uint64(i)) {
@@ -225,7 +251,7 @@ func (in *Injector) MangleMRT(salt uint64, data []byte) []byte {
 			binary.BigEndian.PutUint32(h2[8:12], uint32(cut))
 			out = append(out, h2[:]...)
 			out = append(out, body[:cut]...)
-			in.rep.TruncatedRecords++
+			in.rep.truncatedRecords.Add(1)
 			continue
 		}
 		out = append(out, hdr...)

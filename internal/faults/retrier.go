@@ -171,7 +171,7 @@ func (in *Injector) WrapReader(salt uint64, r io.Reader) *FlakyReader {
 func (f *FlakyReader) Read(p []byte) (int, error) {
 	f.pos++
 	if f.in.coin(f.in.plan.StallRate, saltStall, f.salt, f.pos) {
-		f.in.rep.Stalls++
+		f.in.rep.stalls.Add(1)
 		if f.Sleep != nil {
 			d := f.in.plan.StallDuration
 			if d <= 0 {
@@ -181,7 +181,7 @@ func (f *FlakyReader) Read(p []byte) (int, error) {
 		}
 	}
 	if len(p) > 1 && f.in.coin(f.in.plan.ShortReadRate, saltShortRead, f.salt, f.pos) {
-		f.in.rep.ShortReads++
+		f.in.rep.shortReads.Add(1)
 		cut := 1 + int(f.in.hash(saltShortRead, f.salt, f.pos, 0xfeed)%uint64(len(p)-1))
 		p = p[:cut]
 	}

@@ -93,7 +93,7 @@ func (s *SourceInjector) Next() (registry.Snapshot, bool, error) {
 	}
 	if s.failLeft > 0 {
 		s.failLeft--
-		s.in.rep.TransientErrs++
+		s.in.rep.transientErrs.Add(1)
 		return registry.Snapshot{}, false, fmt.Errorf("%w: %s day %s",
 			ErrTransient, s.src.Registry().Token(), s.held.Day)
 	}
@@ -131,7 +131,7 @@ func (s *SourceInjector) mangle(snap registry.Snapshot) registry.Snapshot {
 	rir := rirKey(s.src)
 	if s.in.coin(s.in.plan.DropDayRate, saltDrop, rir, day) {
 		snap.Regular, snap.Extended = nil, nil
-		s.in.rep.DroppedDays++
+		s.in.rep.droppedDays.Add(1)
 		return snap
 	}
 	if s.in.coin(s.in.plan.CorruptDayRate, saltCorrupt, rir, day) {
@@ -143,7 +143,7 @@ func (s *SourceInjector) mangle(snap registry.Snapshot) registry.Snapshot {
 			snap.Extended = corruptFile(snap.Extended)
 			snap.ExtendedCorrupt = snap.Extended == nil
 		}
-		s.in.rep.CorruptDays++
+		s.in.rep.corruptDays.Add(1)
 	}
 	return snap
 }

@@ -28,7 +28,9 @@ const (
 
 // runMetrics holds the pre-resolved instrument handles one Run updates.
 // A nil *runMetrics (observability off) no-ops everywhere, so the hot
-// loops carry a single pointer test.
+// loops carry a single pointer test. The registry counters themselves
+// are atomic, so shards publish through them concurrently; the per-day
+// delta bookkeeping lives in per-shard shardMetrics views (see shard).
 type runMetrics struct {
 	days          *obs.Counter
 	archives      *obs.Counter
@@ -38,8 +40,6 @@ type runMetrics struct {
 	quarTails     *obs.Counter
 	malformed     *obs.Counter
 	stageSeconds  *obs.HistogramVec
-
-	prev bgpscan.Stats // last published scanner snapshot, for deltas
 }
 
 func newRunMetrics(reg *obs.Registry) *runMetrics {
@@ -61,27 +61,48 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 	}
 }
 
-// archive counts one MRT archive handed to the scanner.
-func (m *runMetrics) archive() {
+// shardMetrics is one scan shard's single-goroutine view of the shared
+// run metrics: the shard's scanner stats are cumulative, so each shard
+// tracks its own previous snapshot and publishes per-day deltas into the
+// shared (atomic) counters. Deltas from concurrent shards interleave,
+// but sums are exact — a sampler sees the same totals a sequential run
+// publishes, just accumulated from several scanners. A nil receiver
+// (observability off) no-ops.
+type shardMetrics struct {
+	m    *runMetrics
+	prev bgpscan.Stats // this shard's last published scanner snapshot
+}
+
+// shard returns a fresh per-shard delta view, nil when observability is
+// off.
+func (m *runMetrics) shard() *shardMetrics {
 	if m == nil {
+		return nil
+	}
+	return &shardMetrics{m: m}
+}
+
+// archive counts one MRT archive handed to the shard's scanner.
+func (sm *shardMetrics) archive() {
+	if sm == nil {
 		return
 	}
-	m.archives.Inc()
+	sm.m.archives.Inc()
 }
 
 // endOfDay publishes the day's scanner-stat deltas so samplers watching
 // the registry see records and quarantines grow while the scan runs.
-func (m *runMetrics) endOfDay(st bgpscan.Stats) {
-	if m == nil {
+func (sm *shardMetrics) endOfDay(st bgpscan.Stats) {
+	if sm == nil {
 		return
 	}
-	m.days.Inc()
-	m.records.Add((st.RIBRecords + st.UpdateMessages) - (m.prev.RIBRecords + m.prev.UpdateMessages))
-	m.routes.Add(st.Routes - m.prev.Routes)
-	m.quarTruncated.Add(st.QuarantinedTruncated - m.prev.QuarantinedTruncated)
-	m.quarTails.Add(st.QuarantinedTails - m.prev.QuarantinedTails)
-	m.malformed.Add(st.DropMalformed - m.prev.DropMalformed)
-	m.prev = st
+	sm.m.days.Inc()
+	sm.m.records.Add((st.RIBRecords + st.UpdateMessages) - (sm.prev.RIBRecords + sm.prev.UpdateMessages))
+	sm.m.routes.Add(st.Routes - sm.prev.Routes)
+	sm.m.quarTruncated.Add(st.QuarantinedTruncated - sm.prev.QuarantinedTruncated)
+	sm.m.quarTails.Add(st.QuarantinedTails - sm.prev.QuarantinedTails)
+	sm.m.malformed.Add(st.DropMalformed - sm.prev.DropMalformed)
+	sm.prev = st
 }
 
 // observeStages records every stage span's duration into the stage

@@ -1,11 +1,13 @@
 package pipeline
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
 
 	"parallellives/internal/asn"
+	"parallellives/internal/bgpscan"
 	"parallellives/internal/dates"
 	"parallellives/internal/faults"
 	"parallellives/internal/obs"
@@ -245,4 +247,31 @@ func TestHealthExport(t *testing.T) {
 	if got, _ := reg.Value("parallellives_pipeline_health_days_processed"); got != 50 {
 		t.Errorf("re-export days = %v, want 50 (gauges must overwrite)", got)
 	}
+}
+
+// TestRunMetricsNilSafe pins the observability-off contract explicitly:
+// every method on the metric types must no-op on a nil receiver, because
+// Run calls them unconditionally and m is nil whenever Options.Obs is.
+// The contract used to be incidental; this test makes it load-bearing.
+func TestRunMetricsNilSafe(t *testing.T) {
+	if m := newRunMetrics(nil); m != nil {
+		t.Fatal("newRunMetrics(nil) must return nil")
+	}
+	var m *runMetrics
+	m.observeStages(nil) // nil receiver AND nil root
+	sm := m.shard()
+	if sm != nil {
+		t.Fatal("(*runMetrics)(nil).shard() must return nil")
+	}
+	sm.archive()
+	sm.endOfDay(bgpscan.Stats{})
+
+	// A live root span with a nil metrics sink must also be harmless —
+	// the shape Run hits when tracing is on but the registry is absent.
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer())
+	ctx, root := obs.StartSpan(ctx, "pipeline.run")
+	_, child := obs.StartSpan(ctx, "stage")
+	child.End()
+	root.End()
+	m.observeStages(root)
 }

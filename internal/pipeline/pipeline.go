@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"parallellives/internal/asn"
@@ -19,6 +20,7 @@ import (
 	"parallellives/internal/dates"
 	"parallellives/internal/faults"
 	"parallellives/internal/obs"
+	"parallellives/internal/parallel"
 	"parallellives/internal/registry"
 	"parallellives/internal/restore"
 	"parallellives/internal/worldsim"
@@ -58,6 +60,15 @@ type Options struct {
 	// so progress reporters and /metrics scrapes observe the run live.
 	// Nil costs nothing on the hot paths.
 	Obs *obs.Obs
+
+	// Workers bounds the goroutines each parallelizable stage uses:
+	// restoration runs the five RIR sources concurrently, the scan shards
+	// the day range, and the segmentation/join passes shard per ASN. 0
+	// means runtime.GOMAXPROCS(0); 1 runs fully sequentially. The output
+	// is bit-for-bit identical for every value — parallelism here is a
+	// wall-clock knob, never a results knob (pinned by the equivalence
+	// property test).
+	Workers int
 }
 
 // DefaultOptions runs the paper's configuration at the default scale.
@@ -96,6 +107,10 @@ func Run(opts Options) (*Dataset, error) {
 	}
 	if opts.Visibility == 0 {
 		opts.Visibility = bgpscan.MinPeerVisibility
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	ds := &Dataset{Options: opts}
 
@@ -142,7 +157,7 @@ func Run(opts Options) (*Dataset, error) {
 		}
 		sources = append(sources, src)
 	}
-	ds.Restored = restore.Restore(sources, ds.Archive.ERXReference())
+	ds.Restored = restore.RestoreParallel(sources, ds.Archive.ERXReference(), workers)
 	for _, ret := range retriers {
 		st := ret.Stats()
 		health.Delegation.Retries += st.Retries
@@ -155,7 +170,7 @@ func Run(opts Options) (*Dataset, error) {
 	health.Coverage = ds.Restored.Coverage
 	spRestore.SetAttr(obs.AttrIn, int64(ds.Restored.Report.FilesScanned))
 	spRestore.SetAttr(obs.AttrOut, int64(len(ds.Restored.Runs)))
-	spRestore.SetAttr(obs.AttrDrops, int64(ds.Restored.Report.MistakenRecordsDroped))
+	spRestore.SetAttr(obs.AttrDrops, int64(ds.Restored.Report.MistakenRecordsDropped))
 	spRestore.SetAttr("missing_file_days", int64(ds.Restored.Report.MissingFileDays))
 	spRestore.SetAttr("corrupt_file_days", int64(ds.Restored.Report.CorruptFileDays))
 	spRestore.SetAttr("retries", health.Delegation.Retries)
@@ -165,7 +180,7 @@ func Run(opts Options) (*Dataset, error) {
 			health.Delegation.AbandonedReads)
 	}
 	_, spAdmin := obs.StartSpan(ctx, "segment.admin")
-	lifetimes, stats := core.BuildAdminLifetimes(ds.Restored)
+	lifetimes, stats := core.BuildAdminLifetimesParallel(ds.Restored, workers)
 	ds.Admin = core.NewAdminIndex(lifetimes)
 	ds.AdminStats = stats
 	spAdmin.SetAttr(obs.AttrIn, int64(len(ds.Restored.Runs)))
@@ -174,8 +189,8 @@ func Run(opts Options) (*Dataset, error) {
 	spAdmin.End()
 
 	// Operational dimension: scan the collectors.
-	_, spScan := obs.StartSpan(ctx, "bgpscan")
-	act, err := scan(ds.World, opts, inj, health, m)
+	sctx, spScan := obs.StartSpan(ctx, "bgpscan")
+	act, err := scan(sctx, ds.World, opts, inj, health, m, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +204,7 @@ func Run(opts Options) (*Dataset, error) {
 	spScan.SetAttr(obs.AttrQuarantined, act.Stats.QuarantinedTruncated+act.Stats.QuarantinedTails)
 	spScan.End()
 	_, spOp := obs.StartSpan(ctx, "segment.op")
-	ds.Ops = core.BuildOpLifetimes(act, opts.Timeout)
+	ds.Ops = core.BuildOpLifetimesParallel(act, opts.Timeout, workers)
 	spOp.SetAttr(obs.AttrIn, int64(len(act.ASNs)))
 	spOp.SetAttr(obs.AttrOut, int64(len(ds.Ops.Lifetimes)))
 	spOp.End()
@@ -209,7 +224,7 @@ func Run(opts Options) (*Dataset, error) {
 	}
 
 	_, spJoin := obs.StartSpan(ctx, "join")
-	ds.Joint = core.Analyze(ds.Admin, ds.Ops)
+	ds.Joint = core.AnalyzeParallel(ds.Admin, ds.Ops, workers)
 	tax := ds.Joint.Taxonomy()
 	spJoin.SetAttr(obs.AttrIn, int64(len(ds.Admin.Lifetimes)+len(ds.Ops.Lifetimes)))
 	spJoin.SetAttr(obs.AttrOut, int64(tax.AdminComplete+tax.AdminPartial+tax.AdminUnused))
@@ -221,56 +236,97 @@ func Run(opts Options) (*Dataset, error) {
 	return ds, nil
 }
 
-// scan runs the operational side of the pipeline. Day-granular spans
-// would explode the trace tree, so scan publishes per-day registry
-// deltas through m instead; m may be nil (observability off).
-func scan(w *worldsim.World, opts Options, inj *faults.Injector, health *Health, m *runMetrics) (*bgpscan.Activity, error) {
+// scan runs the operational side of the pipeline, sharding the day
+// range across workers scanners. Each day is self-contained (per-day
+// peer bitmaps), the collector renders any day identically from any
+// iterator position, and chaos-mode injection salts are identity-derived
+// (mrtSalt), so per-shard partials merge into bit-for-bit the sequential
+// activity. Day-granular spans would explode the trace tree, so each
+// shard gets one span (bgpscan.shard[i]) and publishes per-day registry
+// deltas through its shardMetrics view; m may be nil (observability
+// off).
+func scan(ctx context.Context, w *worldsim.World, opts Options, inj *faults.Injector, health *Health, m *runMetrics, workers int) (*bgpscan.Activity, error) {
 	inf := collector.New(w)
-	s := bgpscan.NewScannerWithVisibility(opts.Visibility)
-	s.Quarantine = opts.FaultPolicy == Degrade
-	it := inf.Iter()
-	for it.Next() {
-		day := it.Day()
-		if err := s.BeginDay(day); err != nil {
-			return nil, err
-		}
-		health.DaysProcessed++
-		if opts.Wire {
-			ribs, updates, err := it.MRT()
-			if err != nil {
-				return nil, fmt.Errorf("pipeline: encoding day %s: %w", day, err)
-			}
-			for ci, rib := range ribs {
-				if inj != nil {
-					rib = inj.MangleMRT(mrtSalt(day, ci, 0), rib)
-				}
-				health.MRT.Archives++
-				m.archive()
-				if err := s.ObserveMRT(rib); err != nil {
-					return nil, fmt.Errorf("pipeline: scanning day %s collector rrc%02d rib dump: %w", day, ci, err)
-				}
-			}
-			for ci, upd := range updates {
-				if inj != nil {
-					upd = inj.MangleMRT(mrtSalt(day, ci, 1), upd)
-				}
-				health.MRT.Archives++
-				m.archive()
-				if err := s.ObserveMRT(upd); err != nil {
-					return nil, fmt.Errorf("pipeline: scanning day %s collector rrc%02d update dump: %w", day, ci, err)
-				}
-			}
-		} else {
-			for _, o := range it.Observations() {
-				s.ObserveRoutes(o.Prefixes, o.Path)
-			}
-		}
-		if err := s.EndDay(); err != nil {
-			return nil, err
-		}
-		m.endOfDay(s.Stats())
+	start, end := w.Config.Start, w.Config.End
+	shards := parallel.Shards(end.Sub(start)+1, workers)
+
+	// Per-shard tallies, reduced in shard order after the scan so the
+	// Health accounting is schedule-independent.
+	type shardTally struct {
+		days     int
+		archives int64
 	}
-	return s.Finish(), nil
+	parts := make([]*bgpscan.Activity, len(shards))
+	tallies := make([]shardTally, len(shards))
+
+	err := parallel.ForEach(ctx, len(shards), workers, func(ctx context.Context, si int) error {
+		r := shards[si]
+		_, sp := obs.StartSpan(ctx, fmt.Sprintf("bgpscan.shard[%d]", si))
+		defer sp.End()
+		s := bgpscan.NewScannerWithVisibility(opts.Visibility)
+		s.Quarantine = opts.FaultPolicy == Degrade
+		sm := m.shard()
+		tally := &tallies[si]
+		it := inf.IterRange(start.AddDays(r.Lo), start.AddDays(r.Hi-1))
+		for it.Next() {
+			day := it.Day()
+			if err := s.BeginDay(day); err != nil {
+				return err
+			}
+			tally.days++
+			if opts.Wire {
+				ribs, updates, err := it.MRT()
+				if err != nil {
+					return fmt.Errorf("pipeline: encoding day %s: %w", day, err)
+				}
+				for ci, rib := range ribs {
+					if inj != nil {
+						rib = inj.MangleMRT(mrtSalt(day, ci, 0), rib)
+					}
+					tally.archives++
+					sm.archive()
+					if err := s.ObserveMRT(rib); err != nil {
+						return fmt.Errorf("pipeline: scanning day %s collector rrc%02d rib dump: %w", day, ci, err)
+					}
+				}
+				for ci, upd := range updates {
+					if inj != nil {
+						upd = inj.MangleMRT(mrtSalt(day, ci, 1), upd)
+					}
+					tally.archives++
+					sm.archive()
+					if err := s.ObserveMRT(upd); err != nil {
+						return fmt.Errorf("pipeline: scanning day %s collector rrc%02d update dump: %w", day, ci, err)
+					}
+				}
+			} else {
+				for _, o := range it.Observations() {
+					s.ObserveRoutes(o.Prefixes, o.Path)
+				}
+			}
+			if err := s.EndDay(); err != nil {
+				return err
+			}
+			sm.endOfDay(s.Stats())
+		}
+		part := s.FinishPartial()
+		parts[si] = part
+		sp.SetAttr("days", int64(tally.days))
+		sp.SetAttr(obs.AttrIn, tally.archives)
+		sp.SetAttr(obs.AttrOut, part.Stats.Routes)
+		sp.SetAttr(obs.AttrDrops, part.Stats.DropPrefixLen+part.Stats.DropLoop+
+			part.Stats.DropMalformed+part.Stats.DropLowVis)
+		sp.SetAttr(obs.AttrQuarantined, part.Stats.QuarantinedTruncated+part.Stats.QuarantinedTails)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tallies {
+		health.DaysProcessed += t.days
+		health.MRT.Archives += t.archives
+	}
+	return bgpscan.MergeActivities(parts...), nil
 }
 
 // mrtSalt derives the stable per-archive injection salt from the

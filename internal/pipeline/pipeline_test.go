@@ -114,13 +114,13 @@ func TestPipelineRegDatesRestored(t *testing.T) {
 
 func TestPipelineMistakenAllocationsDropped(t *testing.T) {
 	ds := getSmall(t)
-	if ds.Restored.Report.MistakenRecordsDroped == 0 {
+	if ds.Restored.Report.MistakenRecordsDropped == 0 {
 		t.Error("expected mistaken allocations to be dropped")
 	}
 	st := ds.Archive.InjectionStats()
-	if ds.Restored.Report.MistakenRecordsDroped < st.MistakenAllocASNs {
+	if ds.Restored.Report.MistakenRecordsDropped < st.MistakenAllocASNs {
 		t.Errorf("dropped %d mistaken records, archive injected %d ASNs",
-			ds.Restored.Report.MistakenRecordsDroped, st.MistakenAllocASNs)
+			ds.Restored.Report.MistakenRecordsDropped, st.MistakenAllocASNs)
 	}
 }
 

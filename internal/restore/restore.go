@@ -21,12 +21,14 @@
 package restore
 
 import (
+	"context"
 	"sort"
 
 	"parallellives/internal/asn"
 	"parallellives/internal/dates"
 	"parallellives/internal/delegation"
 	"parallellives/internal/intervals"
+	"parallellives/internal/parallel"
 	"parallellives/internal/registry"
 )
 
@@ -60,17 +62,35 @@ type Report struct {
 	// CorruptFileDays counts missing days whose files were retrieved but
 	// unusable (a subset of MissingFileDays): classified separately so the
 	// Health report can distinguish archive holes from damaged downloads.
-	CorruptFileDays       int
-	GapBridgedASNDays     int64
-	RecoveredFromRegular  int64
-	DivergenceReconciled  int64
-	DuplicatesResolved    int
-	FutureDatesFixed      int
-	PlaceholdersRestored  int
-	BackTravelFixed       int
-	RegDateCorrections    int
-	StaleTransferRunsCut  int
-	MistakenRecordsDroped int
+	CorruptFileDays        int
+	GapBridgedASNDays      int64
+	RecoveredFromRegular   int64
+	DivergenceReconciled   int64
+	DuplicatesResolved     int
+	FutureDatesFixed       int
+	PlaceholdersRestored   int
+	BackTravelFixed        int
+	RegDateCorrections     int
+	StaleTransferRunsCut   int
+	MistakenRecordsDropped int
+}
+
+// add accumulates another report's counts — the reduce step when
+// per-source reports from a parallel restoration are combined.
+func (r *Report) add(o Report) {
+	r.FilesScanned += o.FilesScanned
+	r.MissingFileDays += o.MissingFileDays
+	r.CorruptFileDays += o.CorruptFileDays
+	r.GapBridgedASNDays += o.GapBridgedASNDays
+	r.RecoveredFromRegular += o.RecoveredFromRegular
+	r.DivergenceReconciled += o.DivergenceReconciled
+	r.DuplicatesResolved += o.DuplicatesResolved
+	r.FutureDatesFixed += o.FutureDatesFixed
+	r.PlaceholdersRestored += o.PlaceholdersRestored
+	r.BackTravelFixed += o.BackTravelFixed
+	r.RegDateCorrections += o.RegDateCorrections
+	r.StaleTransferRunsCut += o.StaleTransferRunsCut
+	r.MistakenRecordsDropped += o.MistakenRecordsDropped
 }
 
 // Coverage is one registry's share of usable archive days — the per-RIR
@@ -129,24 +149,74 @@ func Restore(sources []registry.Source, erx []registry.ERXEntry) *Result {
 
 // RestoreWithOptions is Restore with selected repairs disabled.
 func RestoreWithOptions(sources []registry.Source, erx []registry.ERXEntry, opts Options) *Result {
+	return RestoreParallelWithOptions(sources, erx, opts, 1)
+}
+
+// RestoreParallel is Restore with the per-registry scans running on up
+// to workers goroutines. Each source's day stream is consumed by one
+// goroutine (sources never share state), so the result is bit-for-bit
+// the sequential one for any worker count.
+func RestoreParallel(sources []registry.Source, erx []registry.ERXEntry, workers int) *Result {
+	return RestoreParallelWithOptions(sources, erx, Options{}, workers)
+}
+
+// runLess is the canonical (ASN, span start) run order the restored view
+// is published in.
+func runLess(a, b Run) bool {
+	if a.ASN != b.ASN {
+		return a.ASN < b.ASN
+	}
+	return a.Span.Start < b.Span.Start
+}
+
+// RestoreParallelWithOptions is RestoreParallel with selected repairs
+// disabled. Every source is restored into its own sub-result; the merge
+// stable-sorts each source's runs and k-way merges them with ties kept
+// in source order, which reproduces exactly the sequential
+// append-all-then-stable-sort ordering. The cross-registry repair (step
+// vi) needs the merged by-ASN view, so it stays a sequential epilogue.
+func RestoreParallelWithOptions(sources []registry.Source, erx []registry.ERXEntry, opts Options, workers int) *Result {
 	erxDates := make(map[asn.ASN]dates.Day, len(erx))
 	for _, e := range erx {
 		erxDates[e.ASN] = e.RegDate
 	}
-	res := &Result{Start: dates.None, End: dates.None}
-	for _, src := range sources {
-		scanSource(res, src, erxDates, opts)
-	}
-	sort.SliceStable(res.Runs, func(i, j int) bool {
-		a, b := res.Runs[i], res.Runs[j]
-		if a.ASN != b.ASN {
-			return a.ASN < b.ASN
-		}
-		return a.Span.Start < b.Span.Start
+	parts := make([]*Result, len(sources))
+	_ = parallel.ForEach(context.Background(), len(sources), workers, func(_ context.Context, i int) error {
+		sub := &Result{Start: dates.None, End: dates.None}
+		scanSource(sub, sources[i], erxDates, opts)
+		sort.SliceStable(sub.Runs, func(a, b int) bool { return runLess(sub.Runs[a], sub.Runs[b]) })
+		parts[i] = sub
+		return nil
 	})
+	res := mergeResults(parts)
 	if !opts.NoInterRIRFix {
 		fixInterRIR(res)
 	}
+	return res
+}
+
+// mergeResults reduces per-source restoration results into one, in
+// source order.
+func mergeResults(parts []*Result) *Result {
+	res := &Result{Start: dates.None, End: dates.None}
+	runParts := make([][]Run, len(parts))
+	for i, p := range parts {
+		runParts[i] = p.Runs
+		res.Report.add(p.Report)
+		for r := range p.Coverage {
+			res.Coverage[r].Days += p.Coverage[r].Days
+			res.Coverage[r].FileDays += p.Coverage[r].FileDays
+			res.Coverage[r].MissingDays += p.Coverage[r].MissingDays
+			res.Coverage[r].CorruptDays += p.Coverage[r].CorruptDays
+		}
+		if p.Start != dates.None && (res.Start == dates.None || p.Start < res.Start) {
+			res.Start = p.Start
+		}
+		if p.End != dates.None && (res.End == dates.None || p.End > res.End) {
+			res.End = p.End
+		}
+	}
+	res.Runs = parallel.MergeSorted(runLess, runParts...)
 	return res
 }
 
@@ -432,7 +502,7 @@ func fixInterRIR(res *Result) {
 				kept = append(kept, r)
 				continue
 			}
-			res.Report.MistakenRecordsDroped++
+			res.Report.MistakenRecordsDropped++
 		}
 		i = j
 	}

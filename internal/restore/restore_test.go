@@ -282,7 +282,7 @@ func TestMistakenAllocationDropped(t *testing.T) {
 	if len(res.RunsOf(36500)) != 0 {
 		t.Errorf("mistaken record kept: %+v", res.RunsOf(36500))
 	}
-	if res.Report.MistakenRecordsDroped != 1 {
+	if res.Report.MistakenRecordsDropped != 1 {
 		t.Errorf("report = %+v", res.Report)
 	}
 }
@@ -350,7 +350,7 @@ func TestTransferredRunKeptDespiteBlockMismatch(t *testing.T) {
 	if len(res.Runs) != 2 {
 		t.Fatalf("transferred run dropped: %+v (report %+v)", res.Runs, res.Report)
 	}
-	if res.Report.MistakenRecordsDroped != 0 {
+	if res.Report.MistakenRecordsDropped != 0 {
 		t.Errorf("report = %+v", res.Report)
 	}
 }

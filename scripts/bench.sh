@@ -1,0 +1,57 @@
+#!/bin/sh
+# Benchmark harness: runs the Pipeline/Lifestore/Serve benchmarks with
+# -benchmem and distills the output into BENCH_pipeline.json (benchmark
+# name -> ns/op, B/op, allocs/op; best of the repeated counts), so the
+# perf trajectory is machine-readable PR over PR. The sequential vs
+# -workers=N pipeline.Run comparison lands here as the
+# BenchmarkPipelineRun/workers=* rows.
+#
+# Knobs (for CI smoke): BENCH_COUNT (default 3) and BENCH_TIME (go test
+# -benchtime; empty = the go default).
+set -eu
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-3}"
+BENCHTIME="${BENCH_TIME:-}"
+OUT="BENCH_pipeline.json"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "== go test -bench 'Pipeline|Lifestore|Serve' -benchmem -count $COUNT ${BENCHTIME:+-benchtime $BENCHTIME}"
+if [ -n "$BENCHTIME" ]; then
+    go test -run '^$' -bench 'Pipeline|Lifestore|Serve' -benchmem \
+        -count "$COUNT" -benchtime "$BENCHTIME" ./... | tee "$tmp"
+else
+    go test -run '^$' -bench 'Pipeline|Lifestore|Serve' -benchmem \
+        -count "$COUNT" ./... | tee "$tmp"
+fi
+
+awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        else if ($i == "B/op") bytes = $(i-1)
+        else if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (!(name in best)) order[++n] = name
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; bop[name] = bytes; aop[name] = allocs
+    }
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        b = bop[name]; if (b == "") b = "null"
+        a = aop[name]; if (a == "") a = "null"
+        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, best[name], b, a, (i < n ? "," : "")
+    }
+    printf "}\n"
+}' "$tmp" > "$OUT"
+
+echo "bench: wrote $OUT"

@@ -9,10 +9,12 @@ echo "== go vet"
 go vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (faults, bgpscan, serve, obs)"
-go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/
+echo "== go test -race (faults, bgpscan, serve, obs, parallel)"
+go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/
 echo "== go test -race -short (pipeline)"
 go test -race -short ./internal/pipeline/
+echo "== go test -race (parallel/sequential equivalence property)"
+go test -race -count=1 -run TestParallelEquivalence ./internal/pipeline/
 echo "== go test -race -short (serve chaos soak + lifecycle)"
 go test -race -short -count=1 -run 'TestChaosSoak|TestGracefulShutdown|TestReload|TestAdmissionGate|TestBreaker' ./internal/serve/
 echo "verify: OK"
