@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke
+.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke
 
 build:
 	go build ./...
@@ -11,7 +11,7 @@ vet:
 
 # Race-check the concurrency-sensitive and fault-handling packages.
 race:
-	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/
+	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/ ./internal/stream/
 	go test -race -short ./internal/pipeline/
 
 # Short fuzz pass over the parser no-panic targets.
@@ -19,6 +19,7 @@ fuzz:
 	go test ./internal/delegation/ -fuzz FuzzLenientParse -fuzztime 15s
 	go test ./internal/mrt/ -fuzz FuzzDecodeMRT -fuzztime 15s
 	go test ./internal/lifestore/ -fuzz FuzzOpenBytes -fuzztime 15s
+	go test ./internal/stream/ -fuzz FuzzCheckpointDecode -fuzztime 15s
 
 verify:
 	./scripts/verify.sh
@@ -46,6 +47,13 @@ bench:
 # One-iteration bench pass so the harness can't rot (CI).
 bench-smoke:
 	BENCH_COUNT=1 BENCH_TIME=1x ./scripts/bench.sh
+
+# Streaming-ingestion smoke: feed a ~60-day simulated collector window
+# one day at a time, kill -9 the live tail mid-window, restart it from
+# its checkpoint, and require the resumed tail's final snapshot to be
+# byte-identical to a one-shot batch build (-verify-batch).
+tail-smoke:
+	./scripts/tail_smoke.sh
 
 # Observability smoke: a small instrumented run must print a stage table
 # with the scan stage in it.

@@ -371,13 +371,14 @@ func pipelineBenchOptions(workers int) pipeline.Options {
 }
 
 // BenchmarkPipelineRun measures the end-to-end pipeline, sequential
-// (workers=1) versus sharded (workers=4) — the before/after rows
+// (workers=1) versus sharded (workers=4 and 8) — the before/after rows
 // scripts/bench.sh records into BENCH_pipeline.json. The outputs are
 // bit-for-bit identical across worker counts (pinned by
 // TestParallelEquivalence); this benchmark tracks the wall-clock side of
-// that contract on whatever hardware it runs on.
+// that contract on whatever hardware it runs on, and the 4-vs-8 pair
+// shows where sharding stops paying on a given core count.
 func BenchmarkPipelineRun(b *testing.B) {
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			opts := pipelineBenchOptions(workers)
 			b.ReportAllocs()

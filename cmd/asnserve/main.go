@@ -20,7 +20,9 @@
 // set, SIGINT/SIGTERM trigger a graceful drain (bounded by -drain),
 // and SIGHUP — or POST /v1/admin/reload — hot-reloads the snapshot
 // file after verifying every block, atomically swapping generations
-// without dropping in-flight requests.
+// without dropping in-flight requests. With -follow the file is polled
+// for changes and reloaded automatically, pairing the server with a
+// live tail (asnwatch -tail -snapshot) that rewrites it as days land.
 //
 // Endpoints: /v1/asn/{n}, /v1/rir/{r}/series, /v1/taxonomy, /v1/health,
 // /v1/stages, /v1/admin/reload, /healthz, /readyz, /metrics, and with
@@ -64,6 +66,7 @@ func run() error {
 		stride   = flag.Int("stride", 30, "default series downsampling stride (days)")
 		pprofOn  = flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints")
 
+		follow     = flag.Duration("follow", 0, "poll the snapshot file at this interval and hot-reload when it changes (0 disables) — pairs with a live tail writing -snapshot")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
 		maxInfl    = flag.Int("max-inflight", 512, "concurrent-request admission cap (-1 disables shedding)")
 		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated into lookups (-1ns disables)")
@@ -150,6 +153,7 @@ func run() error {
 	return serveSnapshot(o, *snapshot, *listen, serveConfig{
 		cache: *cache, stride: *stride, pprofOn: *pprofOn,
 		drain: *drain, maxInFlight: *maxInfl, requestTimeout: *reqTimeout,
+		follow: *follow,
 	})
 }
 
@@ -160,6 +164,7 @@ type serveConfig struct {
 	drain          time.Duration
 	maxInFlight    int
 	requestTimeout time.Duration
+	follow         time.Duration
 }
 
 // serveSnapshot opens and fully verifies the snapshot, binds the
@@ -223,6 +228,43 @@ func serveSnapshot(o *obs.Obs, snapshot, listen string, cfg serveConfig) error {
 			}
 		}
 	}()
+	if cfg.follow > 0 {
+		// Follow mode: a live tail (asnwatch -tail -snapshot) rewrites
+		// the snapshot atomically; a changed mtime or size triggers the
+		// same verified hot reload SIGHUP would. A half-interesting
+		// stat race is harmless — the reload re-verifies every block
+		// before swapping, and a failed reload keeps the old generation.
+		go func() {
+			tick := time.NewTicker(cfg.follow)
+			defer tick.Stop()
+			var lastMod time.Time
+			var lastSize int64
+			if info, err := os.Stat(snapshot); err == nil {
+				lastMod, lastSize = info.ModTime(), info.Size()
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				info, err := os.Stat(snapshot)
+				if err != nil || (info.ModTime().Equal(lastMod) && info.Size() == lastSize) {
+					continue
+				}
+				lastMod, lastSize = info.ModTime(), info.Size()
+				if gen, err := rel.Reload(ctx); err != nil {
+					if ctx.Err() == nil {
+						fmt.Fprintln(os.Stderr, "asnserve: follow reload failed, previous snapshot still serving:", err)
+					}
+				} else {
+					fmt.Fprintf(os.Stderr, "asnserve: followed %s (generation %d, %d ASNs)\n",
+						gen.Source, gen.Gen, gen.ASNCount)
+				}
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "asnserve: following %s for changes every %v\n", snapshot, cfg.follow)
+	}
 
 	err = serve.Run(ctx, ln, handler, serve.HTTPOptions{DrainTimeout: cfg.drain})
 	if ctx.Err() != nil {

@@ -4,7 +4,7 @@
 // origins and large internal-ASN leaks, each tagged with the §6 evidence
 // behind it.
 //
-// Usage:
+// Batch mode (the default) builds the dataset once and prints the feed:
 //
 //	asnwatch [flags]
 //
@@ -13,14 +13,44 @@
 //	-check ASN:YYYY-MM-DD                            one delegation check and exit
 //	-progress 2s                                     periodic build progress line
 //
+// Live-tail mode runs asnwatch as a crash-safe streaming daemon: it
+// follows a growing day directory (one complete collector day at a
+// time), folds each day into the running dataset without recomputing
+// prior days, and checkpoints its position after every day so a crash —
+// or kill -9 — resumes exactly where it left off:
+//
+//	asnwatch -tail -tail-dir days/ -checkpoint ckpt/ [-listen :8080]
+//
+//	-snapshot lives.snap      write each published snapshot here
+//	-snapshot-every 7         publish cadence in days (default 1)
+//	-listen :8080             serve the latest snapshot over HTTP with
+//	                          generation-swap hot reload per publish
+//	-notify-url URL           POST a JSON line after each publish
+//	-read-timeout 30s         staleness deadline per day read
+//	-reconnect-attempts 4     reconnect ladder bound after staleness
+//	-verify-batch             after the window completes, run the batch
+//	                          pipeline and require byte-identical output
+//
+// The paired feeder simulates the growing collector directory:
+//
+//	asnwatch -sim-feed -tail-dir days/ -feed-interval 100ms
+//
+// A first SIGINT/SIGTERM cancels cleanly everywhere — including mid
+// build, mid tail (the in-flight day is committed and published) and
+// mid drain; a second signal kills the process immediately.
+//
 // World/pipeline flags mirror cmd/parallellives (-scale, -seed, -start,
-// -end).
+// -end, -workers, -chaos).
 package main
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,10 +59,16 @@ import (
 	"time"
 
 	"parallellives/internal/asn"
+	"parallellives/internal/collector"
 	"parallellives/internal/core"
 	"parallellives/internal/dates"
+	"parallellives/internal/faults"
+	"parallellives/internal/lifestore"
 	"parallellives/internal/obs"
 	"parallellives/internal/pipeline"
+	"parallellives/internal/serve"
+	"parallellives/internal/stream"
+	"parallellives/internal/worldsim"
 )
 
 func main() {
@@ -48,17 +84,37 @@ func run() error {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		start    = flag.String("start", "2003-10-09", "window start")
 		end      = flag.String("end", "2021-03-01", "window end")
+		workers  = flag.Int("workers", 0, "worker goroutines per pipeline stage (0 = GOMAXPROCS)")
 		kinds    = flag.String("kinds", "", "comma list of event kinds (default: all)")
 		limit    = flag.Int("limit", 0, "stop after N events (0 = all)")
 		check    = flag.String("check", "", "one delegation check, ASN:YYYY-MM-DD")
 		policy   = flag.String("fault-policy", "failfast", "input damage handling: failfast or degrade")
 		progress = flag.Duration("progress", 0, "print a build progress line every interval, e.g. 2s (0 disables)")
+
+		chaos     = flag.Bool("chaos", false, "inject the default deterministic fault storm (implies wire mode)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault injection seed for -chaos")
+
+		tail      = flag.Bool("tail", false, "run the live-tail ingestion daemon instead of a batch build")
+		simFeed   = flag.Bool("sim-feed", false, "publish simulated collector days into -tail-dir and exit")
+		tailDir   = flag.String("tail-dir", "days", "day directory the tail follows (and -sim-feed fills)")
+		ckptDir   = flag.String("checkpoint", "checkpoint", "checkpoint journal directory for -tail")
+		snapshot  = flag.String("snapshot", "", "with -tail: write each published snapshot to this path")
+		snapEvery = flag.Int("snapshot-every", 1, "with -tail: publish a full snapshot every N committed days")
+		listen    = flag.String("listen", "", "with -tail: serve the latest snapshot on this address")
+		notifyURL = flag.String("notify-url", "", "with -tail: POST a JSON notification here after each publish")
+
+		readTimeout = flag.Duration("read-timeout", 30*time.Second, "staleness deadline waiting for the next complete day")
+		poll        = flag.Duration("poll", 25*time.Millisecond, "day-directory poll interval")
+		reconnects  = flag.Int("reconnect-attempts", 4, "reconnect attempts after staleness before giving up")
+		feedEvery   = flag.Duration("feed-interval", 100*time.Millisecond, "with -sim-feed: delay between published days")
+		verifyBatch = flag.Bool("verify-batch", false, "with -tail: after the window completes, run the batch pipeline and require a byte-identical snapshot")
 	)
 	flag.Parse()
 
 	opts := pipeline.DefaultOptions()
 	opts.World.Scale = *scale
 	opts.World.Seed = *seed
+	opts.Workers = *workers
 	var err error
 	if opts.FaultPolicy, err = pipeline.ParseFaultPolicy(*policy); err != nil {
 		return err
@@ -69,36 +125,86 @@ func run() error {
 	if opts.World.End, err = dates.Parse(*end); err != nil {
 		return err
 	}
+	if *chaos {
+		plan := faults.DefaultStorm(*chaosSeed)
+		opts.Inject = &plan
+		opts.Wire = true
+		if opts.FaultPolicy == pipeline.FailFast {
+			opts.FaultPolicy = pipeline.Degrade
+		}
+	}
+
+	// One cancellation root for every mode: the first SIGINT/SIGTERM
+	// cancels ctx (the build aborts between days, the tail commits its
+	// in-flight day and drains, the server stops accepting); a second
+	// signal force-exits. Installed before any long-running work so an
+	// interrupt during the initial build cancels promptly instead of
+	// waiting for the 17-year window to finish.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "asnwatch: signal received, shutting down (send again to force)")
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "asnwatch: forced exit")
+		os.Exit(1)
+	}()
+
+	switch {
+	case *simFeed && *tail:
+		return errors.New("-sim-feed and -tail are separate processes; run one of each")
+	case *simFeed:
+		return runSimFeed(ctx, opts.World, *tailDir, *feedEvery)
+	case *tail:
+		opts.Wire = true // the tail consumes MRT bytes; batch-verify must match
+		return runTail(ctx, opts, tailConfig{
+			dir: *tailDir, ckptDir: *ckptDir,
+			snapshot: *snapshot, snapshotEvery: *snapEvery,
+			listen: *listen, notifyURL: *notifyURL,
+			readTimeout: *readTimeout, poll: *poll,
+			reconnectAttempts: *reconnects,
+			verifyBatch:       *verifyBatch,
+		})
+	}
+	return runBatch(ctx, opts, *kinds, *limit, *check, *progress)
+}
+
+// runBatch is the original one-shot mode: build the dataset, print the
+// anomaly feed (or answer one -check query).
+func runBatch(ctx context.Context, opts pipeline.Options, kinds string, limit int, check string, progress time.Duration) error {
 	fmt.Fprintln(os.Stderr, "asnwatch: building dataset...")
 	var stopProgress func()
-	if *progress > 0 {
+	if progress > 0 {
 		opts.Obs = obs.New()
-		stopProgress = watchProgress(opts.Obs.Registry, *progress)
+		stopProgress = watchProgress(opts.Obs.Registry, progress)
 	}
-	ds, err := pipeline.Run(opts)
+	ds, err := pipeline.RunContext(ctx, opts)
 	if stopProgress != nil {
 		stopProgress()
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "asnwatch: build cancelled")
+		return nil
 	}
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "asnwatch:", ds.Health.Summary())
 
-	if *check != "" {
-		return runCheck(ds, *check)
+	if check != "" {
+		return runCheck(ds, check)
 	}
 
 	want := map[string]bool{}
-	for _, k := range strings.Split(*kinds, ",") {
+	for _, k := range strings.Split(kinds, ",") {
 		if k = strings.TrimSpace(k); k != "" {
 			want[k] = true
 		}
 	}
-	// A watch feed can be long; let Ctrl-C cut it off cleanly with the
-	// summary line instead of killing the process mid-write.
-	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
-
 	events := ds.Joint.WatchEvents(core.DefaultSquatParams())
 	printed := 0
 	for _, e := range events {
@@ -116,12 +222,216 @@ func run() error {
 		fmt.Printf("%s  %-22s AS%-11s %s..%s%s  %s\n",
 			e.Day, e.Kind, e.ASN, e.Span.Start, e.Span.End, victim, e.Detail)
 		printed++
-		if *limit > 0 && printed >= *limit {
+		if limit > 0 && printed >= limit {
 			break
 		}
 	}
 	fmt.Fprintf(os.Stderr, "asnwatch: %d events (%d total in feed)\n", printed, len(events))
 	return nil
+}
+
+// runSimFeed renders the window's collector days into the day directory
+// one at a time — the stand-in for a growing real-world archive that
+// the tail daemon (a separate process) follows.
+func runSimFeed(ctx context.Context, cfg worldsim.Config, dir string, every time.Duration) error {
+	w, err := stream.NewDirWriter(dir)
+	if err != nil {
+		return err
+	}
+	inf := collector.New(worldsim.Generate(cfg))
+	fmt.Fprintf(os.Stderr, "asnwatch: feeding %s..%s into %s every %v\n", cfg.Start, cfg.End, dir, every)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	n := 0
+	it := inf.IterRange(cfg.Start, cfg.End)
+	for it.Next() {
+		ribs, upds, err := it.MRT()
+		if err != nil {
+			return fmt.Errorf("rendering day %s: %w", it.Day(), err)
+		}
+		if err := w.WriteDay(stream.DayFromMRT(it.Day(), ribs, upds)); err != nil {
+			return err
+		}
+		n++
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(os.Stderr, "asnwatch: feed stopped after %d days\n", n)
+			return nil
+		case <-tick.C:
+		}
+	}
+	fmt.Fprintf(os.Stderr, "asnwatch: feed complete, %d days published\n", n)
+	return nil
+}
+
+// tailConfig carries the -tail flags into the daemon.
+type tailConfig struct {
+	dir, ckptDir      string
+	snapshot          string
+	snapshotEvery     int
+	listen, notifyURL string
+	readTimeout, poll time.Duration
+	reconnectAttempts int
+	verifyBatch       bool
+}
+
+// runTail is the streaming daemon: tail the day directory with durable
+// checkpoints, optionally serving the latest snapshot over HTTP (each
+// publish swaps a new generation in without dropping requests) and
+// optionally proving batch equivalence once the window completes.
+func runTail(ctx context.Context, opts pipeline.Options, cfg tailConfig) error {
+	o := obs.New()
+	src := stream.NewDirSource(cfg.dir, stream.DirOptions{ReadTimeout: cfg.readTimeout, Poll: cfg.poll})
+
+	// Serving state: created lazily on the first published snapshot
+	// (there is nothing to serve before it), then hot-swapped per
+	// publish via the reloader's verified generation swap.
+	var (
+		tl       *stream.Tailer
+		serveMu  sync.Mutex
+		reloader *serve.Reloader
+		serveErr = make(chan error, 1)
+	)
+	onSnapshot := func(day dates.Day, snap *lifestore.Snapshot) {
+		fmt.Fprintf(os.Stderr, "asnwatch: published snapshot through %s (%d ASNs)\n", day, snap.Meta.ASNCount)
+		if cfg.listen != "" {
+			serveMu.Lock()
+			if reloader == nil {
+				rl, err := startTailServer(ctx, o, tl, snap, day, cfg, serveErr)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "asnwatch: serving disabled:", err)
+					cfg.listen = "" // don't retry every publish
+				} else {
+					reloader = rl
+				}
+			} else if _, err := reloader.Reload(ctx); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "asnwatch: snapshot reload failed, previous generation still serving:", err)
+			}
+			serveMu.Unlock()
+		}
+		if cfg.notifyURL != "" {
+			notify(cfg.notifyURL, day, snap)
+		}
+	}
+
+	tl, err := stream.NewTailer(stream.Options{
+		Pipeline:      opts,
+		Source:        src,
+		CheckpointDir: cfg.ckptDir,
+		SnapshotPath:  cfg.snapshot,
+		SnapshotEvery: cfg.snapshotEvery,
+		Reconnect:     faults.RetryPolicy{MaxAttempts: cfg.reconnectAttempts},
+		Obs:           o,
+		OnSnapshot:    onSnapshot,
+	})
+	if err != nil {
+		return err
+	}
+	if rec := tl.Recovery(); rec.Fresh {
+		fmt.Fprintln(os.Stderr, "asnwatch: no checkpoint, tailing from the start of the window")
+	} else {
+		fmt.Fprintf(os.Stderr, "asnwatch: resuming from checkpoint (last day %s, torn temps %d, corrupt %d, used prev %t)\n",
+			tl.Status().LastCommittedDay, rec.TornTemps, rec.CorruptCheckpoints, rec.UsedPrev)
+	}
+
+	if err := tl.Run(ctx); err != nil {
+		return err
+	}
+	st := tl.Status()
+	fmt.Fprintf(os.Stderr, "asnwatch: tail stopped: %d days committed, lag %d days, %d stale reads, %d reconnects\n",
+		st.DaysCommitted, st.IngestLagDays, st.StaleReads, st.Reconnects)
+
+	if cfg.verifyBatch {
+		if st.IngestLagDays != 0 {
+			return fmt.Errorf("verify-batch: window incomplete, %d days of lag", st.IngestLagDays)
+		}
+		return verifyAgainstBatch(ctx, opts, tl)
+	}
+
+	// Window complete (or drained) with a live server: keep serving
+	// until the shutdown signal.
+	serveMu.Lock()
+	serving := reloader != nil
+	serveMu.Unlock()
+	if serving && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "asnwatch: window complete, serving until shutdown")
+		return <-serveErr
+	}
+	if serving {
+		return <-serveErr // drain the server goroutine on shutdown
+	}
+	return nil
+}
+
+// startTailServer brings up the HTTP side on the first snapshot: a
+// Swappable over the in-memory snapshot, a Reloader whose opener always
+// adopts the tailer's latest publication, and the hardened server with
+// the tailer's Status wired into /v1/health as "ingest".
+func startTailServer(ctx context.Context, o *obs.Obs, tl *stream.Tailer, snap *lifestore.Snapshot, day dates.Day, cfg tailConfig, serveErr chan error) (*serve.Reloader, error) {
+	open := serve.OpenFunc(func(context.Context) (serve.Source, io.Closer, string, error) {
+		cur, curDay := tl.Snapshot()
+		if cur == nil {
+			return nil, nil, "", errors.New("no snapshot published yet")
+		}
+		return lifestore.NewInMemory(cur), nil, fmt.Sprintf("tail@%s", curDay), nil
+	})
+	sw := serve.NewSwappable(lifestore.NewInMemory(snap), nil, fmt.Sprintf("tail@%s", day))
+	rl := serve.NewReloader(sw, open, o.Registry)
+	srv := serve.New(sw, serve.Options{
+		Obs:      o,
+		Reloader: rl,
+		Ingest:   func() any { return tl.Status() },
+	})
+	ln, err := serve.Listen(cfg.listen)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "asnwatch: serving live snapshot on %s\n", ln.Addr())
+	go func() { serveErr <- serve.Run(ctx, ln, srv, serve.HTTPOptions{}) }()
+	return rl, nil
+}
+
+// verifyAgainstBatch runs the whole-window batch pipeline and requires
+// its snapshot to be byte-identical to the tail's final publication —
+// the crash-equivalence property, checked live (make tail-smoke).
+func verifyAgainstBatch(ctx context.Context, opts pipeline.Options, tl *stream.Tailer) error {
+	snap, day := tl.Snapshot()
+	if snap == nil {
+		return errors.New("verify-batch: the tail published no snapshot")
+	}
+	got, err := lifestore.Encode(snap)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "asnwatch: verify-batch: running the batch pipeline...")
+	ds, err := pipeline.RunContext(ctx, opts)
+	if err != nil {
+		return err
+	}
+	want, err := lifestore.Encode(lifestore.Capture(ds))
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("verify-batch: tailed snapshot through %s differs from the batch build (%d vs %d bytes)", day, len(got), len(want))
+	}
+	fmt.Fprintf(os.Stderr, "asnwatch: verify-batch OK: tailed snapshot is byte-identical to the batch build (%d bytes)\n", len(got))
+	return nil
+}
+
+// notify POSTs a small JSON record after a publish — the hook an
+// alerting pipeline or cache warmer listens on. Best-effort: a dead
+// receiver must not stall ingestion.
+func notify(url string, day dates.Day, snap *lifestore.Snapshot) {
+	body := fmt.Sprintf(`{"day":%q,"asns":%d,"adminLives":%d,"opLives":%d}`,
+		day, snap.Meta.ASNCount, snap.Meta.AdminLives, snap.Meta.OpLives)
+	client := &http.Client{Timeout: 2 * time.Second}
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asnwatch: notify failed:", err)
+		return
+	}
+	resp.Body.Close()
 }
 
 // watchProgress samples the build's registry counters every interval

@@ -560,6 +560,79 @@ func appendRuns(dst, src []PrefixRun) []PrefixRun {
 	return dst
 }
 
+// Absorb folds a later partial activity (a FinishPartial result whose
+// days all follow the receiver's) into the receiver in place: day and
+// origin-day intervals concatenate with boundary coalescing, prefix
+// runs coalesce when count and signature match across the boundary, and
+// upstream counts and stats sum. Invisible ASNs are kept — Absorb is
+// the carry-state append of an incremental (day-at-a-time) scan, where
+// an ASN invisible so far may still combine with a later visible day;
+// the invisible drop happens once, in Finalize. Absorbing each shard of
+// a day-sharded scan in ascending day order and then finalizing is
+// exactly MergeActivities.
+func (out *Activity) Absorb(p *Activity) {
+	if p == nil {
+		return
+	}
+	out.Stats.add(p.Stats)
+	if p.Start != dates.None && (out.Start == dates.None || p.Start < out.Start) {
+		out.Start = p.Start
+	}
+	if p.End != dates.None && (out.End == dates.None || p.End > out.End) {
+		out.End = p.End
+	}
+	for a, aa := range p.ASNs {
+		m := out.ASNs[a]
+		if m == nil {
+			m = &ASNActivity{}
+			out.ASNs[a] = m
+		}
+		m.Days = appendCoalesced(m.Days, aa.Days)
+		m.OriginDays = appendCoalesced(m.OriginDays, aa.OriginDays)
+		m.PrefixRuns = appendRuns(m.PrefixRuns, aa.PrefixRuns)
+		if len(aa.Upstreams) > 0 {
+			if m.Upstreams == nil {
+				m.Upstreams = make(map[asn.ASN]int64, len(aa.Upstreams))
+			}
+			for up, n := range aa.Upstreams {
+				m.Upstreams[up] += n
+			}
+		}
+	}
+}
+
+// NewPartial returns an empty activity ready to Absorb partial results —
+// the zero carry-state of an incremental scan.
+func NewPartial() *Activity {
+	return &Activity{
+		Start: dates.None,
+		End:   dates.None,
+		ASNs:  make(map[asn.ASN]*ASNActivity),
+	}
+}
+
+// Finalize reproduces Finish's invisible-ASN filtering on an absorbed
+// union without mutating it: ASNs that never passed the visibility
+// threshold on any absorbed day carry upstream bookkeeping only and are
+// excluded from the returned view. The result shares ASNActivity values
+// with the input, so the carry may keep absorbing later days after a
+// finalized view has been taken from it — the property the streaming
+// tailer's snapshot-per-day publishing relies on.
+func Finalize(a *Activity) *Activity {
+	out := &Activity{
+		Start: a.Start,
+		End:   a.End,
+		ASNs:  make(map[asn.ASN]*ASNActivity, len(a.ASNs)),
+		Stats: a.Stats,
+	}
+	for x, m := range a.ASNs {
+		if len(m.Days) > 0 {
+			out.ASNs[x] = m
+		}
+	}
+	return out
+}
+
 // MergeActivities combines the FinishPartial results of consecutive day
 // shards — given in ascending day order — into the activity a single
 // scanner fed the whole range would have produced. Day and origin-day
@@ -570,40 +643,9 @@ func appendRuns(dst, src []PrefixRun) []PrefixRun {
 // the union. Each day is self-contained (per-day peer bitmaps), so the
 // merged result is bit-for-bit the sequential one.
 func MergeActivities(parts ...*Activity) *Activity {
-	out := &Activity{
-		Start: dates.None,
-		End:   dates.None,
-		ASNs:  make(map[asn.ASN]*ASNActivity),
-	}
+	out := NewPartial()
 	for _, p := range parts {
-		if p == nil {
-			continue
-		}
-		out.Stats.add(p.Stats)
-		if p.Start != dates.None && (out.Start == dates.None || p.Start < out.Start) {
-			out.Start = p.Start
-		}
-		if p.End != dates.None && (out.End == dates.None || p.End > out.End) {
-			out.End = p.End
-		}
-		for a, aa := range p.ASNs {
-			m := out.ASNs[a]
-			if m == nil {
-				m = &ASNActivity{}
-				out.ASNs[a] = m
-			}
-			m.Days = appendCoalesced(m.Days, aa.Days)
-			m.OriginDays = appendCoalesced(m.OriginDays, aa.OriginDays)
-			m.PrefixRuns = appendRuns(m.PrefixRuns, aa.PrefixRuns)
-			if len(aa.Upstreams) > 0 {
-				if m.Upstreams == nil {
-					m.Upstreams = make(map[asn.ASN]int64, len(aa.Upstreams))
-				}
-				for up, n := range aa.Upstreams {
-					m.Upstreams[up] += n
-				}
-			}
-		}
+		out.Absorb(p)
 	}
 	for a, m := range out.ASNs {
 		if len(m.Days) == 0 {

@@ -55,18 +55,29 @@ func adminGroups(ls []AdminLifetime) []parallel.Range {
 // reproduces the sequential pre-sort order, so the final stable sort and
 // the whole-output tallies yield bit-for-bit the sequential result.
 func BuildAdminLifetimesParallel(res *restore.Result, workers int) ([]AdminLifetime, AdminStats) {
+	out, stats, _ := BuildAdminLifetimesParallelContext(context.Background(), res, workers)
+	return out, stats
+}
+
+// BuildAdminLifetimesParallelContext is BuildAdminLifetimesParallel
+// with cooperative cancellation: a cancelled ctx abandons unstarted
+// shards and returns ctx's error instead of a partial result. The
+// builders themselves are infallible — ctx's error is the only one.
+func BuildAdminLifetimesParallelContext(ctx context.Context, res *restore.Result, workers int) ([]AdminLifetime, AdminStats, error) {
 	runs := res.Runs
 	groups := asnGroups(runs)
 	shards := parallel.Shards(len(groups), workers)
 
 	parts := make([][]AdminLifetime, len(shards))
 	partStats := make([]AdminStats, len(shards))
-	_ = parallel.ForEach(context.Background(), len(shards), workers, func(_ context.Context, si int) error {
+	if err := parallel.ForEach(ctx, len(shards), workers, func(_ context.Context, si int) error {
 		for _, g := range groups[shards[si].Lo:shards[si].Hi] {
 			parts[si] = appendLifetimes(parts[si], runs[g.Lo:g.Hi], &partStats[si])
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, AdminStats{}, err
+	}
 
 	var stats AdminStats
 	total := 0
@@ -105,7 +116,7 @@ func BuildAdminLifetimesParallel(res *restore.Result, workers int) ([]AdminLifet
 			stats.ReallocatedASNs++
 		}
 	}
-	return out, stats
+	return out, stats, nil
 }
 
 // BuildOpLifetimesParallel is BuildOpLifetimes with the per-ASN timeout
@@ -114,6 +125,13 @@ func BuildAdminLifetimesParallel(res *restore.Result, workers int) ([]AdminLifet
 // sequential concatenation pass, so lifetime order and indices match the
 // sequential build exactly.
 func BuildOpLifetimesParallel(act *bgpscan.Activity, timeout, workers int) *OpIndex {
+	idx, _ := BuildOpLifetimesParallelContext(context.Background(), act, timeout, workers)
+	return idx
+}
+
+// BuildOpLifetimesParallelContext is BuildOpLifetimesParallel with
+// cooperative cancellation (ctx's error is the only possible one).
+func BuildOpLifetimesParallelContext(ctx context.Context, act *bgpscan.Activity, timeout, workers int) (*OpIndex, error) {
 	asns := make([]asn.ASN, 0, len(act.ASNs))
 	for a := range act.ASNs {
 		asns = append(asns, a)
@@ -122,14 +140,16 @@ func BuildOpLifetimesParallel(act *bgpscan.Activity, timeout, workers int) *OpIn
 
 	shards := parallel.Shards(len(asns), workers)
 	parts := make([][]OpLifetime, len(shards))
-	_ = parallel.ForEach(context.Background(), len(shards), workers, func(_ context.Context, si int) error {
+	if err := parallel.ForEach(ctx, len(shards), workers, func(_ context.Context, si int) error {
 		for _, a := range asns[shards[si].Lo:shards[si].Hi] {
 			for _, seg := range act.ASNs[a].Days.SplitByTimeout(timeout) {
 				parts[si] = append(parts[si], OpLifetime{ASN: a, Span: seg})
 			}
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	idx := &OpIndex{
 		Timeout:  timeout,
@@ -142,7 +162,7 @@ func BuildOpLifetimesParallel(act *bgpscan.Activity, timeout, workers int) *OpIn
 			idx.Lifetimes = append(idx.Lifetimes, l)
 		}
 	}
-	return idx
+	return idx, nil
 }
 
 // AnalyzeParallel is Analyze with the admin-side classification sharded
@@ -152,6 +172,13 @@ func BuildOpLifetimesParallel(act *bgpscan.Activity, timeout, workers int) *OpIn
 // ASN's op flags and the shards are write-disjoint. The op-side
 // classification reads the merged flags sequentially afterwards.
 func AnalyzeParallel(admin *AdminIndex, ops *OpIndex, workers int) *Joint {
+	j, _ := AnalyzeParallelContext(context.Background(), admin, ops, workers)
+	return j
+}
+
+// AnalyzeParallelContext is AnalyzeParallel with cooperative
+// cancellation (ctx's error is the only possible one).
+func AnalyzeParallelContext(ctx context.Context, admin *AdminIndex, ops *OpIndex, workers int) (*Joint, error) {
 	j := &Joint{
 		Admin:        admin,
 		Ops:          ops,
@@ -165,7 +192,7 @@ func AnalyzeParallel(admin *AdminIndex, ops *OpIndex, workers int) *Joint {
 
 	groups := adminGroups(admin.Lifetimes)
 	shards := parallel.Shards(len(groups), workers)
-	_ = parallel.ForEach(context.Background(), len(shards), workers, func(_ context.Context, si int) error {
+	if err := parallel.ForEach(ctx, len(shards), workers, func(_ context.Context, si int) error {
 		for _, g := range groups[shards[si].Lo:shards[si].Hi] {
 			for ai := g.Lo; ai < g.Hi; ai++ {
 				al := &admin.Lifetimes[ai]
@@ -191,7 +218,9 @@ func AnalyzeParallel(admin *AdminIndex, ops *OpIndex, workers int) *Joint {
 			}
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	for oi := range ops.Lifetimes {
 		switch {
@@ -203,5 +232,5 @@ func AnalyzeParallel(admin *AdminIndex, ops *OpIndex, workers int) *Joint {
 			j.OpCat[oi] = CatOutside
 		}
 	}
-	return j
+	return j, nil
 }

@@ -102,6 +102,105 @@ type Dataset struct {
 
 // Run executes the full pipeline.
 func Run(opts Options) (*Dataset, error) {
+	return RunContext(context.Background(), opts)
+}
+
+// RunContext is Run with cooperative cancellation: a cancelled ctx
+// aborts the build promptly — between stages, between restoration
+// sources, and day-by-day inside the scan shards — returning ctx's
+// error instead of running the window to completion. Output is
+// unaffected for a ctx that never cancels.
+func RunContext(ctx context.Context, opts Options) (*Dataset, error) {
+	var m *runMetrics
+	if opts.Obs != nil {
+		ctx = obs.WithTracer(ctx, opts.Obs.Tracer)
+		m = newRunMetrics(opts.Obs.Registry)
+	}
+	ctx, root := obs.StartSpan(ctx, "pipeline.run")
+
+	base, err := BuildBase(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Operational dimension: scan the collectors.
+	sctx, spScan := obs.StartSpan(ctx, "bgpscan")
+	act, op, err := scan(sctx, base, m)
+	if err != nil {
+		return nil, err
+	}
+	spScan.SetAttr("days", int64(op.Days))
+	spScan.SetAttr(obs.AttrIn, op.Archives)
+	spScan.SetAttr(obs.AttrOut, act.Stats.Routes)
+	spScan.SetAttr("records", act.Stats.RIBRecords+act.Stats.UpdateMessages)
+	spScan.SetAttr(obs.AttrDrops, act.Stats.DropPrefixLen+act.Stats.DropLoop+
+		act.Stats.DropMalformed+act.Stats.DropLowVis)
+	spScan.SetAttr(obs.AttrQuarantined, act.Stats.QuarantinedTruncated+act.Stats.QuarantinedTails)
+	spScan.End()
+
+	ds, err := base.Complete(ctx, act, op)
+	if err != nil {
+		return nil, err
+	}
+	ds.Trace = root
+	root.End()
+	m.observeStages(root)
+	return ds, nil
+}
+
+// Base is the window-static front half of a run: the simulated world,
+// its delegation archive, the restored administrative view and its
+// lifetimes — everything that depends only on Options, not on how much
+// of the BGP window has been scanned yet. A batch run builds it once
+// and scans the whole window; the streaming tailer builds it once per
+// process start and replays the operational side one day at a time,
+// calling Complete whenever it wants a full Dataset of the days
+// ingested so far.
+type Base struct {
+	// Options is the run configuration with zero Timeout/Visibility
+	// resolved to their defaults (the form Dataset.Options carries).
+	Options Options
+	// Workers is the resolved stage parallelism (Options.Workers with 0
+	// mapped to GOMAXPROCS).
+	Workers    int
+	World      *worldsim.World
+	Archive    *registry.Archive
+	Restored   *restore.Result
+	Admin      *core.AdminIndex
+	AdminStats core.AdminStats
+	// Injector is the run's fault injector (nil without Options.Inject).
+	// Its delegation-side tallies are already accumulated into the base
+	// health; MRT-side tallies accrue as archives are mangled.
+	Injector *faults.Injector
+
+	// health holds the delegation/coverage half of the final Health;
+	// Complete copies it and fills in the scan-dependent fields.
+	health Health
+}
+
+// OpAccount carries the scan-side tallies Complete needs to finish the
+// Health report: how many days and archives went through the scanner,
+// and how many MRT-side faults the injector planted while they did. The
+// streaming tailer persists these in its checkpoint so that after a
+// crash-and-resume every committed day is accounted exactly once, even
+// though re-scanned days re-mangle (deterministically) on the live
+// injector.
+type OpAccount struct {
+	Days     int
+	Archives int64
+	// InjectedTruncatedRecords/InjectedTailChops are the MRT-side fault
+	// counts attributable to the accounted days. Ignored when the run
+	// has no injector.
+	InjectedTruncatedRecords int64
+	InjectedTailChops        int64
+}
+
+// BuildBase runs the administrative (window-static) half of the
+// pipeline: world simulation, delegation archive, restoration and admin
+// lifetime segmentation, with the same spans and fault plumbing as a
+// full run. The returned Base is ready for the operational side —
+// either the batch scan or the tailer's day-append loop.
+func BuildBase(ctx context.Context, opts Options) (*Base, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = core.DefaultInactivityTimeout
 	}
@@ -112,29 +211,22 @@ func Run(opts Options) (*Dataset, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	ds := &Dataset{Options: opts}
+	b := &Base{Options: opts, Workers: workers}
 
-	ctx := context.Background()
-	var m *runMetrics
-	if opts.Obs != nil {
-		ctx = obs.WithTracer(ctx, opts.Obs.Tracer)
-		m = newRunMetrics(opts.Obs.Registry)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	ctx, root := obs.StartSpan(ctx, "pipeline.run")
-	ds.Trace = root
-
 	_, spSim := obs.StartSpan(ctx, "worldsim")
-	ds.World = worldsim.Generate(opts.World)
-	ds.Archive = registry.Build(ds.World)
-	spSim.SetAttr(obs.AttrOut, int64(len(ds.World.Lives)))
-	spSim.SetAttr("orgs", int64(len(ds.World.Orgs)))
+	b.World = worldsim.Generate(opts.World)
+	b.Archive = registry.Build(b.World)
+	spSim.SetAttr(obs.AttrOut, int64(len(b.World.Lives)))
+	spSim.SetAttr("orgs", int64(len(b.World.Orgs)))
 	spSim.End()
 
-	var inj *faults.Injector
 	if opts.Inject != nil {
-		inj = faults.NewInjector(*opts.Inject)
+		b.Injector = faults.NewInjector(*opts.Inject)
 	}
-	health := &Health{Policy: opts.FaultPolicy}
+	b.health = Health{Policy: opts.FaultPolicy}
 
 	// Administrative dimension: restore the archive, build lifetimes.
 	_, spRestore := obs.StartSpan(ctx, "restore")
@@ -143,68 +235,87 @@ func Run(opts Options) (*Dataset, error) {
 	for _, r := range asn.All() {
 		var src registry.Source
 		if opts.TextFiles {
-			src = ds.Archive.TextSource(r)
+			src = b.Archive.TextSource(r)
 		} else {
-			src = ds.Archive.Source(r)
+			src = b.Archive.Source(r)
 		}
-		if inj != nil {
+		if b.Injector != nil {
 			// Chaos mode: the source becomes fallible; a Retrier recovers
 			// transient errors with bounded deterministic backoff and
 			// abandons days that keep failing.
-			ret := faults.NewRetrier(inj.WrapSource(src), faults.RetryPolicy{})
+			ret := faults.NewRetrier(b.Injector.WrapSource(src), faults.RetryPolicy{})
 			retriers = append(retriers, ret)
 			src = ret
 		}
 		sources = append(sources, src)
 	}
-	ds.Restored = restore.RestoreParallel(sources, ds.Archive.ERXReference(), workers)
-	for _, ret := range retriers {
-		st := ret.Stats()
-		health.Delegation.Retries += st.Retries
-		health.Delegation.AbandonedReads += st.Abandoned
-		health.Delegation.RetryBackoff += st.Backoff
-	}
-	health.Delegation.FilesScanned = ds.Restored.Report.FilesScanned
-	health.Delegation.MissingFileDays = ds.Restored.Report.MissingFileDays
-	health.Delegation.CorruptFileDays = ds.Restored.Report.CorruptFileDays
-	health.Coverage = ds.Restored.Coverage
-	spRestore.SetAttr(obs.AttrIn, int64(ds.Restored.Report.FilesScanned))
-	spRestore.SetAttr(obs.AttrOut, int64(len(ds.Restored.Runs)))
-	spRestore.SetAttr(obs.AttrDrops, int64(ds.Restored.Report.MistakenRecordsDropped))
-	spRestore.SetAttr("missing_file_days", int64(ds.Restored.Report.MissingFileDays))
-	spRestore.SetAttr("corrupt_file_days", int64(ds.Restored.Report.CorruptFileDays))
-	spRestore.SetAttr("retries", health.Delegation.Retries)
-	spRestore.End()
-	if opts.FaultPolicy == FailFast && health.Delegation.AbandonedReads > 0 {
-		return nil, fmt.Errorf("pipeline: %d delegation day reads abandoned after retries (policy failfast)",
-			health.Delegation.AbandonedReads)
-	}
-	_, spAdmin := obs.StartSpan(ctx, "segment.admin")
-	lifetimes, stats := core.BuildAdminLifetimesParallel(ds.Restored, workers)
-	ds.Admin = core.NewAdminIndex(lifetimes)
-	ds.AdminStats = stats
-	spAdmin.SetAttr(obs.AttrIn, int64(len(ds.Restored.Runs)))
-	spAdmin.SetAttr(obs.AttrOut, int64(len(ds.Admin.Lifetimes)))
-	spAdmin.SetAttr("asns", int64(stats.ASNs))
-	spAdmin.End()
-
-	// Operational dimension: scan the collectors.
-	sctx, spScan := obs.StartSpan(ctx, "bgpscan")
-	act, err := scan(sctx, ds.World, opts, inj, health, m, workers)
+	restored, err := restore.RestoreParallelContext(ctx, sources, b.Archive.ERXReference(), restore.Options{}, workers)
 	if err != nil {
 		return nil, err
 	}
-	ds.Activity = act
-	spScan.SetAttr("days", int64(health.DaysProcessed))
-	spScan.SetAttr(obs.AttrIn, health.MRT.Archives)
-	spScan.SetAttr(obs.AttrOut, act.Stats.Routes)
-	spScan.SetAttr("records", act.Stats.RIBRecords+act.Stats.UpdateMessages)
-	spScan.SetAttr(obs.AttrDrops, act.Stats.DropPrefixLen+act.Stats.DropLoop+
-		act.Stats.DropMalformed+act.Stats.DropLowVis)
-	spScan.SetAttr(obs.AttrQuarantined, act.Stats.QuarantinedTruncated+act.Stats.QuarantinedTails)
-	spScan.End()
+	b.Restored = restored
+	for _, ret := range retriers {
+		st := ret.Stats()
+		b.health.Delegation.Retries += st.Retries
+		b.health.Delegation.AbandonedReads += st.Abandoned
+		b.health.Delegation.RetryBackoff += st.Backoff
+	}
+	b.health.Delegation.FilesScanned = b.Restored.Report.FilesScanned
+	b.health.Delegation.MissingFileDays = b.Restored.Report.MissingFileDays
+	b.health.Delegation.CorruptFileDays = b.Restored.Report.CorruptFileDays
+	b.health.Coverage = b.Restored.Coverage
+	spRestore.SetAttr(obs.AttrIn, int64(b.Restored.Report.FilesScanned))
+	spRestore.SetAttr(obs.AttrOut, int64(len(b.Restored.Runs)))
+	spRestore.SetAttr(obs.AttrDrops, int64(b.Restored.Report.MistakenRecordsDropped))
+	spRestore.SetAttr("missing_file_days", int64(b.Restored.Report.MissingFileDays))
+	spRestore.SetAttr("corrupt_file_days", int64(b.Restored.Report.CorruptFileDays))
+	spRestore.SetAttr("retries", b.health.Delegation.Retries)
+	spRestore.End()
+	if opts.FaultPolicy == FailFast && b.health.Delegation.AbandonedReads > 0 {
+		return nil, fmt.Errorf("pipeline: %d delegation day reads abandoned after retries (policy failfast)",
+			b.health.Delegation.AbandonedReads)
+	}
+	_, spAdmin := obs.StartSpan(ctx, "segment.admin")
+	lifetimes, stats, err := core.BuildAdminLifetimesParallelContext(ctx, b.Restored, workers)
+	if err != nil {
+		return nil, err
+	}
+	b.Admin = core.NewAdminIndex(lifetimes)
+	b.AdminStats = stats
+	spAdmin.SetAttr(obs.AttrIn, int64(len(b.Restored.Runs)))
+	spAdmin.SetAttr(obs.AttrOut, int64(len(b.Admin.Lifetimes)))
+	spAdmin.SetAttr("asns", int64(stats.ASNs))
+	spAdmin.End()
+	return b, nil
+}
+
+// Complete assembles the full Dataset from the base and a finalized
+// activity: operational lifetime segmentation, the Health report
+// (delegation half from the base, scan half from act and op) and the
+// joint analysis. It does not consume the base — the streaming tailer
+// calls it repeatedly over a growing activity, once per published
+// snapshot, and the produced Dataset for the full window is bit-for-bit
+// what a batch Run over the same Options yields.
+func (b *Base) Complete(ctx context.Context, act *bgpscan.Activity, op OpAccount) (*Dataset, error) {
+	ds := &Dataset{
+		Options:    b.Options,
+		World:      b.World,
+		Archive:    b.Archive,
+		Restored:   b.Restored,
+		Admin:      b.Admin,
+		AdminStats: b.AdminStats,
+		Activity:   act,
+	}
+	health := b.health // copy: the base stays reusable
+	health.DaysProcessed = op.Days
+	health.MRT.Archives = op.Archives
+
 	_, spOp := obs.StartSpan(ctx, "segment.op")
-	ds.Ops = core.BuildOpLifetimesParallel(act, opts.Timeout, workers)
+	ops, err := core.BuildOpLifetimesParallelContext(ctx, act, b.Options.Timeout, b.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ds.Ops = ops
 	spOp.SetAttr(obs.AttrIn, int64(len(act.ASNs)))
 	spOp.SetAttr(obs.AttrOut, int64(len(ds.Ops.Lifetimes)))
 	spOp.End()
@@ -212,27 +323,35 @@ func Run(opts Options) (*Dataset, error) {
 	health.MRT.QuarantinedTruncated = act.Stats.QuarantinedTruncated
 	health.MRT.QuarantinedTails = act.Stats.QuarantinedTails
 	health.MRT.Malformed = act.Stats.DropMalformed
-	if inj != nil {
-		rep := inj.Report()
+	if b.Injector != nil {
+		// The delegation-side classes come from the live injector (they
+		// are re-accumulated deterministically by every BuildBase); the
+		// MRT-side classes come from the account, which the caller keeps
+		// per committed day.
+		rep := b.Injector.Report()
+		rep.TruncatedRecords = op.InjectedTruncatedRecords
+		rep.TailChops = op.InjectedTailChops
 		health.Injected = &rep
 	}
-	ds.Health = health
-	if opts.FaultPolicy == Degrade {
-		if err := health.checkBudget(opts.Budget); err != nil {
+	ds.Health = &health
+	if b.Options.FaultPolicy == Degrade {
+		if err := health.checkBudget(b.Options.Budget); err != nil {
 			return nil, err
 		}
 	}
 
 	_, spJoin := obs.StartSpan(ctx, "join")
-	ds.Joint = core.AnalyzeParallel(ds.Admin, ds.Ops, workers)
+	joint, err := core.AnalyzeParallelContext(ctx, ds.Admin, ds.Ops, b.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ds.Joint = joint
 	tax := ds.Joint.Taxonomy()
 	spJoin.SetAttr(obs.AttrIn, int64(len(ds.Admin.Lifetimes)+len(ds.Ops.Lifetimes)))
 	spJoin.SetAttr(obs.AttrOut, int64(tax.AdminComplete+tax.AdminPartial+tax.AdminUnused))
 	spJoin.SetAttr("admin_complete", int64(tax.AdminComplete))
 	spJoin.SetAttr("op_outside", int64(tax.OpOutside))
 	spJoin.End()
-	root.End()
-	m.observeStages(root)
 	return ds, nil
 }
 
@@ -245,7 +364,8 @@ func Run(opts Options) (*Dataset, error) {
 // shard gets one span (bgpscan.shard[i]) and publishes per-day registry
 // deltas through its shardMetrics view; m may be nil (observability
 // off).
-func scan(ctx context.Context, w *worldsim.World, opts Options, inj *faults.Injector, health *Health, m *runMetrics, workers int) (*bgpscan.Activity, error) {
+func scan(ctx context.Context, b *Base, m *runMetrics) (*bgpscan.Activity, OpAccount, error) {
+	w, opts, inj, workers := b.World, b.Options, b.Injector, b.Workers
 	inf := collector.New(w)
 	start, end := w.Config.Start, w.Config.End
 	shards := parallel.Shards(end.Sub(start)+1, workers)
@@ -269,6 +389,9 @@ func scan(ctx context.Context, w *worldsim.World, opts Options, inj *faults.Inje
 		tally := &tallies[si]
 		it := inf.IterRange(start.AddDays(r.Lo), start.AddDays(r.Hi-1))
 		for it.Next() {
+			if err := ctx.Err(); err != nil {
+				return err // cancelled mid-shard: abandon the remaining days
+			}
 			day := it.Day()
 			if err := s.BeginDay(day); err != nil {
 				return err
@@ -281,7 +404,7 @@ func scan(ctx context.Context, w *worldsim.World, opts Options, inj *faults.Inje
 				}
 				for ci, rib := range ribs {
 					if inj != nil {
-						rib = inj.MangleMRT(mrtSalt(day, ci, 0), rib)
+						rib = inj.MangleMRT(MRTSalt(day, ci, 0), rib)
 					}
 					tally.archives++
 					sm.archive()
@@ -291,7 +414,7 @@ func scan(ctx context.Context, w *worldsim.World, opts Options, inj *faults.Inje
 				}
 				for ci, upd := range updates {
 					if inj != nil {
-						upd = inj.MangleMRT(mrtSalt(day, ci, 1), upd)
+						upd = inj.MangleMRT(MRTSalt(day, ci, 1), upd)
 					}
 					tally.archives++
 					sm.archive()
@@ -320,19 +443,30 @@ func scan(ctx context.Context, w *worldsim.World, opts Options, inj *faults.Inje
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, OpAccount{}, err
 	}
+	var op OpAccount
 	for _, t := range tallies {
-		health.DaysProcessed += t.days
-		health.MRT.Archives += t.archives
+		op.Days += t.days
+		op.Archives += t.archives
 	}
-	return bgpscan.MergeActivities(parts...), nil
+	if inj != nil {
+		// The batch scan mangles every archive exactly once, so the
+		// injector's running MRT tallies are the whole-window account.
+		rep := inj.Report()
+		op.InjectedTruncatedRecords = rep.TruncatedRecords
+		op.InjectedTailChops = rep.TailChops
+	}
+	return bgpscan.MergeActivities(parts...), op, nil
 }
 
-// mrtSalt derives the stable per-archive injection salt from the
-// archive's identity (day, collector, rib-or-update kind), so reruns
-// mangle exactly the same bytes.
-func mrtSalt(d dates.Day, ci, kind int) uint64 {
+// MRTSalt derives the stable per-archive injection salt from the
+// archive's identity (day, collector index, rib(0)-or-update(1) kind),
+// so reruns mangle exactly the same bytes. The streaming tailer salts
+// its per-day archives with the same identity, which makes a chaos-mode
+// tail re-create the batch scan's faults bit-for-bit — including on
+// days re-scanned after a crash.
+func MRTSalt(d dates.Day, ci, kind int) uint64 {
 	return uint64(uint32(d))<<16 | uint64(ci)<<1 | uint64(kind)
 }
 

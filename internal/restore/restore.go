@@ -176,23 +176,35 @@ func runLess(a, b Run) bool {
 // append-all-then-stable-sort ordering. The cross-registry repair (step
 // vi) needs the merged by-ASN view, so it stays a sequential epilogue.
 func RestoreParallelWithOptions(sources []registry.Source, erx []registry.ERXEntry, opts Options, workers int) *Result {
+	res, _ := RestoreParallelContext(context.Background(), sources, erx, opts, workers)
+	return res
+}
+
+// RestoreParallelContext is RestoreParallelWithOptions with cooperative
+// cancellation: a cancelled ctx abandons the sources not yet scanned
+// and returns ctx's error instead of a partial result. Restoration
+// itself is infallible — the only possible error is ctx's.
+func RestoreParallelContext(ctx context.Context, sources []registry.Source, erx []registry.ERXEntry, opts Options, workers int) (*Result, error) {
 	erxDates := make(map[asn.ASN]dates.Day, len(erx))
 	for _, e := range erx {
 		erxDates[e.ASN] = e.RegDate
 	}
 	parts := make([]*Result, len(sources))
-	_ = parallel.ForEach(context.Background(), len(sources), workers, func(_ context.Context, i int) error {
+	err := parallel.ForEach(ctx, len(sources), workers, func(_ context.Context, i int) error {
 		sub := &Result{Start: dates.None, End: dates.None}
 		scanSource(sub, sources[i], erxDates, opts)
 		sort.SliceStable(sub.Runs, func(a, b int) bool { return runLess(sub.Runs[a], sub.Runs[b]) })
 		parts[i] = sub
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	res := mergeResults(parts)
 	if !opts.NoInterRIRFix {
 		fixInterRIR(res)
 	}
-	return res
+	return res, nil
 }
 
 // mergeResults reduces per-source restoration results into one, in

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"parallellives/internal/lifestore"
+)
+
+// TestHealthIngestHook pins the live-tail surface of /v1/health: when
+// Options.Ingest is set its value renders under "ingest", polled fresh
+// per request; without it the key is absent entirely.
+func TestHealthIngestHook(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-year pipeline run")
+	}
+	snap, _ := fixtures(t)
+
+	type ingestStatus struct {
+		Healthy       bool   `json:"healthy"`
+		LastCommitted string `json:"last_committed_day"`
+		LagDays       int    `json:"ingest_lag_days"`
+	}
+	cur := ingestStatus{Healthy: true, LastCommitted: "2005-12-30", LagDays: 1}
+	srv := New(lifestore.NewInMemory(snap), Options{
+		Ingest: func() any { return cur },
+	})
+
+	code, body := get(t, srv, "/v1/health")
+	if code != http.StatusOK {
+		t.Fatalf("health status = %d", code)
+	}
+	var resp struct {
+		Ingest *ingestStatus `json:"ingest"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ingest == nil || *resp.Ingest != cur {
+		t.Fatalf("ingest = %+v, want %+v", resp.Ingest, cur)
+	}
+
+	// The hook is polled per request, not captured at startup.
+	cur.LastCommitted, cur.LagDays = "2005-12-31", 0
+	_, body = get(t, srv, "/v1/health")
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Ingest == nil || resp.Ingest.LagDays != 0 || resp.Ingest.LastCommitted != "2005-12-31" {
+		t.Fatalf("second poll ingest = %+v, want the updated status", resp.Ingest)
+	}
+
+	// Without the hook the key must be absent (omitempty), so cold
+	// snapshot servers keep their existing response shape.
+	plain := New(lifestore.NewInMemory(snap), Options{})
+	_, body = get(t, plain, "/v1/health")
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["ingest"]; ok {
+		t.Fatal("ingest key present on a server with no Ingest hook")
+	}
+}

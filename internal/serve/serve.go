@@ -134,6 +134,14 @@ type Options struct {
 	// flushes it. Serve through the Reloader's Swappable as the Source,
 	// or reloads will swap a store nobody queries.
 	Reloader *Reloader
+
+	// Ingest, when set, is polled per /v1/health request and rendered
+	// under "ingest" in the response — the live-tail daemon passes the
+	// tailer's Status method here so staleness, checkpoint age and
+	// recovery counts ride the same probe as the serving health. The
+	// returned value must be JSON-serializable and the function safe for
+	// concurrent use.
+	Ingest func() any
 }
 
 // Server is the HTTP API over one opened dataset. It is safe for
@@ -160,6 +168,7 @@ type Server struct {
 	timeouts       *obs.Counter
 	breaker        *breaker
 	reloader       *Reloader
+	ingest         func() any
 }
 
 // endpointMetrics holds one endpoint's pre-resolved registry handles.
@@ -218,6 +227,7 @@ func New(src Source, opts Options) *Server {
 		panics:         reg.Counter(MetricPanics, "Handler panics converted into 500 responses."),
 		timeouts:       reg.Counter(MetricTimeouts, "Lookups abandoned at the request deadline (504)."),
 		reloader:       opts.Reloader,
+		ingest:         opts.Ingest,
 	}
 	if opts.BreakerThreshold > 0 {
 		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, reg)
@@ -568,6 +578,9 @@ type healthResponse struct {
 	Cache     cacheJSON               `json:"cache"`
 	Endpoints map[string]endpointJSON `json:"endpoints"`
 	Lifecycle lifecycleJSON           `json:"lifecycle"`
+	// Ingest is the live-tail ingestion status when the server fronts a
+	// streaming daemon (Options.Ingest); absent for cold snapshots.
+	Ingest any `json:"ingest,omitempty"`
 }
 
 func (s *Server) handleHealth(*http.Request) (any, *apiError) {
@@ -619,6 +632,9 @@ func (s *Server) handleHealth(*http.Request) (any, *apiError) {
 		cur, prev := sw.Generations()
 		resp.Lifecycle.Generation = &cur
 		resp.Lifecycle.PrevGeneration = prev
+	}
+	if s.ingest != nil {
+		resp.Ingest = s.ingest()
 	}
 	return resp, nil
 }

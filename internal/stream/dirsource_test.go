@@ -1,0 +1,136 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"parallellives/internal/dates"
+)
+
+func fastDirOptions() DirOptions {
+	return DirOptions{ReadTimeout: 80 * time.Millisecond, Poll: time.Millisecond}
+}
+
+func testDay(d dates.Day, tag byte) *Day {
+	return DayFromMRT(d,
+		[][]byte{{tag, 0x01}, {tag, 0x02}},
+		[][]byte{{tag, 0x11}, {tag, 0x12}})
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := dates.MustParse("2006-01-01")
+	for i := 0; i < 3; i++ {
+		if err := w.WriteDay(testDay(start.AddDays(i), byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s := NewDirSource(dir, fastDirOptions())
+	defer s.Close()
+	last := start.AddDays(-1)
+	for i := 0; i < 3; i++ {
+		got, err := s.Next(context.Background(), last)
+		if err != nil {
+			t.Fatalf("Next after %s: %v", last, err)
+		}
+		want := testDay(start.AddDays(i), byte(i))
+		if got.Day != want.Day || len(got.Archives) != len(want.Archives) {
+			t.Fatalf("day %d: got %s/%d archives, want %s/%d", i, got.Day, len(got.Archives), want.Day, len(want.Archives))
+		}
+		for j, ar := range got.Archives {
+			w := want.Archives[j]
+			if ar.Collector != w.Collector || ar.CollectorIdx != w.CollectorIdx || ar.Kind != w.Kind || !bytes.Equal(ar.Data, w.Data) {
+				t.Fatalf("day %d archive %d: got %+v, want %+v", i, j, ar, w)
+			}
+		}
+		last = got.Day
+	}
+}
+
+func TestDirSourceStale(t *testing.T) {
+	s := NewDirSource(t.TempDir(), fastDirOptions())
+	_, err := s.Next(context.Background(), dates.MustParse("2006-01-01"))
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("Next on empty dir = %v, want ErrStale", err)
+	}
+}
+
+// TestDirSourceIncompleteDayInvisible proves the marker protocol: a day
+// whose archives exist but whose marker has not landed is not delivered.
+func TestDirSourceIncompleteDayInvisible(t *testing.T) {
+	dir := t.TempDir()
+	day := dates.MustParse("2006-01-01")
+	if err := os.WriteFile(filepath.Join(dir, archiveName(day, "rrc00", KindRIB)), []byte{1}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewDirSource(dir, fastDirOptions())
+	if _, err := s.Next(context.Background(), day.AddDays(-1)); !errors.Is(err, ErrStale) {
+		t.Fatalf("Next with archives but no marker = %v, want ErrStale", err)
+	}
+}
+
+func TestDirSourceCancel(t *testing.T) {
+	s := NewDirSource(t.TempDir(), DirOptions{ReadTimeout: time.Hour, Poll: time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	if _, err := s.Next(ctx, dates.MustParse("2006-01-01")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestDirWriterIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewDirWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := testDay(dates.MustParse("2006-01-01"), 9)
+	if err := w.WriteDay(day); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.ReadDir(dir)
+	if err := w.WriteDay(day); err != nil {
+		t.Fatalf("re-writing a published day: %v", err)
+	}
+	after, _ := os.ReadDir(dir)
+	if len(before) != len(after) {
+		t.Fatalf("re-write changed the directory: %d -> %d entries", len(before), len(after))
+	}
+}
+
+func TestDirSourceCorruptMarker(t *testing.T) {
+	dir := t.TempDir()
+	day := dates.MustParse("2006-01-01")
+	if err := os.WriteFile(filepath.Join(dir, markerName(day)), []byte("rib only-two-fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewDirSource(dir, fastDirOptions())
+	_, err := s.Next(context.Background(), day.AddDays(-1))
+	if err == nil || errors.Is(err, ErrStale) {
+		t.Fatalf("Next over corrupt marker = %v, want a hard parse error", err)
+	}
+}
+
+func TestDirSourceReconnect(t *testing.T) {
+	dir := t.TempDir()
+	s := NewDirSource(dir, fastDirOptions())
+	if err := s.Reconnect(context.Background()); err != nil {
+		t.Fatalf("Reconnect over live dir: %v", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reconnect(context.Background()); err == nil {
+		t.Fatal("Reconnect over removed dir succeeded")
+	}
+}

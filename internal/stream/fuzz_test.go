@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/lifestore"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the checkpoint
+// decoder. Invariants: never a panic; every failure carries
+// lifestore.ErrCorrupt; every success re-encodes to something that
+// decodes back equal (the codec is a bijection on its valid range).
+func FuzzCheckpointDecode(f *testing.F) {
+	valid := testCheckpoint().Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // torn write
+	f.Add(valid[:ckptFixedLen]) // header only
+	f.Add([]byte(ckptMagic))
+	f.Add([]byte{})
+	empty := (&Checkpoint{Carry: bgpscan.NewPartial()}).Encode()
+	f.Add(empty)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, lifestore.ErrCorrupt) {
+				t.Fatalf("decode error %v does not carry lifestore.ErrCorrupt", err)
+			}
+			return
+		}
+		re, err := DecodeCheckpoint(c.Encode())
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded valid checkpoint: %v", err)
+		}
+		if !reflect.DeepEqual(re, c) {
+			t.Fatalf("re-encode round trip drift:\nfirst  %+v\nsecond %+v", c, re)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package stream
+
+import "parallellives/internal/obs"
+
+// Metric names exported by the tailer. Counters are monotone within a
+// process; gauges describe the current tail position. The recovery
+// counters include damage found at startup (a crash is usually in a
+// previous process), so a restart carries the evidence forward.
+const (
+	MetricDaysCommitted   = "parallellives_stream_days_committed_total"
+	MetricDaysSkipped     = "parallellives_stream_days_skipped_total"
+	MetricStaleReads      = "parallellives_stream_stale_reads_total"
+	MetricReconnects      = "parallellives_stream_reconnects_total"
+	MetricTornRecoveries  = "parallellives_stream_torn_write_recoveries_total"
+	MetricCorruptCkpts    = "parallellives_stream_corrupt_checkpoints_total"
+	MetricSnapshotsPushed = "parallellives_stream_snapshots_published_total"
+	MetricCheckpointSeq   = "parallellives_stream_checkpoint_seq"
+	MetricLastCommitUnix  = "parallellives_stream_last_commit_unix_seconds"
+	MetricIngestLagDays   = "parallellives_stream_ingest_lag_days"
+	MetricSourceHealthy   = "parallellives_stream_source_healthy"
+)
+
+// tailMetrics is the tailer's registry view. With observability off the
+// struct exists but every handle is nil; the counter/gauge helpers
+// no-op on nil handles, so call sites never branch.
+type tailMetrics struct {
+	daysCommitted  *obs.Counter
+	daysSkipped    *obs.Counter
+	staleReads     *obs.Counter
+	reconnects     *obs.Counter
+	tornRecoveries *obs.Counter
+	corruptCkpts   *obs.Counter
+	snapshots      *obs.Counter
+	ckptSeq        *obs.Gauge
+	lastCommit     *obs.Gauge
+	lagDays        *obs.Gauge
+	healthy        *obs.Gauge
+}
+
+func newTailMetrics(reg *obs.Registry) *tailMetrics {
+	if reg == nil {
+		return &tailMetrics{}
+	}
+	return &tailMetrics{
+		daysCommitted: reg.Counter(MetricDaysCommitted,
+			"Days scanned, absorbed and checkpoint-committed by the tailer."),
+		daysSkipped: reg.Counter(MetricDaysSkipped,
+			"Already-committed days re-delivered by the source and skipped (idempotent no-ops)."),
+		staleReads: reg.Counter(MetricStaleReads,
+			"Source reads that exceeded the read deadline (staleness-as-error)."),
+		reconnects: reg.Counter(MetricReconnects,
+			"Source reconnect attempts triggered by staleness or transport errors."),
+		tornRecoveries: reg.Counter(MetricTornRecoveries,
+			"Torn checkpoint writes recovered past: abandoned temp files plus prev-generation fallbacks."),
+		corruptCkpts: reg.Counter(MetricCorruptCkpts,
+			"Checkpoint files rejected as torn or corrupt during recovery."),
+		snapshots: reg.Counter(MetricSnapshotsPushed,
+			"Full lifestore snapshots assembled and published by the tailer."),
+		ckptSeq: reg.Gauge(MetricCheckpointSeq,
+			"Sequence number of the last committed checkpoint."),
+		lastCommit: reg.Gauge(MetricLastCommitUnix,
+			"Wall-clock time of the last checkpoint commit (unix seconds); checkpoint age = now - this."),
+		lagDays: reg.Gauge(MetricIngestLagDays,
+			"Days between the configured window end and the last committed day."),
+		healthy: reg.Gauge(MetricSourceHealthy,
+			"1 while the source is producing days within the staleness threshold, 0 while stalled."),
+	}
+}
+
+func (m *tailMetrics) counter(c *obs.Counter, n int64) {
+	if c != nil && n > 0 {
+		c.Add(n)
+	}
+}
+
+func (m *tailMetrics) gauge(g *obs.Gauge, v float64) {
+	if g != nil {
+		g.Set(v)
+	}
+}

@@ -17,4 +17,8 @@ echo "== go test -race (parallel/sequential equivalence property)"
 go test -race -count=1 -run TestParallelEquivalence ./internal/pipeline/
 echo "== go test -race -short (serve chaos soak + lifecycle)"
 go test -race -short -count=1 -run 'TestChaosSoak|TestGracefulShutdown|TestReload|TestAdmissionGate|TestBreaker' ./internal/serve/
+echo "== go test -race -short (stream: checkpoints, tailer, dir source)"
+go test -race -short ./internal/stream/
+echo "== go test -race (stream crash-equivalence property)"
+go test -race -count=1 -run TestCrashEquivalence ./internal/stream/
 echo "verify: OK"
