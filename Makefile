@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke
+.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke shard-smoke bench-serve bench-serve-smoke
 
 build:
 	go build ./...
@@ -11,8 +11,9 @@ vet:
 
 # Race-check the concurrency-sensitive and fault-handling packages.
 race:
-	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/ ./internal/stream/
+	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/ ./internal/stream/ ./internal/router/
 	go test -race -short ./internal/pipeline/
+	go test -race -count=1 -run 'TestShard|TestSaveSharded|TestOneShardPlan|TestOpenShard|TestOpenMapped' ./internal/lifestore/
 
 # Short fuzz pass over the parser no-panic targets.
 fuzz:
@@ -47,6 +48,20 @@ bench:
 # One-iteration bench pass so the harness can't rot (CI).
 bench-smoke:
 	BENCH_COUNT=1 BENCH_TIME=1x ./scripts/bench.sh
+
+# Sharded-tier smoke: snapshot → 4 shards → router, kill one shard and
+# prove degraded-then-recovered behaviour over live HTTP.
+shard-smoke:
+	./scripts/shard_smoke.sh
+
+# Serving-tier benchmark: single asnserve vs the 4-shard tier under the
+# asnload open-loop generator, distilled into BENCH_serve.json.
+bench-serve:
+	./scripts/bench_serve.sh
+
+# Tiny bench-serve pass so the load harness can't rot (CI).
+bench-serve-smoke:
+	BENCH_SMOKE=1 ./scripts/bench_serve.sh
 
 # Streaming-ingestion smoke: feed a ~60-day simulated collector window
 # one day at a time, kill -9 the live tail mid-window, restart it from

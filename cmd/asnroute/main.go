@@ -1,0 +1,102 @@
+// Command asnroute fronts a set of shard servers (asnserve processes,
+// each serving one asnshard-cut file) as a single HTTP surface:
+//
+//	asnroute -listen :8080 -shards http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The router handshakes with every shard at startup (/v1/shard),
+// verifies the set forms one complete plan, and then routes: per-ASN
+// reads to the owning range, aggregate reads by scatter-gather with a
+// deterministic lowest-index winner (or -aggregate hash to pin each
+// request key to one shard), /v1/stages to the lowest healthy shard.
+// Each shard sits behind its own circuit breaker; -policy picks what
+// aggregates do when shards are down (partial responses with the
+// X-Parallellives-Partial header, or strict 503s). POST /v1/admin/reload
+// fans out to every shard. See the router package docs and DESIGN.md
+// §12 for the full semantics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parallellives/internal/obs"
+	"parallellives/internal/router"
+	"parallellives/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asnroute:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen     = flag.String("listen", ":8080", "address to serve on")
+		shards     = flag.String("shards", "", "comma-separated shard base URLs (required)")
+		policy     = flag.String("policy", router.PolicyPartial, "aggregate degradation policy: partial or strict")
+		aggregate  = flag.String("aggregate", router.AggregateScatter, "aggregate routing: scatter or hash")
+		cacheSize  = flag.Int("cache", 256, "router response-cache capacity (entries, -1 disables)")
+		maxInfl    = flag.Int("max-inflight", 512, "concurrent-request admission cap (-1 disables shedding)")
+		reqTimeout = flag.Duration("request-timeout", 10*time.Second, "per-request deadline (-1ns disables)")
+		brkThresh  = flag.Int("breaker-threshold", 5, "consecutive failures that open a shard's breaker")
+		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open time before a half-open probe")
+		handshake  = flag.Duration("handshake-timeout", 10*time.Second, "startup window for every shard to report its identity")
+		probe      = flag.Duration("probe-interval", 2*time.Second, "background shard probe cadence")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	if *shards == "" {
+		return fmt.Errorf("pass -shards with at least one shard URL")
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	o := obs.New()
+	fmt.Fprintf(os.Stderr, "asnroute: handshaking with %d shard(s)...\n", len(urls))
+	rt, err := router.New(ctx, router.Options{
+		Shards:           urls,
+		Policy:           *policy,
+		Aggregate:        *aggregate,
+		CacheSize:        *cacheSize,
+		MaxInFlight:      *maxInfl,
+		RequestTimeout:   *reqTimeout,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+		HandshakeTimeout: *handshake,
+		Obs:              o,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := serve.Listen(*listen)
+	if err != nil {
+		return err
+	}
+	stopProbes := rt.Start(ctx, *probe)
+	defer stopProbes()
+	fmt.Fprintf(os.Stderr, "asnroute: routing %d shard(s) on %s (policy=%s, aggregate=%s)\n",
+		len(urls), ln.Addr(), *policy, *aggregate)
+
+	err = serve.Run(ctx, ln, rt, serve.HTTPOptions{DrainTimeout: *drain})
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "asnroute: shut down after drain")
+	}
+	return err
+}

@@ -65,6 +65,7 @@ func run() error {
 		cache    = flag.Int("cache", 256, "LRU response-cache capacity (entries, -1 disables)")
 		stride   = flag.Int("stride", 30, "default series downsampling stride (days)")
 		pprofOn  = flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints")
+		mmapOn   = flag.Bool("mmap", false, "memory-map the snapshot instead of reading through the descriptor (shares page cache across shard processes)")
 
 		follow     = flag.Duration("follow", 0, "poll the snapshot file at this interval and hot-reload when it changes (0 disables) — pairs with a live tail writing -snapshot")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
@@ -151,7 +152,7 @@ func run() error {
 		return nil
 	}
 	return serveSnapshot(o, *snapshot, *listen, serveConfig{
-		cache: *cache, stride: *stride, pprofOn: *pprofOn,
+		cache: *cache, stride: *stride, pprofOn: *pprofOn, mmapOn: *mmapOn,
 		drain: *drain, maxInFlight: *maxInfl, requestTimeout: *reqTimeout,
 		follow: *follow,
 	})
@@ -161,6 +162,7 @@ func run() error {
 type serveConfig struct {
 	cache, stride  int
 	pprofOn        bool
+	mmapOn         bool
 	drain          time.Duration
 	maxInFlight    int
 	requestTimeout time.Duration
@@ -177,6 +179,9 @@ func serveSnapshot(o *obs.Obs, snapshot, listen string, cfg serveConfig) error {
 	defer stop()
 
 	open := serve.FileOpener(snapshot, o.Registry)
+	if cfg.mmapOn {
+		open = serve.MappedFileOpener(snapshot, o.Registry)
+	}
 	src, closer, source, err := open(ctx)
 	if err != nil {
 		return err

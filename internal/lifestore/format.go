@@ -30,6 +30,11 @@ const (
 	secSeries   uint16 = 4
 	secIndex    uint16 = 5
 	secBlocks   uint16 = 6
+	// secShard is the optional shard-identity section a SaveSharded file
+	// carries. Readers predating it skip unknown sections, so a shard
+	// file is still a valid snapshot to an old reader — it simply serves
+	// a contiguous subset of the ASNs.
+	secShard uint16 = 7
 )
 
 const (
@@ -216,6 +221,34 @@ func decodeSeries(b []byte) (*core.AliveSeries, error) {
 	}
 	s.OpOverall = d.ints()
 	return s, d.done()
+}
+
+func encodeShard(si ShardInfo) []byte {
+	var e enc
+	e.count(si.Index)
+	e.count(si.Count)
+	e.uvarint(uint64(si.Lo))
+	e.uvarint(uint64(si.Hi))
+	e.uvarint(uint64(si.Sum))
+	return e.b
+}
+
+func decodeShard(b []byte) (ShardInfo, error) {
+	d := dec{b: b}
+	si := ShardInfo{
+		Index: int(d.uvarint()),
+		Count: int(d.uvarint()),
+		Lo:    asn.ASN(d.uvarint()),
+		Hi:    asn.ASN(d.uvarint()),
+		Sum:   uint32(d.uvarint()),
+	}
+	if err := d.done(); err != nil {
+		return ShardInfo{}, err
+	}
+	if si.Count < 1 || si.Index < 0 || si.Index >= si.Count || si.Lo > si.Hi {
+		return ShardInfo{}, corruptf("implausible shard identity %d/%d [AS%s..AS%s]", si.Index, si.Count, si.Lo, si.Hi)
+	}
+	return si, nil
 }
 
 const (

@@ -86,6 +86,8 @@ type Snapshot struct {
 	Health   pipeline.Health
 	Taxonomy core.TaxonomyCounts
 	Series   *core.AliveSeries
+	// Shard identifies a sharded snapshot's cut; nil for unsharded.
+	Shard *ShardInfo
 	// Lives is sorted by ASN.
 	Lives []ASNLives
 }
@@ -186,6 +188,9 @@ func (m *InMemory) Taxonomy() core.TaxonomyCounts { return m.snap.Taxonomy }
 // Series returns the daily alive series.
 func (m *InMemory) Series() *core.AliveSeries { return m.snap.Series }
 
+// Shard returns the shard identity, or nil for an unsharded snapshot.
+func (m *InMemory) Shard() *ShardInfo { return m.snap.Shard }
+
 // Lookup returns one ASN's lives.
 func (m *InMemory) Lookup(a asn.ASN) (ASNLives, bool, error) {
 	l, ok := m.snap.Lookup(a)
@@ -220,6 +225,9 @@ func Diff(a, b *Snapshot) []string {
 	}
 	if !reflect.DeepEqual(a.Series, b.Series) {
 		out = append(out, "alive series differs")
+	}
+	if !reflect.DeepEqual(a.Shard, b.Shard) {
+		out = append(out, fmt.Sprintf("shard identity differs: %v vs %v", a.Shard, b.Shard))
 	}
 	i, j := 0, 0
 	for i < len(a.Lives) || j < len(b.Lives) {

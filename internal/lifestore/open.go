@@ -50,6 +50,7 @@ type Store struct {
 	taxonomy core.TaxonomyCounts
 	series   *core.AliveSeries
 	index    []indexEntry
+	shard    *ShardInfo
 
 	blocksOff uint64
 	blocksLen uint64
@@ -126,7 +127,7 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 			st.blocksOff, st.blocksLen, st.blocksCRC = off, length, crc
 			continue
 		}
-		if id > secBlocks {
+		if id > secShard {
 			continue // unknown additive section from a newer writer
 		}
 		payload := make([]byte, length)
@@ -148,6 +149,11 @@ func NewStore(r io.ReaderAt) (*Store, error) {
 			st.series, err = decodeSeries(payload)
 		case secIndex:
 			st.index, err = decodeIndex(payload)
+		case secShard:
+			var si ShardInfo
+			if si, err = decodeShard(payload); err == nil {
+				st.shard = &si
+			}
 		}
 		if err != nil {
 			if !errors.Is(err, ErrCorrupt) {
@@ -183,6 +189,10 @@ func (st *Store) Taxonomy() core.TaxonomyCounts { return st.taxonomy }
 
 // Series returns the daily alive series over the snapshot window.
 func (st *Store) Series() *core.AliveSeries { return st.series }
+
+// Shard returns the shard identity of a SaveSharded file, or nil for a
+// plain unsharded snapshot.
+func (st *Store) Shard() *ShardInfo { return st.shard }
 
 // ASNCount returns the number of distinct ASNs with at least one life.
 func (st *Store) ASNCount() int { return len(st.index) }
@@ -268,6 +278,7 @@ func (st *Store) Snapshot() (*Snapshot, error) {
 		Health:   st.health,
 		Taxonomy: st.taxonomy,
 		Series:   st.series,
+		Shard:    st.shard,
 		Lives:    make([]ASNLives, 0, len(st.index)),
 	}
 	for _, e := range st.index {

@@ -70,6 +70,9 @@ func Encode(snap *Snapshot) ([]byte, error) {
 		{secIndex, encodeIndex(entries)},
 		{secBlocks, blocks},
 	}
+	if snap.Shard != nil {
+		sections = append(sections, section{secShard, encodeShard(*snap.Shard)})
+	}
 
 	headerLen := headerFixedLen + sectionEntryLen*len(sections) + 4 // + table CRC
 	total := headerLen

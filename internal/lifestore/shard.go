@@ -1,0 +1,203 @@
+package lifestore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/parallel"
+)
+
+// ErrNotSharded reports that a snapshot opened as a shard carries no
+// shard section — it is a plain unsharded snapshot.
+var ErrNotSharded = errors.New("snapshot is not a shard")
+
+// ShardInfo identifies one shard of a sharded snapshot: its position in
+// the plan, the contiguous ASN range it owns, and the plan fingerprint
+// every sibling shard shares. The range bounds are inclusive and the
+// ranges of a plan partition the whole ASN space, so any ASN maps to
+// exactly one shard — lookups for ASNs the dataset never saw still have
+// a well-defined owner, which answers them with a definitive miss.
+type ShardInfo struct {
+	// Index is the 0-based shard position; Count the plan's shard total.
+	Index int
+	Count int
+	// Lo and Hi bound the owned ASN range, inclusive.
+	Lo, Hi asn.ASN
+	// Sum is the CRC-32C plan fingerprint, identical across all shards
+	// cut from one snapshot by one plan. A router refuses to assemble
+	// shards whose fingerprints disagree.
+	Sum uint32
+}
+
+// Contains reports whether a falls in the shard's owned range.
+func (si ShardInfo) Contains(a asn.ASN) bool { return a >= si.Lo && a <= si.Hi }
+
+// String renders the shard identity for logs.
+func (si ShardInfo) String() string {
+	return fmt.Sprintf("shard %d/%d [AS%s..AS%s]", si.Index+1, si.Count, si.Lo, si.Hi)
+}
+
+// ShardRange is one plan entry: the inclusive ASN range of a shard and
+// how many of the snapshot's ASNs fall inside it.
+type ShardRange struct {
+	Lo, Hi asn.ASN
+	ASNs   int
+}
+
+// ShardPlan is a deterministic cut of a snapshot's sorted per-ASN index
+// into Count contiguous ranges. For a given (snapshot, Count) the plan
+// is a pure function: the populated ASNs are split into near-equal
+// contiguous runs (parallel.Shards semantics — the first len%count runs
+// are one ASN longer), then each boundary is widened so the ranges
+// partition the entire ASN space: shard 0 starts at 0, the last shard
+// ends at MaxUint32, and each interior boundary sits immediately before
+// the first ASN of the next shard.
+type ShardPlan struct {
+	Count  int
+	Ranges []ShardRange
+	// Sum fingerprints the plan together with the identity of the
+	// snapshot it was cut from.
+	Sum uint32
+}
+
+// ShardFor returns the index of the shard owning a. Every ASN has an
+// owner by construction.
+func (p ShardPlan) ShardFor(a asn.ASN) int {
+	return sort.Search(len(p.Ranges), func(i int) bool { return p.Ranges[i].Hi >= a })
+}
+
+// PlanShards cuts a snapshot into count contiguous ASN ranges. It fails
+// on an empty snapshot or a non-positive count; count larger than the
+// ASN population is clamped to it, so every shard owns at least one
+// populated ASN.
+func PlanShards(snap *Snapshot, count int) (ShardPlan, error) {
+	if count < 1 {
+		return ShardPlan{}, fmt.Errorf("lifestore: shard count %d < 1", count)
+	}
+	if len(snap.Lives) == 0 {
+		return ShardPlan{}, fmt.Errorf("lifestore: cannot shard an empty snapshot")
+	}
+	if count > len(snap.Lives) {
+		count = len(snap.Lives)
+	}
+	cuts := parallel.Shards(len(snap.Lives), count)
+	plan := ShardPlan{Count: len(cuts), Ranges: make([]ShardRange, 0, len(cuts))}
+	for i, c := range cuts {
+		r := ShardRange{ASNs: c.Len()}
+		if i == 0 {
+			r.Lo = 0
+		} else {
+			r.Lo = snap.Lives[c.Lo].ASN
+		}
+		if i == len(cuts)-1 {
+			r.Hi = asn.ASN(math.MaxUint32)
+		} else {
+			r.Hi = snap.Lives[cuts[i+1].Lo].ASN - 1
+		}
+		plan.Ranges = append(plan.Ranges, r)
+	}
+	plan.Sum = plan.fingerprint(snap.Meta)
+	return plan, nil
+}
+
+// fingerprint seals the plan's ranges together with the snapshot
+// identity, so shards from different snapshots (or different counts)
+// can never be mistaken for siblings.
+func (p ShardPlan) fingerprint(m Meta) uint32 {
+	var e enc
+	e.count(p.Count)
+	for _, r := range p.Ranges {
+		e.uvarint(uint64(r.Lo))
+		e.uvarint(uint64(r.Hi))
+		e.count(r.ASNs)
+	}
+	e.day(m.Start)
+	e.day(m.End)
+	e.varint(m.Seed)
+	e.float(m.Scale)
+	e.count(m.ASNCount)
+	e.count(m.AdminLives)
+	e.count(m.OpLives)
+	e.bool(m.Chaos)
+	return checksum(e.b)
+}
+
+// ShardSnapshot builds the in-memory snapshot of one shard: the plan's
+// slice of the per-ASN lives plus every global section — meta, health,
+// taxonomy and series are copied whole, so any single shard can answer
+// aggregate reads without consulting its siblings.
+func ShardSnapshot(snap *Snapshot, plan ShardPlan, i int) (*Snapshot, error) {
+	if i < 0 || i >= len(plan.Ranges) {
+		return nil, fmt.Errorf("lifestore: shard index %d outside plan of %d", i, len(plan.Ranges))
+	}
+	r := plan.Ranges[i]
+	lo := sort.Search(len(snap.Lives), func(k int) bool { return snap.Lives[k].ASN >= r.Lo })
+	hi := sort.Search(len(snap.Lives), func(k int) bool { return snap.Lives[k].ASN > r.Hi })
+	if hi-lo != r.ASNs {
+		return nil, fmt.Errorf("lifestore: plan range %d covers %d ASNs, snapshot holds %d", i, r.ASNs, hi-lo)
+	}
+	part := &Snapshot{
+		Meta:     snap.Meta,
+		Health:   snap.Health,
+		Taxonomy: snap.Taxonomy,
+		Series:   snap.Series,
+		Lives:    snap.Lives[lo:hi],
+		Shard: &ShardInfo{
+			Index: i,
+			Count: len(plan.Ranges),
+			Lo:    r.Lo,
+			Hi:    r.Hi,
+			Sum:   plan.Sum,
+		},
+	}
+	return part, nil
+}
+
+// SaveSharded cuts the snapshot into count shards and writes each to
+// the path produced by pattern, which must contain exactly one %d verb
+// (the 0-based shard index). Every shard is a complete, self-contained
+// ASNLIVES snapshot: a plain Store can open and serve it unaware of
+// sharding, and OpenShard additionally surfaces its range. Returns the
+// plan and the written paths in shard order.
+func SaveSharded(snap *Snapshot, count int, pattern string) (ShardPlan, []string, error) {
+	if strings.Count(pattern, "%") != 1 || !strings.Contains(pattern, "%d") {
+		return ShardPlan{}, nil, fmt.Errorf("lifestore: shard pattern %q must contain exactly one %%d", pattern)
+	}
+	plan, err := PlanShards(snap, count)
+	if err != nil {
+		return ShardPlan{}, nil, err
+	}
+	paths := make([]string, 0, len(plan.Ranges))
+	for i := range plan.Ranges {
+		part, err := ShardSnapshot(snap, plan, i)
+		if err != nil {
+			return ShardPlan{}, nil, err
+		}
+		path := fmt.Sprintf(pattern, i)
+		if err := SaveSnapshot(part, path); err != nil {
+			return ShardPlan{}, nil, fmt.Errorf("writing shard %d: %w", i, err)
+		}
+		paths = append(paths, path)
+	}
+	return plan, paths, nil
+}
+
+// OpenShard opens one shard file, requiring the shard section a
+// SaveSharded file carries. Plain unsharded snapshots are rejected with
+// ErrNotSharded — open those with Open.
+func OpenShard(path string) (*Store, ShardInfo, error) {
+	st, err := Open(path)
+	if err != nil {
+		return nil, ShardInfo{}, err
+	}
+	si := st.Shard()
+	if si == nil {
+		st.Close()
+		return nil, ShardInfo{}, fmt.Errorf("lifestore: opening %s: %w", path, ErrNotSharded)
+	}
+	return st, *si, nil
+}

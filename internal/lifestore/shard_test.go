@@ -1,0 +1,312 @@
+package lifestore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/core"
+	"parallellives/internal/dates"
+	"parallellives/internal/intervals"
+)
+
+// shardFixtureASNs is the sorted ASN population of the shard fixture,
+// chosen to cross the 16/32-bit boundary and leave gaps for miss tests.
+var shardFixtureASNs = []asn.ASN{10, 20, 30, 100, 200, 300, 1000, 2000, 64496, 4200000000}
+
+// shardFixture hand-builds a deterministic snapshot over
+// shardFixtureASNs without running the pipeline.
+func shardFixture() *Snapshot {
+	day := dates.MustParse
+	snap := &Snapshot{
+		Meta: Meta{
+			FormatVersion: FormatVersion,
+			Start:         day("2004-01-01"),
+			End:           day("2006-01-01"),
+			Timeout:       365,
+			Visibility:    2,
+			Scale:         0.01,
+			Seed:          7,
+		},
+		Taxonomy: core.TaxonomyCounts{AdminComplete: 6, AdminPartial: 4, OpComplete: 5, OpPartial: 5},
+	}
+	for i, a := range shardFixtureASNs {
+		start := day("2004-02-01").AddDays(11 * i)
+		snap.Lives = append(snap.Lives, ASNLives{
+			ASN: a,
+			Admin: []AdminLife{{
+				RIR:      asn.RIPENCC,
+				CC:       "NL",
+				OpaqueID: fmt.Sprintf("org-%d", i),
+				RegDate:  start,
+				Span:     intervals.Interval{Start: start, End: start.AddDays(200)},
+				Pieces:   1,
+				Category: core.CatComplete,
+			}},
+			Op: []OpLife{{
+				Span:     intervals.Interval{Start: start.AddDays(5), End: start.AddDays(150)},
+				Category: core.CatPartial,
+			}},
+		})
+	}
+	snap.Meta.ASNCount = len(snap.Lives)
+	snap.Meta.AdminLives = len(snap.Lives)
+	snap.Meta.OpLives = len(snap.Lives)
+	return snap
+}
+
+// TestShardPlanGolden pins the exact cut a 4-way plan makes over the
+// fixture: the plan is part of the on-disk contract (shard files record
+// the ranges), so it must never drift between versions.
+func TestShardPlanGolden(t *testing.T) {
+	plan, err := PlanShards(shardFixture(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ShardRange{
+		{Lo: 0, Hi: 99, ASNs: 3},                          // 10, 20, 30
+		{Lo: 100, Hi: 999, ASNs: 3},                       // 100, 200, 300
+		{Lo: 1000, Hi: 64495, ASNs: 2},                    // 1000, 2000
+		{Lo: 64496, Hi: asn.ASN(math.MaxUint32), ASNs: 2}, // 64496, 4200000000
+	}
+	if plan.Count != 4 {
+		t.Fatalf("plan.Count = %d, want 4", plan.Count)
+	}
+	if !reflect.DeepEqual(plan.Ranges, want) {
+		t.Fatalf("plan ranges drifted:\n got %+v\nwant %+v", plan.Ranges, want)
+	}
+
+	// Determinism: the same snapshot and count always produce the same
+	// plan and fingerprint; a different count or snapshot identity does
+	// not share the fingerprint.
+	again, err := PlanShards(shardFixture(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Fatalf("plan is not deterministic: %+v vs %+v", plan, again)
+	}
+	two, err := PlanShards(shardFixture(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Sum == plan.Sum {
+		t.Fatalf("2-way and 4-way plans share fingerprint %08x", plan.Sum)
+	}
+	other := shardFixture()
+	other.Meta.Seed++
+	reseeded, err := PlanShards(other, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reseeded.Sum == plan.Sum {
+		t.Fatalf("plans over different snapshots share fingerprint %08x", plan.Sum)
+	}
+}
+
+// TestShardForCoversEverything checks that every ASN — populated,
+// absent, boundary — maps to exactly one shard, and exactly the shard
+// whose inclusive range contains it.
+func TestShardForCoversEverything(t *testing.T) {
+	plan, err := PlanShards(shardFixture(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []struct {
+		a    asn.ASN
+		want int
+	}{
+		{0, 0}, {10, 0}, {99, 0},
+		{100, 1},   // exactly on a range cut: first ASN of shard 1
+		{999, 1},   // last value before the next cut
+		{1000, 2},  // exactly on the next cut
+		{64495, 2}, // absent, still owned
+		{64496, 3},
+		{4200000000, 3},
+		{asn.ASN(math.MaxUint32), 3},
+	}
+	for _, p := range probes {
+		if got := plan.ShardFor(p.a); got != p.want {
+			t.Errorf("ShardFor(AS%s) = %d, want %d", p.a, got, p.want)
+		}
+		for i, r := range plan.Ranges {
+			si := ShardInfo{Index: i, Count: plan.Count, Lo: r.Lo, Hi: r.Hi}
+			if si.Contains(p.a) != (i == p.want) {
+				t.Errorf("shard %d Contains(AS%s) = %v, want %v", i, p.a, si.Contains(p.a), i == p.want)
+			}
+		}
+	}
+}
+
+// TestSaveShardedRoundTrip writes a 4-way shard set and proves each
+// shard is a complete self-contained snapshot: the global sections ride
+// along unchanged, the shard owns exactly its slice of ASNs, and an ASN
+// absent from the whole dataset is a definitive miss on its owner.
+func TestSaveShardedRoundTrip(t *testing.T) {
+	snap := shardFixture()
+	dir := t.TempDir()
+	plan, paths, err := SaveSharded(snap, 4, filepath.Join(dir, "lives.%d.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("SaveSharded wrote %d files, want 4", len(paths))
+	}
+
+	seen := make(map[asn.ASN]int)
+	for i, path := range paths {
+		st, si, err := OpenShard(path)
+		if err != nil {
+			t.Fatalf("OpenShard(%s): %v", path, err)
+		}
+		defer st.Close()
+		want := plan.Ranges[i]
+		if si.Index != i || si.Count != 4 || si.Lo != want.Lo || si.Hi != want.Hi || si.Sum != plan.Sum {
+			t.Errorf("shard %d identity %+v does not match plan range %+v (sum %08x)", i, si, want, plan.Sum)
+		}
+		// Global sections are carried whole by every shard.
+		if st.Meta() != snap.Meta {
+			t.Errorf("shard %d meta differs from global: %+v", i, st.Meta())
+		}
+		if st.Taxonomy() != snap.Taxonomy {
+			t.Errorf("shard %d taxonomy differs from global", i)
+		}
+		if !reflect.DeepEqual(st.Health(), snap.Health) {
+			t.Errorf("shard %d health differs from global", i)
+		}
+		for _, a := range st.ASNs() {
+			if !si.Contains(a) {
+				t.Errorf("shard %d holds AS%s outside its range", i, a)
+			}
+			seen[a]++
+		}
+		// An ASN absent from the entire dataset is still owned by
+		// exactly one shard, which answers with a clean miss.
+		if si.Contains(55) {
+			if _, ok, err := st.Lookup(55); err != nil || ok {
+				t.Errorf("shard %d Lookup(absent AS55) = ok=%v err=%v, want definitive miss", i, ok, err)
+			}
+		}
+	}
+	for _, a := range shardFixtureASNs {
+		if seen[a] != 1 {
+			t.Errorf("AS%s appears in %d shards, want exactly 1", a, seen[a])
+		}
+	}
+}
+
+// TestOneShardPlanDegenerates proves the N=1 plan is the unsharded file
+// plus only the shard-identity section: stripping the identity yields
+// byte-for-byte the bytes Save would have written.
+func TestOneShardPlanDegenerates(t *testing.T) {
+	snap := shardFixture()
+	dir := t.TempDir()
+	plan, paths, err := SaveSharded(snap, 1, filepath.Join(dir, "lives.%d.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Count != 1 || plan.Ranges[0].Lo != 0 || plan.Ranges[0].Hi != asn.ASN(math.MaxUint32) {
+		t.Fatalf("1-way plan = %+v, want the full ASN space", plan)
+	}
+	st, si, err := OpenShard(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if si.Index != 0 || si.Count != 1 {
+		t.Fatalf("1-way shard identity = %+v", si)
+	}
+	got, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Shard = nil
+	gotBytes, err := Encode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("1-way shard (identity stripped) re-encodes to %d bytes differing from the unsharded %d bytes",
+			len(gotBytes), len(wantBytes))
+	}
+}
+
+// TestOpenShardRejectsUnsharded pins the error classification for
+// pointing a shard open at a plain snapshot.
+func TestOpenShardRejectsUnsharded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.snap")
+	if err := SaveSnapshot(shardFixture(), path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenShard(path); !errors.Is(err, ErrNotSharded) {
+		t.Fatalf("OpenShard(unsharded) = %v, want ErrNotSharded", err)
+	}
+	// The plain reader, conversely, reports no shard identity.
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Shard() != nil {
+		t.Fatalf("unsharded Store.Shard() = %+v, want nil", st.Shard())
+	}
+}
+
+// TestOpenMapped proves the memory-mapped open is observably identical
+// to the descriptor-backed one: same shard identity, same lookups, same
+// full-fidelity snapshot, and VerifyBlocks still proves the lazy region.
+func TestOpenMapped(t *testing.T) {
+	snap := shardFixture()
+	dir := t.TempDir()
+	_, paths, err := SaveSharded(snap, 2, filepath.Join(dir, "lives.%d.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		plain, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := OpenMapped(path)
+		if err != nil {
+			t.Fatalf("OpenMapped(%s): %v", path, err)
+		}
+		if !reflect.DeepEqual(plain.Shard(), mapped.Shard()) {
+			t.Errorf("%s: mapped shard identity differs", path)
+		}
+		for _, a := range append(append([]asn.ASN{}, shardFixtureASNs...), 55, 64495) {
+			pl, pok, perr := plain.Lookup(a)
+			ml, mok, merr := mapped.Lookup(a)
+			if pok != mok || (perr == nil) != (merr == nil) || !reflect.DeepEqual(pl, ml) {
+				t.Errorf("%s: Lookup(AS%s) diverges between mapped and plain", path, a)
+			}
+		}
+		if err := mapped.VerifyBlocks(); err != nil {
+			t.Errorf("%s: mapped VerifyBlocks: %v", path, err)
+		}
+		ps, err := plain.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := mapped.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := Diff(ps, ms); len(diffs) > 0 {
+			t.Errorf("%s: mapped snapshot differs: %v", path, diffs)
+		}
+		if err := mapped.Close(); err != nil {
+			t.Errorf("%s: mapped Close: %v", path, err)
+		}
+		plain.Close()
+	}
+}

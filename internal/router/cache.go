@@ -1,0 +1,94 @@
+package router
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one cached upstream response plus the shard index it came
+// from — revalidation must go back to the same shard, whose generation
+// counter the entry's validator encodes.
+type entry struct {
+	shard int
+	resp  upstream
+}
+
+// cache is a fixed-capacity LRU over whole upstream responses. Same
+// discipline as the serving tier's response cache: exact hit/miss
+// counts under the structure lock, flush on reload.
+type cache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	val entry
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *cache) get(key string) (entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return entry{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *cache) put(key string, val entry) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// drop removes one entry (a failed revalidation must not pin it).
+func (c *cache) drop(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *cache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	clear(c.entries)
+}
+
+func (c *cache) stats() (hits, misses uint64, size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len(), c.capacity
+}

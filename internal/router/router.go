@@ -1,0 +1,901 @@
+// Package router is the scatter-gather front of the sharded serving
+// tier. It speaks the exact same HTTP surface as a single asnserve
+// process — that equivalence is tested byte-for-byte — but answers from
+// N shard processes, each serving one contiguous ASN range of a sharded
+// snapshot (lifestore.SaveSharded).
+//
+// Routing rules per endpoint:
+//
+//	/v1/asn/{n}        exactly one shard owns every ASN (the shard plan
+//	                   partitions the whole 32-bit space), so the request
+//	                   is proxied to its owner; a malformed ASN is
+//	                   rejected locally with the serving tier's exact 400
+//	/v1/rir/{r}/series every shard carries the global sections whole, so
+//	/v1/taxonomy       aggregates either scatter to all shards and keep
+//	                   the lowest-index answer (ties-to-lower, the same
+//	                   determinism rule parallel.MergeSorted uses) or
+//	                   hash the request onto one shard (mode "hash"),
+//	                   which partitions the aggregate working set across
+//	                   shard caches
+//	/v1/stages         proxied to the lowest-index healthy shard
+//	/v1/health         router lifecycle + per-shard states, with the
+//	                   store/pipeline sections gathered from the lowest
+//	                   healthy shard so clients read one merged document
+//	/v1/shards         the shard topology: ranges, generations, breakers
+//	/v1/admin/reload   fanned out to every shard; the router cache
+//	                   flushes after any swap
+//
+// Degradation is per range: each shard sits behind its own circuit
+// breaker (serve.Breaker), so a dead shard fails fast with 503 +
+// Retry-After for its ASN range while every other range keeps serving.
+// Aggregates follow Options.Policy: "partial" serves from the surviving
+// shards and marks the response with the X-Parallellives-Partial
+// header; "strict" answers 503 as soon as any shard is down.
+//
+// The router keeps a small response cache, tagged with each entry's
+// upstream ETag. A hit is revalidated against the owning shard with
+// If-None-Match: the shard answers 304 from its generation counter
+// without rebuilding the body, so a warm router serves mostly 304-sized
+// upstream traffic. See DESIGN.md §12.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/lifestore"
+	"parallellives/internal/obs"
+	"parallellives/internal/serve"
+)
+
+// Registry metric names the router publishes. The lifecycle chain's
+// gauges keep their serve_* names (the chain is shared code); everything
+// router-specific lives under route_*.
+const (
+	MetricRequests = "parallellives_route_requests_total"
+	MetricErrors   = "parallellives_route_errors_total"
+	MetricLatency  = "parallellives_route_request_seconds"
+
+	MetricShardRequests = "parallellives_route_shard_requests_total"
+	MetricShardErrors   = "parallellives_route_shard_errors_total"
+
+	MetricBreakerState         = "parallellives_route_breaker_state"
+	MetricBreakerTrips         = "parallellives_route_breaker_trips_total"
+	MetricBreakerShortCircuits = "parallellives_route_breaker_short_circuits_total"
+
+	MetricPartials      = "parallellives_route_partial_total"
+	MetricDisagreements = "parallellives_route_disagreements_total"
+	MetricRevalidations = "parallellives_route_revalidations_total"
+
+	MetricCacheHits    = "parallellives_route_cache_hits"
+	MetricCacheMisses  = "parallellives_route_cache_misses"
+	MetricCacheEntries = "parallellives_route_cache_entries"
+)
+
+// PartialHeader marks a scatter response assembled without every shard.
+// Its value lists the unavailable shard indexes, comma-separated.
+const PartialHeader = "X-Parallellives-Partial"
+
+// Policies for aggregate endpoints when shards are down.
+const (
+	// PolicyPartial serves what the surviving shards can answer and
+	// marks the response with PartialHeader.
+	PolicyPartial = "partial"
+	// PolicyStrict refuses (503) as soon as any shard is down.
+	PolicyStrict = "strict"
+)
+
+// Aggregate modes for the global endpoints.
+const (
+	// AggregateScatter queries every shard and keeps the lowest-index
+	// answer (after an agreement check).
+	AggregateScatter = "scatter"
+	// AggregateHash routes each distinct request to one shard by key
+	// hash, failing over to the next index; this shards the aggregate
+	// working set across the processes' caches.
+	AggregateHash = "hash"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Shards lists the shard base URLs (e.g. http://127.0.0.1:8081), in
+	// any order: the handshake sorts them by their self-reported index.
+	Shards []string
+	// Policy is PolicyPartial (default) or PolicyStrict.
+	Policy string
+	// Aggregate is AggregateScatter (default) or AggregateHash.
+	Aggregate string
+	// CacheSize is the router response-cache capacity in entries
+	// (default 256; negative disables).
+	CacheSize int
+	// MaxInFlight and RequestTimeout configure the lifecycle chain
+	// (defaults 512 and 10s, as in serve.Options).
+	MaxInFlight    int
+	RequestTimeout time.Duration
+	// BreakerThreshold / BreakerCooldown configure each shard's circuit
+	// breaker (defaults 5 and 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// HandshakeTimeout bounds the startup handshake during which every
+	// shard must report its identity (default 10s).
+	HandshakeTimeout time.Duration
+	// ProbeInterval is the background re-handshake cadence once serving
+	// (default 2s; Start only).
+	ProbeInterval time.Duration
+	// Client is the HTTP client for shard traffic (default: pooled
+	// transport, no client-level timeout — deadlines come from the
+	// request context).
+	Client *http.Client
+	// Obs supplies the observability core. Nil gets a private obs.New().
+	Obs *obs.Obs
+}
+
+// Router fronts a set of shard servers as one HTTP surface. It is safe
+// for concurrent use.
+type Router struct {
+	shards  []*shardClient
+	plan    lifestore.ShardPlan
+	sum     string
+	policy  string
+	aggMode string
+
+	mux     *http.ServeMux
+	handler http.Handler
+	chain   *serve.Chain
+	cache   *cache
+	obs     *obs.Obs
+
+	metrics map[string]*endpointMetrics
+
+	shardRequests *obs.CounterVec
+	shardErrors   *obs.CounterVec
+	partials      *obs.Counter
+	disagreements *obs.Counter
+	revalidations *obs.CounterVec
+	cacheHits     *obs.Gauge
+	cacheMisses   *obs.Gauge
+	cacheEntries  *obs.Gauge
+}
+
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// New connects to every shard, verifies they form one complete plan,
+// and builds the routing front. It fails rather than serve with holes:
+// a router that cannot see every range would turn part of the ASN space
+// into silent 404s.
+func New(ctx context.Context, opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("router: no shard URLs")
+	}
+	if opts.Policy == "" {
+		opts.Policy = PolicyPartial
+	}
+	if opts.Policy != PolicyPartial && opts.Policy != PolicyStrict {
+		return nil, fmt.Errorf("router: unknown policy %q (want %s or %s)", opts.Policy, PolicyPartial, PolicyStrict)
+	}
+	if opts.Aggregate == "" {
+		opts.Aggregate = AggregateScatter
+	}
+	if opts.Aggregate != AggregateScatter && opts.Aggregate != AggregateHash {
+		return nil, fmt.Errorf("router: unknown aggregate mode %q (want %s or %s)", opts.Aggregate, AggregateScatter, AggregateHash)
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 256
+	}
+	if opts.CacheSize < 0 {
+		opts.CacheSize = 0
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	if opts.HandshakeTimeout <= 0 {
+		opts.HandshakeTimeout = 10 * time.Second
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        4 * len(opts.Shards),
+			MaxIdleConnsPerHost: 4,
+		}}
+	}
+	if opts.Obs == nil {
+		opts.Obs = obs.New()
+	}
+	reg := opts.Obs.Registry
+
+	rt := &Router{
+		policy:  opts.Policy,
+		aggMode: opts.Aggregate,
+		mux:     http.NewServeMux(),
+		chain: serve.NewChain(reg, serve.ChainOptions{
+			MaxInFlight:    opts.MaxInFlight,
+			RequestTimeout: opts.RequestTimeout,
+		}),
+		cache:   newCache(opts.CacheSize),
+		obs:     opts.Obs,
+		metrics: make(map[string]*endpointMetrics),
+		shardRequests: reg.CounterVec(MetricShardRequests,
+			"Upstream requests by shard index.", "shard"),
+		shardErrors: reg.CounterVec(MetricShardErrors,
+			"Upstream failures (transport or 5xx) by shard index.", "shard"),
+		partials: reg.Counter(MetricPartials,
+			"Aggregate responses served without every shard."),
+		disagreements: reg.Counter(MetricDisagreements,
+			"Scatter gathers where healthy shards returned different answers."),
+		revalidations: reg.CounterVec(MetricRevalidations,
+			"Cache revalidations by outcome (fresh = upstream 304, stale = refetched).", "outcome"),
+		cacheHits:    reg.Gauge(MetricCacheHits, "Router response-cache hits since start."),
+		cacheMisses:  reg.Gauge(MetricCacheMisses, "Router response-cache misses since start."),
+		cacheEntries: reg.Gauge(MetricCacheEntries, "Router response-cache entries currently held."),
+	}
+
+	stateVec := reg.GaugeVec(MetricBreakerState,
+		"Per-shard circuit-breaker state (0 closed, 1 open, 2 half-open).", "shard")
+	tripsVec := reg.CounterVec(MetricBreakerTrips,
+		"Times a shard's circuit breaker opened.", "shard")
+	shortsVec := reg.CounterVec(MetricBreakerShortCircuits,
+		"Requests rejected while a shard's breaker was open.", "shard")
+	var clients []*shardClient
+	for i, base := range opts.Shards {
+		label := strconv.Itoa(i) // provisional; relabelled after handshake
+		clients = append(clients, &shardClient{
+			baseURL: strings.TrimRight(base, "/"),
+			client:  opts.Client,
+			breaker: serve.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown,
+				stateVec.With(label), tripsVec.With(label), shortsVec.With(label)),
+		})
+	}
+	if err := rt.handshake(ctx, clients, opts.HandshakeTimeout); err != nil {
+		return nil, err
+	}
+	// Re-resolve the per-shard instruments now that indexes are known,
+	// so the labels mean shard index, not URL order.
+	for _, sc := range rt.shards {
+		label := strconv.Itoa(sc.index)
+		sc.breaker = serve.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown,
+			stateVec.With(label), tripsVec.With(label), shortsVec.With(label))
+	}
+
+	rt.mux.HandleFunc("GET /v1/asn/{n}", rt.wrap("/v1/asn/{n}", rt.handleASN))
+	rt.mux.HandleFunc("GET /v1/rir/{r}/series", rt.wrap("/v1/rir/{r}/series", rt.handleAggregate))
+	rt.mux.HandleFunc("GET /v1/taxonomy", rt.wrap("/v1/taxonomy", rt.handleAggregate))
+	rt.mux.HandleFunc("GET /v1/stages", rt.wrap("/v1/stages", rt.handleStages))
+	rt.mux.HandleFunc("GET /v1/health", rt.wrap("/v1/health", rt.handleHealth))
+	rt.mux.HandleFunc("GET /v1/shards", rt.wrap("/v1/shards", rt.handleShards))
+	rt.mux.HandleFunc("POST /v1/admin/reload", rt.wrap("/v1/admin/reload", rt.handleReload))
+	rt.mux.HandleFunc("GET /metrics", rt.wrap("/metrics", rt.handleMetrics))
+	rt.mux.HandleFunc("GET /healthz", rt.wrap("/healthz", rt.handleHealthz))
+	rt.mux.HandleFunc("GET /readyz", rt.wrap("/readyz", rt.handleReadyz))
+	rt.handler = rt.chain.Wrap(rt.mux)
+	return rt, nil
+}
+
+// handshake collects every shard's identity, retrying until all answer
+// or the timeout lapses, then validates that together they form one
+// complete plan: same count, same fingerprint, every index exactly
+// once, and ranges that cover the whole ASN space back to back.
+func (rt *Router) handshake(ctx context.Context, clients []*shardClient, timeout time.Duration) error {
+	hctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	ids := make([]shardIdentity, len(clients))
+	done := make([]bool, len(clients))
+	var lastErr error
+	for {
+		missing := 0
+		for i, sc := range clients {
+			if done[i] {
+				continue
+			}
+			id, err := sc.identity(hctx)
+			if err != nil {
+				missing++
+				lastErr = err
+				continue
+			}
+			ids[i], done[i] = id, true
+		}
+		if missing == 0 {
+			break
+		}
+		select {
+		case <-hctx.Done():
+			return fmt.Errorf("router: handshake incomplete (%d/%d shards): %w", len(clients)-missing, len(clients), lastErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	// A single unsharded server is a valid degenerate deployment: the
+	// router fronts it as one full-range shard.
+	if len(clients) == 1 && !ids[0].Sharded {
+		clients[0].index, clients[0].lo, clients[0].hi = 0, 0, asn.ASN(maxASN)
+		rt.shards = clients
+		rt.plan = lifestore.ShardPlan{Count: 1, Ranges: []lifestore.ShardRange{{Lo: 0, Hi: asn.ASN(maxASN), ASNs: ids[0].ASNCount}}}
+		rt.sum = "unsharded"
+		return nil
+	}
+
+	for i, id := range ids {
+		if !id.Sharded || id.Shard == nil {
+			return fmt.Errorf("router: %s serves an unsharded snapshot; point the router at shard files or a single server", clients[i].baseURL)
+		}
+		if id.Shard.Count != len(clients) {
+			return fmt.Errorf("router: %s is shard %d of %d but %d shard URLs were given",
+				clients[i].baseURL, id.Shard.Index, id.Shard.Count, len(clients))
+		}
+		if ids[0].Shard.Sum != id.Shard.Sum {
+			return fmt.Errorf("router: shard fingerprints differ (%s has %s, %s has %s): mixed shard sets",
+				clients[0].baseURL, ids[0].Shard.Sum, clients[i].baseURL, id.Shard.Sum)
+		}
+		clients[i].index = id.Shard.Index
+		clients[i].lo, clients[i].hi = id.Shard.Lo, id.Shard.Hi
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i].index < clients[j].index })
+	plan := lifestore.ShardPlan{Count: len(clients)}
+	for i, sc := range clients {
+		if sc.index != i {
+			return fmt.Errorf("router: shard index %d missing or duplicated", i)
+		}
+		if i == 0 && sc.lo != 0 {
+			return fmt.Errorf("router: shard 0 starts at AS%s, not AS0", sc.lo)
+		}
+		if i > 0 && sc.lo != clients[i-1].hi+1 {
+			return fmt.Errorf("router: gap between shard %d (ends AS%s) and shard %d (starts AS%s)",
+				i-1, clients[i-1].hi, i, sc.lo)
+		}
+		if i == len(clients)-1 && sc.hi != asn.ASN(maxASN) {
+			return fmt.Errorf("router: last shard ends at AS%s, not the top of the ASN space", sc.hi)
+		}
+		sc.mu.Lock()
+		count := sc.asnCount
+		sc.mu.Unlock()
+		plan.Ranges = append(plan.Ranges, lifestore.ShardRange{Lo: sc.lo, Hi: sc.hi, ASNs: count})
+	}
+	rt.shards = clients
+	rt.plan = plan
+	rt.sum = ids[0].Shard.Sum
+	return nil
+}
+
+const maxASN = 1<<32 - 1
+
+// ServeHTTP implements http.Handler behind the shared lifecycle chain.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.handler.ServeHTTP(w, r) }
+
+// Start launches the background probe loop and returns a stop func.
+// Probing keeps generations fresh and — because identity requests run
+// through each breaker — turns a recovered shard closed again without
+// sacrificing a client request.
+func (rt *Router) Start(ctx context.Context, interval time.Duration) (stop func()) {
+	pctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-pctx.Done():
+				return
+			case <-t.C:
+				rt.Probe(pctx)
+			}
+		}
+	}()
+	return func() { cancel(); wg.Wait() }
+}
+
+// Probe re-handshakes every shard once, concurrently.
+func (rt *Router) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sc := range rt.shards {
+		wg.Add(1)
+		go func(sc *shardClient) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			sc.identity(pctx)
+		}(sc)
+	}
+	wg.Wait()
+}
+
+// wrap instruments one endpoint: request count, latency, 5xx error
+// count. Router handlers write their own responses (most are relays).
+func (rt *Router) wrap(label string, fn http.HandlerFunc) http.HandlerFunc {
+	reg := rt.obs.Registry
+	m := &endpointMetrics{
+		requests: reg.CounterVec(MetricRequests, "Routed requests by endpoint pattern.", "endpoint").With(label),
+		errors:   reg.CounterVec(MetricErrors, "Routed request failures by endpoint pattern.", "endpoint").With(label),
+		latency: reg.HistogramVec(MetricLatency, "Routed request latency by endpoint pattern.",
+			obs.ExpBuckets(0.000001, 10, 8), "endpoint").With(label),
+	}
+	rt.metrics[label] = m
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
+		m.requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		fn(sw, r)
+		if sw.status >= http.StatusInternalServerError {
+			m.errors.Inc()
+		}
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// writeJSON renders a local (non-proxied) JSON response in exactly the
+// shape the serving tier uses, Content-Length included.
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError emits the serving tier's error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// shardUnavailable is the fail-fast answer for a dead range or a
+// refused aggregate: 503 + Retry-After, like the serving tier's own
+// breaker short-circuit.
+func shardUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// pathq is the request's path plus raw query — both the cache key and
+// the upstream request target.
+func pathq(r *http.Request) string {
+	if r.URL.RawQuery != "" {
+		return r.URL.Path + "?" + r.URL.RawQuery
+	}
+	return r.URL.Path
+}
+
+// serveVia proxies one request through the router cache against a
+// preferred shard: a cached entry is revalidated with If-None-Match
+// (upstream 304 keeps the cached body without a byte of payload
+// transfer), a miss fetches and caches. fetch runs against whichever
+// shard the caller routed to; the cache trusts entries only from the
+// same shard index it stored them from.
+func (rt *Router) serveVia(w http.ResponseWriter, r *http.Request, sc *shardClient) {
+	key := pathq(r)
+	clientINM := r.Header.Get("If-None-Match")
+	rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
+
+	if e, ok := rt.cache.get(key); ok && e.shard == sc.index && e.resp.etag != "" {
+		u, err := sc.fetch(r.Context(), http.MethodGet, key, e.resp.etag)
+		if err == nil && u.status == http.StatusNotModified {
+			rt.revalidations.With("fresh").Inc()
+			rt.answerCached(w, clientINM, e.resp)
+			return
+		}
+		if err == nil {
+			rt.revalidations.With("stale").Inc()
+			if u.status == http.StatusOK && u.etag != "" {
+				rt.cache.put(key, entry{shard: sc.index, resp: *u})
+			} else {
+				rt.cache.drop(key)
+			}
+			rt.answerFetched(w, clientINM, u)
+			return
+		}
+		rt.cache.drop(key)
+		rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+		rt.upstreamError(w, r, sc, err)
+		return
+	}
+
+	u, err := sc.fetch(r.Context(), http.MethodGet, key, clientINM)
+	if err != nil {
+		rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+		rt.upstreamError(w, r, sc, err)
+		return
+	}
+	if u.status == http.StatusOK && u.etag != "" {
+		rt.cache.put(key, entry{shard: sc.index, resp: *u})
+	}
+	relay(w, u)
+}
+
+// answerCached serves a cached 200, downgraded to 304 when the client's
+// own validator already matches it.
+func (rt *Router) answerCached(w http.ResponseWriter, clientINM string, resp upstream) {
+	if clientINM != "" && clientINM == resp.etag {
+		relay(w, &upstream{status: http.StatusNotModified, etag: resp.etag})
+		return
+	}
+	relay(w, &resp)
+}
+
+// answerFetched relays a fresh upstream response, honouring the
+// client's validator (the upstream request may have carried the cache's
+// validator instead of the client's).
+func (rt *Router) answerFetched(w http.ResponseWriter, clientINM string, u *upstream) {
+	if u.status == http.StatusOK && clientINM != "" && clientINM == u.etag {
+		relay(w, &upstream{status: http.StatusNotModified, etag: u.etag})
+		return
+	}
+	relay(w, u)
+}
+
+// upstreamError classifies a failed shard fetch for the client: the
+// router's deadline maps to 504 (matching the serving tier's own
+// taxonomy), everything else to the fail-fast 503.
+func (rt *Router) upstreamError(w http.ResponseWriter, r *http.Request, sc *shardClient, err error) {
+	if r.Context().Err() != nil {
+		rt.chain.Timeouts().Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded querying shard %d", sc.index)
+		return
+	}
+	shardUnavailable(w, "shard %d (AS%s-AS%s) unavailable; retrying shortly", sc.index, sc.lo, sc.hi)
+}
+
+// handleASN routes a single-ASN read to the one shard whose range owns
+// it. Malformed ASNs never cross the network: the router answers the
+// serving tier's exact 400 itself.
+func (rt *Router) handleASN(w http.ResponseWriter, r *http.Request) {
+	raw := strings.TrimPrefix(strings.TrimPrefix(r.PathValue("n"), "AS"), "as")
+	a, err := asn.Parse(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad ASN %q", r.PathValue("n"))
+		return
+	}
+	rt.serveVia(w, r, rt.shards[rt.plan.ShardFor(a)])
+}
+
+// handleStages proxies the build trace from the lowest-index healthy
+// shard (every shard of one build carries the same snapshot metadata).
+func (rt *Router) handleStages(w http.ResponseWriter, r *http.Request) {
+	sc := rt.firstHealthy()
+	if sc == nil {
+		shardUnavailable(w, "no shard available")
+		return
+	}
+	rt.serveVia(w, r, sc)
+}
+
+// firstHealthy returns the lowest-index shard whose breaker is not
+// open, or nil when every range is dark.
+func (rt *Router) firstHealthy() *shardClient {
+	for _, sc := range rt.shards {
+		if state, _, _, _ := sc.breaker.Snapshot(); state != "open" {
+			return sc
+		}
+	}
+	return nil
+}
+
+// handleAggregate answers the global endpoints (series, taxonomy).
+// Every shard carries the global sections whole, so the router needs
+// any one authoritative copy — scatter mode asks everyone and keeps the
+// lowest-index answer, hash mode deterministically picks one shard per
+// request key so each process's cache holds a distinct slice of the
+// aggregate working set.
+func (rt *Router) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if rt.aggMode == AggregateHash {
+		rt.aggregateHash(w, r)
+		return
+	}
+	rt.aggregateScatter(w, r)
+}
+
+func (rt *Router) aggregateHash(w http.ResponseWriter, r *http.Request) {
+	h := crc32.Checksum([]byte(pathq(r)), crc32.MakeTable(crc32.Castagnoli))
+	start := int(h % uint32(len(rt.shards)))
+	for i := 0; i < len(rt.shards); i++ {
+		sc := rt.shards[(start+i)%len(rt.shards)]
+		if state, _, _, _ := sc.breaker.Snapshot(); state == "open" {
+			continue
+		}
+		rt.serveVia(w, r, sc)
+		return
+	}
+	shardUnavailable(w, "no shard available")
+}
+
+// aggregateScatter fans the request out to every shard. The winner is
+// deterministic — the lowest-index healthy shard, the same
+// ties-to-lower rule the pipeline's MergeSorted uses — and an agreement
+// check across the other healthy answers feeds a disagreement counter
+// (mixed shard generations are legal mid-rollout, but persistent
+// disagreement means a mixed shard set and deserves an alert).
+func (rt *Router) aggregateScatter(w http.ResponseWriter, r *http.Request) {
+	key := pathq(r)
+	clientINM := r.Header.Get("If-None-Match")
+
+	// A cached scatter answer revalidates against its winner only — one
+	// conditional request, not a full fan-out.
+	if e, ok := rt.cache.get(key); ok && e.resp.etag != "" && e.shard < len(rt.shards) {
+		sc := rt.shards[e.shard]
+		rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
+		u, err := sc.fetch(r.Context(), http.MethodGet, key, e.resp.etag)
+		if err == nil && u.status == http.StatusNotModified {
+			rt.revalidations.With("fresh").Inc()
+			rt.answerCached(w, clientINM, e.resp)
+			return
+		}
+		rt.cache.drop(key)
+		if err != nil {
+			rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+		}
+		// Fall through to a full gather on any other outcome.
+	}
+
+	type result struct {
+		u   *upstream
+		err error
+	}
+	results := make([]result, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sc := range rt.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
+			u, err := sc.fetch(r.Context(), http.MethodGet, key, clientINM)
+			if err != nil {
+				rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+			}
+			results[i] = result{u: u, err: err}
+		}(i, sc)
+	}
+	wg.Wait()
+
+	var winner *upstream
+	winnerShard := -1
+	var down []string
+	for i, res := range results {
+		if res.err != nil {
+			down = append(down, strconv.Itoa(i))
+			continue
+		}
+		if winner == nil {
+			winner, winnerShard = res.u, i
+		} else if res.u.status != winner.status || !equalBody(res.u, winner) {
+			rt.disagreements.Inc()
+		}
+	}
+	if winner == nil {
+		if r.Context().Err() != nil {
+			rt.chain.Timeouts().Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline exceeded querying shards")
+			return
+		}
+		shardUnavailable(w, "no shard available")
+		return
+	}
+	if len(down) > 0 {
+		if rt.policy == PolicyStrict {
+			shardUnavailable(w, "strict policy: shard(s) %s unavailable", strings.Join(down, ","))
+			return
+		}
+		rt.partials.Inc()
+		w.Header().Set(PartialHeader, strings.Join(down, ","))
+	}
+	if winner.status == http.StatusOK && winner.etag != "" && len(down) == 0 {
+		rt.cache.put(key, entry{shard: winnerShard, resp: *winner})
+	}
+	relay(w, winner)
+}
+
+// equalBody compares two gathered responses; 304s compare by validator
+// (their bodies are empty by construction).
+func equalBody(a, b *upstream) bool {
+	if a.status == http.StatusNotModified || b.status == http.StatusNotModified {
+		return a.etag == b.etag
+	}
+	return string(a.body) == string(b.body)
+}
+
+// shardStateJSON is one shard's row in /v1/shards and /v1/health.
+type shardStateJSON struct {
+	Index    int     `json:"index"`
+	URL      string  `json:"url"`
+	Lo       asn.ASN `json:"lo"`
+	Hi       asn.ASN `json:"hi"`
+	ASNs     int     `json:"asns"`
+	Breaker  string  `json:"breaker"`
+	Gen      int64   `json:"gen"`
+	ASNCount int     `json:"asnCount"`
+}
+
+func (rt *Router) shardStates() []shardStateJSON {
+	out := make([]shardStateJSON, len(rt.shards))
+	for i, sc := range rt.shards {
+		state, gen, count := sc.state()
+		out[i] = shardStateJSON{
+			Index: sc.index, URL: sc.baseURL,
+			Lo: sc.lo, Hi: sc.hi, ASNs: rt.plan.Ranges[i].ASNs,
+			Breaker: state, Gen: gen, ASNCount: count,
+		}
+	}
+	return out
+}
+
+// handleShards is the topology endpoint: the plan the router routes by.
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     rt.plan.Count,
+		"sum":       rt.sum,
+		"policy":    rt.policy,
+		"aggregate": rt.aggMode,
+		"shards":    rt.shardStates(),
+	})
+}
+
+// routerHealthJSON is the router's own section of /v1/health.
+type routerHealthJSON struct {
+	Policy    string           `json:"policy"`
+	Aggregate string           `json:"aggregate"`
+	Lifecycle serve.ChainStats `json:"lifecycle"`
+	Cache     cacheStatsJSON   `json:"cache"`
+	Partials  int64            `json:"partials"`
+	Shards    []shardStateJSON `json:"shards"`
+}
+
+type cacheStatsJSON struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// handleHealth merges the dataset view (store + pipeline sections,
+// gathered live from the lowest-index healthy shard — global sections
+// are identical on every shard) with the router's own lifecycle state.
+// With every shard down the document still answers 200: the router is
+// alive, and the shard table shows exactly what is not.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	doc := map[string]json.RawMessage{}
+	if sc := rt.firstHealthy(); sc != nil {
+		rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
+		if u, err := sc.fetch(r.Context(), http.MethodGet, "/v1/health", ""); err == nil && u.status == http.StatusOK {
+			var shardDoc map[string]json.RawMessage
+			if json.Unmarshal(u.body, &shardDoc) == nil {
+				for _, k := range []string{"store", "pipeline"} {
+					if v, ok := shardDoc[k]; ok {
+						doc[k] = v
+					}
+				}
+			}
+		} else if err != nil {
+			rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+		}
+	}
+	hits, misses, size, capacity := rt.cache.stats()
+	routerSection, err := json.Marshal(routerHealthJSON{
+		Policy:    rt.policy,
+		Aggregate: rt.aggMode,
+		Lifecycle: rt.chain.Stats(),
+		Cache:     cacheStatsJSON{Hits: hits, Misses: misses, Size: size, Capacity: capacity},
+		Partials:  rt.partials.Value(),
+		Shards:    rt.shardStates(),
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding health: %v", err)
+		return
+	}
+	doc["router"] = routerSection
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleReload fans the reload out to every shard concurrently and
+// flushes the router cache afterwards — cached bodies must not outlive
+// the generations that rendered them. 200 only when every shard
+// swapped; any failure reports 502 with the per-shard outcomes (the
+// shards that did swap keep their new generation; the document says
+// which retry is needed).
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	type outcome struct {
+		Shard int             `json:"shard"`
+		OK    bool            `json:"ok"`
+		Gen   json.RawMessage `json:"gen,omitempty"`
+		Error string          `json:"error,omitempty"`
+	}
+	outcomes := make([]outcome, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sc := range rt.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
+			u, err := sc.fetch(r.Context(), http.MethodPost, "/v1/admin/reload", "")
+			switch {
+			case err != nil:
+				rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+				outcomes[i] = outcome{Shard: sc.index, Error: err.Error()}
+			case u.status != http.StatusOK:
+				outcomes[i] = outcome{Shard: sc.index, Error: fmt.Sprintf("status %d: %s", u.status, u.body)}
+			default:
+				outcomes[i] = outcome{Shard: sc.index, OK: true, Gen: u.body}
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	rt.cache.flush()
+	status := http.StatusOK
+	for _, o := range outcomes {
+		if !o.OK {
+			status = http.StatusBadGateway
+		}
+	}
+	writeJSON(w, status, map[string]any{"results": outcomes})
+}
+
+// handleMetrics is the router's Prometheus scrape.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, size, _ := rt.cache.stats()
+	rt.cacheHits.Set(float64(hits))
+	rt.cacheMisses.Set(float64(misses))
+	rt.cacheEntries.Set(float64(size))
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := obs.WritePrometheus(w, rt.obs.Registry); err != nil {
+		http.Error(w, "rendering metrics: "+err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz: ready while the router can still answer — every shard
+// up under strict policy, at least one under partial. (Single-ASN reads
+// for a dead range fail fast either way; readiness is about whether the
+// router deserves traffic at all.)
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	open := 0
+	for _, sc := range rt.shards {
+		if state, _, _, _ := sc.breaker.Snapshot(); state == "open" {
+			open++
+		}
+	}
+	notReady := (rt.policy == PolicyStrict && open > 0) || open == len(rt.shards)
+	if notReady {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "%d/%d shard breakers open\n", open, len(rt.shards))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}

@@ -1,0 +1,357 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"parallellives/internal/asn"
+)
+
+// TestRoutingAndLocal400 proves the basics: every populated ASN
+// resolves through its owner shard, a miss inside any range is a clean
+// 404, and a malformed ASN is rejected locally with the serving tier's
+// exact error envelope.
+func TestRoutingAndLocal400(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 4)
+	rt := newTestRouter(t, set, Options{})
+
+	for _, a := range fixtureASNs {
+		w := get(rt, fmt.Sprintf("/v1/asn/%d", a), nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET /v1/asn/%d = %d: %s", a, w.Code, w.Body)
+		}
+		var resp struct {
+			ASN asn.ASN `json:"asn"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.ASN != a {
+			t.Fatalf("GET /v1/asn/%d returned asn=%v err=%v", a, resp.ASN, err)
+		}
+		if w.Header().Get("ETag") == "" {
+			t.Fatalf("GET /v1/asn/%d carried no ETag", a)
+		}
+	}
+
+	w := get(rt, "/v1/asn/55", nil)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("absent ASN = %d, want 404", w.Code)
+	}
+
+	w = get(rt, "/v1/asn/zzz", nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad ASN = %d, want 400", w.Code)
+	}
+	if want := `{"error":"bad ASN \"zzz\""}`; w.Body.String() != want {
+		t.Fatalf("bad-ASN body %q, want %q", w.Body.String(), want)
+	}
+}
+
+// TestDegradedThenRecovered kills one shard and proves per-range
+// degradation: its ASN range fails fast with 503 + Retry-After once the
+// breaker opens (no more upstream traffic burned), every other range
+// keeps serving, aggregates degrade per policy — and after the shard
+// comes back, a probe closes the breaker and full service resumes.
+func TestDegradedThenRecovered(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 4)
+	rt := newTestRouter(t, set, Options{BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond})
+
+	// AS1000 lives in shard 2 of the golden 4-way plan; AS10 in shard 0.
+	set.flakies[2].broken.Store(true)
+
+	// Failures feed the breaker; at threshold it opens.
+	for i := 0; i < 2; i++ {
+		if w := get(rt, "/v1/asn/1000", nil); w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("dead-range request %d = %d, want 503", i, w.Code)
+		}
+	}
+	before := set.flakies[2].hits.Load()
+	w := get(rt, "/v1/asn/1000", nil)
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Fatalf("open-breaker request = %d (Retry-After %q), want fast 503", w.Code, w.Header().Get("Retry-After"))
+	}
+	if got := set.flakies[2].hits.Load(); got != before {
+		t.Fatalf("open breaker still sent %d upstream request(s)", got-before)
+	}
+
+	// Other ranges are untouched.
+	if w := get(rt, "/v1/asn/10", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthy range = %d, want 200", w.Code)
+	}
+
+	// Aggregates: partial policy answers from the survivors and says so.
+	w = get(rt, "/v1/taxonomy", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("partial aggregate = %d, want 200", w.Code)
+	}
+	if got := w.Header().Get(PartialHeader); got != "2" {
+		t.Fatalf("%s = %q, want \"2\"", PartialHeader, got)
+	}
+
+	// readyz stays ready under partial policy (3 of 4 ranges serve).
+	if w := get(rt, "/readyz", nil); w.Code != http.StatusOK {
+		t.Fatalf("partial readyz = %d, want 200", w.Code)
+	}
+
+	// Recovery: the shard heals, the cooldown lapses, and a probe closes
+	// the breaker without spending a client request.
+	set.flakies[2].broken.Store(false)
+	time.Sleep(60 * time.Millisecond)
+	rt.Probe(context.Background())
+	if w := get(rt, "/v1/asn/1000", nil); w.Code != http.StatusOK {
+		t.Fatalf("recovered range = %d: %s", w.Code, w.Body)
+	}
+	w = get(rt, "/v1/taxonomy", nil)
+	if w.Code != http.StatusOK || w.Header().Get(PartialHeader) != "" {
+		t.Fatalf("recovered aggregate = %d (%s %q), want clean 200", w.Code, PartialHeader, w.Header().Get(PartialHeader))
+	}
+}
+
+// TestStrictPolicy proves the other degradation contract: any dead
+// shard turns aggregates into 503s, and readiness drops with the first
+// open breaker.
+func TestStrictPolicy(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 2)
+	rt := newTestRouter(t, set, Options{Policy: PolicyStrict, BreakerThreshold: 1})
+
+	set.flakies[1].broken.Store(true)
+	if w := get(rt, "/v1/asn/4200000000", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dead range = %d, want 503", w.Code)
+	}
+	w := get(rt, "/v1/taxonomy", nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("strict aggregate = %d, want 503", w.Code)
+	}
+	if w := get(rt, "/readyz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("strict readyz = %d, want 503", w.Code)
+	}
+	// Per-ASN reads for live ranges still work even under strict policy:
+	// strictness is about aggregate completeness, not range routing.
+	if w := get(rt, "/v1/asn/10", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthy range under strict = %d, want 200", w.Code)
+	}
+}
+
+// TestAggregateHashMode proves hash routing answers correctly and fails
+// over to another shard when the hashed-to shard is dark.
+func TestAggregateHashMode(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 2)
+	rt := newTestRouter(t, set, Options{Aggregate: AggregateHash, BreakerThreshold: 1})
+
+	w := get(rt, "/v1/taxonomy", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("hash aggregate = %d", w.Code)
+	}
+	want := w.Body.String()
+
+	// Whichever shard the key hashes to, kill both in turn and prove the
+	// answer survives as long as one shard lives.
+	for kill := range set.flakies {
+		set.flakies[kill].broken.Store(true)
+		// Trip the dead shard's breaker so hash mode skips it.
+		get(rt, "/v1/taxonomy", nil)
+		w := get(rt, "/v1/taxonomy", nil)
+		if w.Code != http.StatusOK || w.Body.String() != want {
+			t.Fatalf("hash failover with shard %d dead = %d, body drift %v",
+				kill, w.Code, w.Body.String() != want)
+		}
+		set.flakies[kill].broken.Store(false)
+		rt.shards[kill].breaker.OnSuccess() // close the breaker for the next round
+	}
+}
+
+// TestCacheRevalidation proves the router cache answers warm traffic
+// with one conditional upstream request: the shard's 304 carries no
+// body, the client still gets the full cached 200 — and a client
+// sending the same validator gets a 304 end to end.
+func TestCacheRevalidation(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 2)
+	rt := newTestRouter(t, set, Options{})
+
+	w1 := get(rt, "/v1/asn/10", nil)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("first = %d", w1.Code)
+	}
+	etag := w1.Header().Get("ETag")
+
+	w2 := get(rt, "/v1/asn/10", nil)
+	if w2.Code != http.StatusOK || w2.Body.String() != w1.Body.String() || w2.Header().Get("ETag") != etag {
+		t.Fatalf("revalidated response drifted: %d, body/etag mismatch", w2.Code)
+	}
+	if fresh := rt.revalidations.With("fresh").Value(); fresh != 1 {
+		t.Fatalf("fresh revalidations = %d, want 1", fresh)
+	}
+
+	// End-to-end conditional request.
+	w3 := get(rt, "/v1/asn/10", map[string]string{"If-None-Match": etag})
+	if w3.Code != http.StatusNotModified || w3.Body.Len() != 0 {
+		t.Fatalf("client conditional = %d with %d-byte body, want empty 304", w3.Code, w3.Body.Len())
+	}
+
+	// Scatter aggregates revalidate against the winner only.
+	a1 := get(rt, "/v1/taxonomy", nil)
+	hits0 := set.flakies[0].hits.Load()
+	hits1 := set.flakies[1].hits.Load()
+	a2 := get(rt, "/v1/taxonomy", nil)
+	if a2.Body.String() != a1.Body.String() {
+		t.Fatal("cached aggregate body drifted")
+	}
+	if d0, d1 := set.flakies[0].hits.Load()-hits0, set.flakies[1].hits.Load()-hits1; d0 != 1 || d1 != 0 {
+		t.Fatalf("warm aggregate hit shards (%d,%d) times, want (1,0): winner-only revalidation", d0, d1)
+	}
+}
+
+// TestReloadFanout proves POST /v1/admin/reload swaps every shard's
+// generation and rotates the router's cached bodies and validators.
+func TestReloadFanout(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 2)
+	rt := newTestRouter(t, set, Options{})
+
+	w1 := get(rt, "/v1/asn/10", nil)
+	etag1 := w1.Header().Get("ETag")
+
+	set.rewriteShards(t, fixtureSnapshot(2))
+	w := post(rt, "/v1/admin/reload")
+	if w.Code != http.StatusOK {
+		t.Fatalf("reload = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Results []struct {
+			Shard int  `json:"shard"`
+			OK    bool `json:"ok"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || !resp.Results[0].OK || !resp.Results[1].OK {
+		t.Fatalf("reload results = %+v", resp.Results)
+	}
+
+	w2 := get(rt, "/v1/asn/10", map[string]string{"If-None-Match": etag1})
+	if w2.Code != http.StatusOK {
+		t.Fatalf("post-reload conditional = %d, want full 200 (validator must rotate)", w2.Code)
+	}
+	if w2.Header().Get("ETag") == etag1 {
+		t.Fatal("ETag did not rotate across reload")
+	}
+	if w2.Body.String() == w1.Body.String() {
+		t.Fatal("body did not change across reload (seed 2 rewrites org IDs)")
+	}
+
+	// A failed shard reload reports 502 with per-shard outcomes.
+	set.flakies[1].broken.Store(true)
+	w = post(rt, "/v1/admin/reload")
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("partial reload = %d, want 502", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), `"ok":true`) || !strings.Contains(w.Body.String(), `"ok":false`) {
+		t.Fatalf("partial reload body lacks mixed outcomes: %s", w.Body)
+	}
+}
+
+// TestHandshakeValidation pins the refusals: a shard set with a missing
+// member and a mixed-plan set must not boot.
+func TestHandshakeValidation(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 4)
+
+	// Subset of a 4-way plan: count mismatch.
+	_, err := New(context.Background(), Options{
+		Shards:           set.urls[:2],
+		HandshakeTimeout: 2 * time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "shard URLs were given") {
+		t.Fatalf("subset handshake error = %v", err)
+	}
+
+	// Mixed sets: two shards of one 2-way cut plus two of another seed's.
+	a := startShards(t, fixtureSnapshot(1), 2)
+	b := startShards(t, fixtureSnapshot(2), 2)
+	_, err = New(context.Background(), Options{
+		Shards:           []string{a.urls[0], b.urls[1]},
+		HandshakeTimeout: 2 * time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "fingerprints differ") {
+		t.Fatalf("mixed-set handshake error = %v", err)
+	}
+
+	// Duplicate member: index 0 twice.
+	_, err = New(context.Background(), Options{
+		Shards:           []string{a.urls[0], a.urls[0]},
+		HandshakeTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("duplicate-shard handshake succeeded")
+	}
+}
+
+// TestHealthAndTopology sanity-checks the merged health document and
+// the /v1/shards topology.
+func TestHealthAndTopology(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 4)
+	rt := newTestRouter(t, set, Options{})
+
+	w := get(rt, "/v1/health", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("health = %d", w.Code)
+	}
+	var health struct {
+		Store    json.RawMessage `json:"store"`
+		Pipeline json.RawMessage `json:"pipeline"`
+		Router   struct {
+			Policy string `json:"policy"`
+			Shards []struct {
+				Index   int    `json:"index"`
+				Breaker string `json:"breaker"`
+				Gen     int64  `json:"gen"`
+			} `json:"shards"`
+		} `json:"router"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health.Store) == 0 || len(health.Pipeline) == 0 {
+		t.Fatal("health lacks store/pipeline sections from the shards")
+	}
+	if health.Router.Policy != PolicyPartial || len(health.Router.Shards) != 4 {
+		t.Fatalf("router section = %+v", health.Router)
+	}
+	for _, sh := range health.Router.Shards {
+		if sh.Breaker != "closed" || sh.Gen != 1 {
+			t.Fatalf("shard %d state = %+v", sh.Index, sh)
+		}
+	}
+
+	w = get(rt, "/v1/shards", nil)
+	var topo struct {
+		Count  int    `json:"count"`
+		Sum    string `json:"sum"`
+		Shards []struct {
+			Lo asn.ASN `json:"lo"`
+			Hi asn.ASN `json:"hi"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Count != 4 || topo.Sum == "" || len(topo.Shards) != 4 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	if topo.Shards[0].Lo != 0 || topo.Shards[3].Hi != asn.ASN(maxASN) {
+		t.Fatalf("topology does not span the ASN space: %+v", topo.Shards)
+	}
+}
+
+// TestSingleUnshardedBackend proves the degenerate deployment: one
+// plain asnserve process behind the router.
+func TestSingleUnshardedBackend(t *testing.T) {
+	set := startShards(t, fixtureSnapshot(1), 1)
+	// A 1-way cut is still sharded; also front a truly plain server.
+	rt := newTestRouter(t, set, Options{})
+	if w := get(rt, "/v1/asn/10", nil); w.Code != http.StatusOK {
+		t.Fatalf("1-way shard routing = %d", w.Code)
+	}
+}

@@ -1,0 +1,167 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/serve"
+)
+
+// errShardDown classifies a shard that could not answer: breaker open,
+// transport failure, or a 5xx. The router degrades instead of failing
+// the whole request where its policy allows.
+var errShardDown = errors.New("router: shard unavailable")
+
+// upstream is one shard response captured whole, so it can be proxied
+// byte-for-byte or parked in the router cache.
+type upstream struct {
+	status      int
+	contentType string
+	etag        string
+	retryAfter  string
+	body        []byte
+}
+
+// shardIdentity is the /v1/shard handshake payload.
+type shardIdentity struct {
+	Sharded bool `json:"sharded"`
+	Shard   *struct {
+		Index int     `json:"index"`
+		Count int     `json:"count"`
+		Lo    asn.ASN `json:"lo"`
+		Hi    asn.ASN `json:"hi"`
+		Sum   string  `json:"sum"`
+	} `json:"shard"`
+	Generation int64 `json:"generation"`
+	ASNCount   int   `json:"asnCount"`
+}
+
+// shardClient is the router's handle on one shard process: its base
+// URL, its range, a circuit breaker, and the identity the last
+// handshake or probe reported.
+type shardClient struct {
+	index   int
+	baseURL string
+	client  *http.Client
+	breaker *serve.Breaker
+
+	lo, hi asn.ASN
+
+	mu       sync.Mutex
+	gen      int64
+	asnCount int
+	lastSeen time.Time
+}
+
+// identity fetches /v1/shard and records the reported generation. It is
+// both the startup handshake and the recurring probe — and because it
+// runs through the breaker, a dead shard's recovery is discovered here
+// without spending a client request on the half-open probe.
+func (sc *shardClient) identity(ctx context.Context) (shardIdentity, error) {
+	var id shardIdentity
+	resp, err := sc.fetch(ctx, http.MethodGet, "/v1/shard", "")
+	if err != nil {
+		return id, err
+	}
+	if resp.status != http.StatusOK {
+		return id, fmt.Errorf("router: shard %s /v1/shard = %d", sc.baseURL, resp.status)
+	}
+	if err := json.Unmarshal(resp.body, &id); err != nil {
+		return id, fmt.Errorf("router: shard %s identity: %w", sc.baseURL, err)
+	}
+	sc.mu.Lock()
+	sc.gen = id.Generation
+	sc.asnCount = id.ASNCount
+	sc.lastSeen = time.Now()
+	sc.mu.Unlock()
+	return id, nil
+}
+
+// state summarises the client for health and topology endpoints.
+func (sc *shardClient) state() (breakerState string, gen int64, asnCount int) {
+	breakerState, _, _, _ = sc.breaker.Snapshot()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return breakerState, sc.gen, sc.asnCount
+}
+
+// fetch performs one breaker-guarded request against the shard and
+// captures the response whole. The breaker's failure taxonomy mirrors
+// the serving tier's: transport errors and 5xx are failures, a context
+// expiry is neutral (the shard may be fine; the client gave up), and
+// everything else — including 4xx, which prove the shard answered — is
+// success.
+func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch string) (*upstream, error) {
+	if !sc.breaker.Allow() {
+		return nil, fmt.Errorf("%w: breaker open for %s", errShardDown, sc.baseURL)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, sc.baseURL+pathq, nil)
+	if err != nil {
+		sc.breaker.OnNeutral()
+		return nil, err
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	resp, err := sc.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			sc.breaker.OnNeutral()
+			return nil, ctx.Err()
+		}
+		sc.breaker.OnFailure()
+		return nil, fmt.Errorf("%w: %v", errShardDown, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if ctx.Err() != nil {
+			sc.breaker.OnNeutral()
+			return nil, ctx.Err()
+		}
+		sc.breaker.OnFailure()
+		return nil, fmt.Errorf("%w: reading body: %v", errShardDown, err)
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		sc.breaker.OnFailure()
+		return nil, fmt.Errorf("%w: %s answered %d", errShardDown, sc.baseURL, resp.StatusCode)
+	}
+	sc.breaker.OnSuccess()
+	return &upstream{
+		status:      resp.StatusCode,
+		contentType: resp.Header.Get("Content-Type"),
+		etag:        resp.Header.Get("ETag"),
+		retryAfter:  resp.Header.Get("Retry-After"),
+		body:        body,
+	}, nil
+}
+
+// relay writes a captured shard response to the client byte-for-byte:
+// same status, content type, validator and body. This is what keeps the
+// sharded tier indistinguishable from a single process.
+func relay(w http.ResponseWriter, u *upstream) {
+	if u.contentType != "" {
+		w.Header().Set("Content-Type", u.contentType)
+	}
+	if u.etag != "" {
+		w.Header().Set("ETag", u.etag)
+	}
+	if u.retryAfter != "" {
+		w.Header().Set("Retry-After", u.retryAfter)
+	}
+	if u.status == http.StatusNotModified {
+		w.WriteHeader(u.status)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(u.body)))
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}

@@ -7,11 +7,11 @@ import (
 	"parallellives/internal/obs"
 )
 
-// Breaker states, exported on the MetricBreakerState gauge and in
-// /v1/health. The wire values are frozen: dashboards alert on them.
+// Breaker states, exported on the state gauge and in /v1/health. The
+// wire values are frozen: dashboards alert on them.
 const (
 	breakerClosed   = 0 // normal operation
-	breakerOpen     = 1 // tripping: lookups short-circuit
+	breakerOpen     = 1 // tripping: requests short-circuit
 	breakerHalfOpen = 2 // cooled down: one probe request allowed through
 )
 
@@ -26,18 +26,20 @@ func breakerStateName(s int) string {
 	}
 }
 
-// breaker is a consecutive-failure circuit breaker guarding the
-// lifestore block-decode path. Closed, it passes every lookup and
-// counts consecutive failures; at threshold it opens, and lookups
-// short-circuit to 503 without touching the store — a snapshot file on
-// a failing disk or NFS mount would otherwise turn every request into a
-// slow error. After cooldown it half-opens: exactly one probe request
-// is let through, and its outcome decides between closing (recovered)
-// and re-opening (still broken).
+// Breaker is a consecutive-failure circuit breaker. The single-snapshot
+// server uses one to guard the lifestore block-decode path; the shard
+// router uses one per shard to guard its backend. Closed, it passes
+// every request and counts consecutive failures; at threshold it opens,
+// and requests short-circuit to 503 without touching the guarded
+// resource — a snapshot file on a failing disk, or a dead shard
+// process, would otherwise turn every request into a slow error. After
+// cooldown it half-opens: exactly one probe request is let through, and
+// its outcome decides between closing (recovered) and re-opening (still
+// broken).
 //
 // Context cancellations are deliberately not failures: a client giving
-// up says nothing about the store's health.
-type breaker struct {
+// up says nothing about the guarded resource's health.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time // injectable clock for tests
@@ -53,25 +55,36 @@ type breaker struct {
 	shortCircuits *obs.Counter
 }
 
-// newBreaker builds a closed breaker publishing to reg.
-func newBreaker(threshold int, cooldown time.Duration, reg *obs.Registry) *breaker {
-	return &breaker{
-		threshold: threshold,
-		cooldown:  cooldown,
-		now:       time.Now,
-		stateGauge: reg.Gauge(MetricBreakerState,
-			"Lifestore circuit-breaker state (0 closed, 1 open, 2 half-open)."),
-		trips: reg.Counter(MetricBreakerTrips,
-			"Times the lifestore circuit breaker opened."),
-		shortCircuits: reg.Counter(MetricBreakerShortCircuits,
-			"Lookups rejected without touching the store while the breaker was open."),
+// NewBreaker builds a closed breaker publishing its state to the given
+// instruments. All three must be non-nil; callers choose the metric
+// names (and labels) so one registry can carry many breakers.
+func NewBreaker(threshold int, cooldown time.Duration, state *obs.Gauge, trips, shortCircuits *obs.Counter) *Breaker {
+	return &Breaker{
+		threshold:     threshold,
+		cooldown:      cooldown,
+		now:           time.Now,
+		stateGauge:    state,
+		trips:         trips,
+		shortCircuits: shortCircuits,
 	}
 }
 
-// allow reports whether a lookup may proceed. While open it returns
+// newBreaker builds the serving tier's store breaker under its
+// canonical metric names.
+func newBreaker(threshold int, cooldown time.Duration, reg *obs.Registry) *Breaker {
+	return NewBreaker(threshold, cooldown,
+		reg.Gauge(MetricBreakerState,
+			"Lifestore circuit-breaker state (0 closed, 1 open, 2 half-open)."),
+		reg.Counter(MetricBreakerTrips,
+			"Times the lifestore circuit breaker opened."),
+		reg.Counter(MetricBreakerShortCircuits,
+			"Lookups rejected without touching the store while the breaker was open."))
+}
+
+// Allow reports whether a request may proceed. While open it returns
 // false (counting a short-circuit) until the cooldown elapses, then
 // admits a single probe in half-open state.
-func (b *breaker) allow() bool {
+func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -96,9 +109,9 @@ func (b *breaker) allow() bool {
 	}
 }
 
-// onSuccess records a successful lookup: closed resets the failure run,
-// half-open closes the breaker.
-func (b *breaker) onSuccess() {
+// OnSuccess records a success: closed resets the failure run, half-open
+// closes the breaker.
+func (b *Breaker) OnSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.consec = 0
@@ -109,11 +122,11 @@ func (b *breaker) onSuccess() {
 	}
 }
 
-// onNeutral records a lookup that ended without evidence either way —
-// a context cancellation says nothing about the store. Its only effect
-// is releasing a half-open probe slot so the next lookup probes
+// OnNeutral records a request that ended without evidence either way —
+// a context cancellation says nothing about the resource. Its only
+// effect is releasing a half-open probe slot so the next request probes
 // instead.
-func (b *breaker) onNeutral() {
+func (b *Breaker) OnNeutral() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == breakerHalfOpen {
@@ -121,9 +134,9 @@ func (b *breaker) onNeutral() {
 	}
 }
 
-// onFailure records a failed lookup: at threshold consecutive failures
-// the breaker opens; a failed half-open probe re-opens immediately.
-func (b *breaker) onFailure() {
+// OnFailure records a failure: at threshold consecutive failures the
+// breaker opens; a failed half-open probe re-opens immediately.
+func (b *Breaker) OnFailure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -138,7 +151,7 @@ func (b *breaker) onFailure() {
 }
 
 // open transitions to the open state. Callers hold b.mu.
-func (b *breaker) open() {
+func (b *Breaker) open() {
 	b.state = breakerOpen
 	b.openedAt = b.now()
 	b.consec = 0
@@ -147,8 +160,8 @@ func (b *breaker) open() {
 	b.stateGauge.Set(breakerOpen)
 }
 
-// snapshot returns the current state for /v1/health.
-func (b *breaker) snapshot() (state string, consecutive int, trips, shortCircuits int64) {
+// Snapshot returns the current state for health reporting.
+func (b *Breaker) Snapshot() (state string, consecutive int, trips, shortCircuits int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return breakerStateName(b.state), b.consec, b.trips.Value(), b.shortCircuits.Value()

@@ -7,7 +7,10 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"parallellives/internal/obs"
 )
 
 // gateExempt lists the paths admission control never sheds: liveness
@@ -22,15 +25,101 @@ func gateExempt(path string) bool {
 	return false
 }
 
+// ChainOptions configures a request lifecycle Chain. The zero value
+// takes the production defaults; negative values disable the
+// corresponding control.
+type ChainOptions struct {
+	// MaxInFlight caps concurrently handled requests; past it new
+	// requests are shed with 503 + Retry-After (default 512; negative
+	// disables admission control).
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline attached to the
+	// context (default 10s; negative disables).
+	RequestTimeout time.Duration
+	// Exempt reports paths admission control must never shed. Nil takes
+	// the default probe/metrics exemptions (gateExempt).
+	Exempt func(path string) bool
+}
+
+// Chain is the reusable request lifecycle middleware stack — panic
+// recovery around admission control around a per-request deadline —
+// shared by the single-snapshot server and the shard router, so every
+// HTTP front in the system degrades the same way under load. One Chain
+// guards one listener; its counters are the lifecycle numbers /v1/health
+// and /metrics expose.
+type Chain struct {
+	maxInFlight    int
+	requestTimeout time.Duration
+	exempt         func(string) bool
+
+	inflight      atomic.Int64
+	inflightGauge *obs.Gauge
+	sheds         *obs.Counter
+	panics        *obs.Counter
+	timeouts      *obs.Counter
+}
+
+// NewChain builds a lifecycle chain publishing its gauges and counters
+// to reg.
+func NewChain(reg *obs.Registry, opts ChainOptions) *Chain {
+	if opts.MaxInFlight == 0 {
+		opts.MaxInFlight = 512
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 10 * time.Second
+	}
+	if opts.Exempt == nil {
+		opts.Exempt = gateExempt
+	}
+	return &Chain{
+		maxInFlight:    opts.MaxInFlight,
+		requestTimeout: opts.RequestTimeout,
+		exempt:         opts.Exempt,
+		inflightGauge:  reg.Gauge(MetricInFlight, "Requests currently being handled."),
+		sheds:          reg.Counter(MetricSheds, "Requests shed at the admission gate (503 + Retry-After)."),
+		panics:         reg.Counter(MetricPanics, "Handler panics converted into 500 responses."),
+		timeouts:       reg.Counter(MetricTimeouts, "Lookups abandoned at the request deadline (504)."),
+	}
+}
+
+// ChainStats is the chain's live state, rendered into /v1/health.
+type ChainStats struct {
+	InFlight    int64
+	MaxInFlight int
+	Sheds       int64
+	Panics      int64
+	Timeouts    int64
+}
+
+// Stats returns the chain's current counters.
+func (c *Chain) Stats() ChainStats {
+	return ChainStats{
+		InFlight:    c.inflight.Load(),
+		MaxInFlight: c.maxInFlight,
+		Sheds:       c.sheds.Value(),
+		Panics:      c.panics.Value(),
+		Timeouts:    c.timeouts.Value(),
+	}
+}
+
+// Timeouts returns the chain's deadline-abandonment counter, for
+// handlers that classify their own 504s.
+func (c *Chain) Timeouts() *obs.Counter { return c.timeouts }
+
+// Wrap stacks the full chain around next: recovery outermost (whatever
+// blows up below it fails one request, not the process), then the
+// admission gate, then the deadline.
+func (c *Chain) Wrap(next http.Handler) http.Handler {
+	return c.withRecovery(c.withGate(c.withDeadline(next)))
+}
+
 // withRecovery converts a handler panic into a 500 response and keeps
-// the process alive. The outermost middleware: whatever blows up below
-// it — handler bugs, corrupt data tripping an invariant — one request
-// fails instead of the whole service.
-func (s *Server) withRecovery(next http.Handler) http.Handler {
+// the process alive.
+func (c *Chain) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
-				s.panics.Inc()
+				c.panics.Inc()
 				body, _ := json.Marshal(map[string]string{"error": fmt.Sprintf("internal panic: %v", v)})
 				// Headers may already be out if the handler panicked
 				// mid-write; the write below then fails harmlessly.
@@ -46,23 +135,23 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 // than queued into memory. Shedding early keeps latency bounded for the
 // requests actually admitted — the difference between a brownout and a
 // collapse under a traffic spike.
-func (s *Server) withGate(next http.Handler) http.Handler {
+func (c *Chain) withGate(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if gateExempt(r.URL.Path) {
+		if c.exempt(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
-		in := s.inflight.Add(1)
+		in := c.inflight.Add(1)
 		defer func() {
-			s.inflight.Add(-1)
-			s.inflightGauge.Add(-1)
+			c.inflight.Add(-1)
+			c.inflightGauge.Add(-1)
 		}()
-		s.inflightGauge.Add(1)
-		if s.maxInFlight > 0 && in > int64(s.maxInFlight) {
-			s.sheds.Inc()
+		c.inflightGauge.Add(1)
+		if c.maxInFlight > 0 && in > int64(c.maxInFlight) {
+			c.sheds.Inc()
 			w.Header().Set("Retry-After", "1")
 			body, _ := json.Marshal(map[string]string{
-				"error": fmt.Sprintf("overloaded: %d requests in flight (cap %d)", in, s.maxInFlight)})
+				"error": fmt.Sprintf("overloaded: %d requests in flight (cap %d)", in, c.maxInFlight)})
 			writeBody(w, http.StatusServiceUnavailable, cached{contentType: "application/json", body: body})
 			return
 		}
@@ -71,14 +160,14 @@ func (s *Server) withGate(next http.Handler) http.Handler {
 }
 
 // withDeadline attaches the per-request deadline to the context, which
-// handlers propagate into lifestore lookups: a request that outlives
-// RequestTimeout stops consuming backend reads.
-func (s *Server) withDeadline(next http.Handler) http.Handler {
-	if s.requestTimeout <= 0 {
+// handlers propagate into backend reads: a request that outlives
+// RequestTimeout stops consuming them.
+func (c *Chain) withDeadline(next http.Handler) http.Handler {
+	if c.requestTimeout <= 0 {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout)
+		ctx, cancel := context.WithTimeout(r.Context(), c.requestTimeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})

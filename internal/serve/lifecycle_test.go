@@ -148,57 +148,57 @@ func TestBreakerTransitions(t *testing.T) {
 	b.now = func() time.Time { return now }
 
 	for i := 0; i < 2; i++ {
-		if !b.allow() {
+		if !b.Allow() {
 			t.Fatalf("failure %d: breaker should still be closed", i)
 		}
-		b.onFailure()
+		b.OnFailure()
 	}
-	if state, consec, trips, _ := b.snapshot(); state != "closed" || consec != 2 || trips != 0 {
+	if state, consec, trips, _ := b.Snapshot(); state != "closed" || consec != 2 || trips != 0 {
 		t.Fatalf("after 2 failures: state=%s consec=%d trips=%d", state, consec, trips)
 	}
-	b.allow()
-	b.onFailure() // third consecutive failure: trip
-	if state, _, trips, _ := b.snapshot(); state != "open" || trips != 1 {
+	b.Allow()
+	b.OnFailure() // third consecutive failure: trip
+	if state, _, trips, _ := b.Snapshot(); state != "open" || trips != 1 {
 		t.Fatalf("after threshold: state=%s trips=%d, want open/1", state, trips)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("open breaker admitted a request before cooldown")
 	}
-	if _, _, _, shorts := b.snapshot(); shorts != 1 {
+	if _, _, _, shorts := b.Snapshot(); shorts != 1 {
 		t.Fatalf("short-circuits = %d, want 1", shorts)
 	}
 
 	now = now.Add(61 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("cooled-down breaker refused the half-open probe")
 	}
-	if state, _, _, _ := b.snapshot(); state != "half-open" {
+	if state, _, _, _ := b.Snapshot(); state != "half-open" {
 		t.Fatalf("state after cooldown = %s, want half-open", state)
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("half-open breaker admitted a second concurrent probe")
 	}
-	b.onFailure() // probe failed: straight back to open
-	if state, _, trips, _ := b.snapshot(); state != "open" || trips != 2 {
+	b.OnFailure() // probe failed: straight back to open
+	if state, _, trips, _ := b.Snapshot(); state != "open" || trips != 2 {
 		t.Fatalf("after failed probe: state=%s trips=%d, want open/2", state, trips)
 	}
 
 	now = now.Add(61 * time.Second)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("second cooldown refused the probe")
 	}
-	b.onNeutral() // cancelled probe: slot released, state unchanged
-	if state, _, _, _ := b.snapshot(); state != "half-open" {
+	b.OnNeutral() // cancelled probe: slot released, state unchanged
+	if state, _, _, _ := b.Snapshot(); state != "half-open" {
 		t.Fatalf("state after neutral probe = %s, want half-open", state)
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("neutral outcome did not release the probe slot")
 	}
-	b.onSuccess()
-	if state, consec, _, _ := b.snapshot(); state != "closed" || consec != 0 {
+	b.OnSuccess()
+	if state, consec, _, _ := b.Snapshot(); state != "closed" || consec != 0 {
 		t.Fatalf("after successful probe: state=%s consec=%d, want closed/0", state, consec)
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("closed breaker refused a request")
 	}
 }
@@ -348,5 +348,5 @@ func TestGracefulShutdown(t *testing.T) {
 // HTTP surface (which would itself count as in-flight).
 func healthInflight(t *testing.T, s *Server) int64 {
 	t.Helper()
-	return s.inflight.Load()
+	return s.chain.inflight.Load()
 }

@@ -148,6 +148,18 @@ func (sw *Swappable) ASNCount() int {
 	return g.src.ASNCount()
 }
 
+// Shard forwards the serving generation's shard identity when the
+// underlying source reports one, implementing Sharder on behalf of
+// whatever is currently installed.
+func (sw *Swappable) Shard() *lifestore.ShardInfo {
+	g, release := sw.acquire()
+	defer release()
+	if sh, ok := g.src.(Sharder); ok {
+		return sh.Shard()
+	}
+	return nil
+}
+
 // OpenFunc opens and fully verifies a candidate source for a reload.
 // It must not return a partially verified source: whatever it hands
 // back is installed as the serving generation.
@@ -162,6 +174,28 @@ type OpenFunc func(ctx context.Context) (src Source, closer io.Closer, source st
 func FileOpener(path string, reg *obs.Registry) OpenFunc {
 	return func(ctx context.Context) (Source, io.Closer, string, error) {
 		st, err := lifestore.OpenObserved(path, reg)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if err := ctx.Err(); err != nil {
+			st.Close()
+			return nil, nil, "", err
+		}
+		if err := st.VerifyBlocks(); err != nil {
+			st.Close()
+			return nil, nil, "", fmt.Errorf("verifying %s: %w", path, err)
+		}
+		return st, st, path, nil
+	}
+}
+
+// MappedFileOpener is FileOpener over a memory-mapped open: same
+// verification, but lookups read the page cache instead of issuing
+// pread syscalls, and N processes over one snapshot directory share
+// one set of pages.
+func MappedFileOpener(path string, reg *obs.Registry) OpenFunc {
+	return func(ctx context.Context) (Source, io.Closer, string, error) {
+		st, err := lifestore.OpenMappedObserved(path, reg)
 		if err != nil {
 			return nil, nil, "", err
 		}

@@ -44,10 +44,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"parallellives/internal/asn"
@@ -159,16 +159,10 @@ type Server struct {
 	defaultStride int
 
 	// Request lifecycle control (see lifecycle.go).
-	maxInFlight    int
-	requestTimeout time.Duration
-	inflight       atomic.Int64
-	inflightGauge  *obs.Gauge
-	sheds          *obs.Counter
-	panics         *obs.Counter
-	timeouts       *obs.Counter
-	breaker        *breaker
-	reloader       *Reloader
-	ingest         func() any
+	chain    *Chain
+	breaker  *Breaker
+	reloader *Reloader
+	ingest   func() any
 }
 
 // endpointMetrics holds one endpoint's pre-resolved registry handles.
@@ -196,12 +190,6 @@ func New(src Source, opts Options) *Server {
 	if opts.Obs == nil {
 		opts.Obs = obs.New()
 	}
-	if opts.MaxInFlight == 0 {
-		opts.MaxInFlight = 512
-	}
-	if opts.RequestTimeout == 0 {
-		opts.RequestTimeout = 10 * time.Second
-	}
 	if opts.BreakerThreshold == 0 {
 		opts.BreakerThreshold = 5
 	}
@@ -220,14 +208,12 @@ func New(src Source, opts Options) *Server {
 		cacheEntries:  reg.Gauge(MetricCacheEntries, "LRU response-cache entries currently held."),
 		defaultStride: opts.DefaultStride,
 
-		maxInFlight:    opts.MaxInFlight,
-		requestTimeout: opts.RequestTimeout,
-		inflightGauge:  reg.Gauge(MetricInFlight, "Requests currently being handled."),
-		sheds:          reg.Counter(MetricSheds, "Requests shed at the admission gate (503 + Retry-After)."),
-		panics:         reg.Counter(MetricPanics, "Handler panics converted into 500 responses."),
-		timeouts:       reg.Counter(MetricTimeouts, "Lookups abandoned at the request deadline (504)."),
-		reloader:       opts.Reloader,
-		ingest:         opts.Ingest,
+		chain: NewChain(reg, ChainOptions{
+			MaxInFlight:    opts.MaxInFlight,
+			RequestTimeout: opts.RequestTimeout,
+		}),
+		reloader: opts.Reloader,
+		ingest:   opts.Ingest,
 	}
 	if opts.BreakerThreshold > 0 {
 		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, reg)
@@ -242,15 +228,20 @@ func New(src Source, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/taxonomy", s.wrap("/v1/taxonomy", true, s.handleTaxonomy))
 	s.mux.HandleFunc("GET /v1/health", s.wrap("/v1/health", false, s.handleHealth))
 	s.mux.HandleFunc("GET /v1/stages", s.wrap("/v1/stages", false, s.handleStages))
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/shard", s.wrap("/v1/shard", false, s.handleShard))
+	// The probe and scrape endpoints write their own bodies (text, not
+	// JSON) but still ride the metrics wrapper, so /v1/health and
+	// /metrics account for every request the process answers. They stay
+	// exempt from the admission gate and deadline via gateExempt.
+	s.mux.HandleFunc("GET /metrics", s.wrapRaw("/metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.wrapRaw("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.wrapRaw("/readyz", s.handleReadyz))
 	if s.reloader != nil {
 		s.mux.HandleFunc("POST /v1/admin/reload", s.wrap("/v1/admin/reload", false, s.handleReload))
 		// Cached bodies belong to the generation that rendered them.
 		s.reloader.OnSwap(s.cache.flush)
 	}
-	s.handler = s.withRecovery(s.withGate(s.withDeadline(s.mux)))
+	s.handler = s.chain.Wrap(s.mux)
 	return s
 }
 
@@ -276,9 +267,40 @@ func retryf(code, after int, format string, args ...any) *apiError {
 	return &apiError{code: code, msg: fmt.Sprintf(format, args...), retryAfter: after}
 }
 
-// wrap adds caching, metrics and JSON rendering around a handler. The
-// registry handles are resolved once here, so the per-request cost is
-// pure atomics.
+// etagCastagnoli matches the snapshot file's checksum polynomial — one
+// CRC flavour across the system.
+var etagCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EtagFor renders the validator for one (generation, path?query) pair:
+// `"g<gen>-<crc32c(key)>"`. The generation makes a hot reload invalidate
+// every cached copy at once; the key hash distinguishes resources within
+// a generation. Derived from identity rather than the body, so a 304 can
+// be answered before the handler runs — and so the router can recognise
+// which generation a shard's response came from without re-reading it.
+func EtagFor(gen int64, key string) string {
+	return fmt.Sprintf("\"g%d-%08x\"", gen, crc32.Checksum([]byte(key), etagCastagnoli))
+}
+
+// generation reports the serving snapshot's generation for validators:
+// the Swappable's monotone counter when hot reload is wired, else the
+// constant first generation (a process that cannot reload serves one
+// immutable dataset for its whole life).
+func (s *Server) generation() int64 {
+	if sw, ok := s.src.(*Swappable); ok {
+		cur, _ := sw.Generations()
+		return cur.Gen
+	}
+	return 1
+}
+
+// wrap adds caching, conditional-request handling, metrics and JSON
+// rendering around a handler. The registry handles are resolved once
+// here, so the per-request cost is pure atomics.
+//
+// Cacheable endpoints carry an ETag derived from (generation, key); an
+// If-None-Match hit answers 304 without running the handler or touching
+// the response cache — revalidation stays cheap even when the body
+// would be expensive to rebuild.
 func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any, *apiError)) http.HandlerFunc {
 	reg := s.obs.Registry
 	m := &endpointMetrics{
@@ -297,8 +319,16 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 		if r.URL.RawQuery != "" {
 			key += "?" + r.URL.RawQuery
 		}
+		var etag string
 		if cacheable {
+			etag = EtagFor(s.generation(), key)
+			if r.Header.Get("If-None-Match") == etag {
+				w.Header().Set("ETag", etag)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
 			if c, ok := s.cache.get(key); ok {
+				w.Header().Set("ETag", etag)
 				writeBody(w, http.StatusOK, c)
 				return
 			}
@@ -322,8 +352,46 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 		c := cached{contentType: "application/json", body: body}
 		if cacheable {
 			s.cache.put(key, c)
+			w.Header().Set("ETag", etag)
 		}
 		writeBody(w, http.StatusOK, c)
+	}
+}
+
+// statusWriter records the status a raw handler wrote, so wrapRaw can
+// classify failures without owning the body.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrapRaw instruments a handler that writes its own response (the text
+// probes and the Prometheus scrape): request count, latency, and an
+// error count for 5xx statuses. Unlike wrap it never touches the body —
+// these endpoints are not JSON and not cacheable.
+func (s *Server) wrapRaw(label string, fn http.HandlerFunc) http.HandlerFunc {
+	reg := s.obs.Registry
+	m := &endpointMetrics{
+		requests: reg.CounterVec(MetricRequests, "API requests by endpoint pattern.", "endpoint").With(label),
+		errors:   reg.CounterVec(MetricErrors, "API handler failures by endpoint pattern.", "endpoint").With(label),
+		latency: reg.HistogramVec(MetricLatency, "API request latency by endpoint pattern.",
+			latencyBuckets(), "endpoint").With(label),
+	}
+	s.metrics[label] = m
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
+		m.requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		fn(sw, r)
+		if sw.status >= http.StatusInternalServerError {
+			m.errors.Inc()
+		}
 	}
 }
 
@@ -413,27 +481,27 @@ func (s *Server) handleASN(r *http.Request) (any, *apiError) {
 // expired or the client left (the store is fine), 500 for an actual
 // failed read (which feeds the breaker).
 func (s *Server) lookup(ctx context.Context, a asn.ASN) (lifestore.ASNLives, bool, *apiError) {
-	if s.breaker != nil && !s.breaker.allow() {
+	if s.breaker != nil && !s.breaker.Allow() {
 		return lifestore.ASNLives{}, false, retryf(http.StatusServiceUnavailable, 1,
 			"lifestore circuit open after repeated read failures; retrying shortly")
 	}
 	lives, ok, err := s.src.LookupContext(ctx, a)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.timeouts.Inc()
+			s.chain.timeouts.Inc()
 			if s.breaker != nil {
-				s.breaker.onNeutral()
+				s.breaker.OnNeutral()
 			}
 			return lifestore.ASNLives{}, false, errf(http.StatusGatewayTimeout,
 				"deadline exceeded reading AS%s", a)
 		}
 		if s.breaker != nil {
-			s.breaker.onFailure()
+			s.breaker.OnFailure()
 		}
 		return lifestore.ASNLives{}, false, errf(http.StatusInternalServerError, "reading AS%s: %v", a, err)
 	}
 	if s.breaker != nil {
-		s.breaker.onSuccess()
+		s.breaker.OnSuccess()
 	}
 	return lives, ok, nil
 }
@@ -615,15 +683,16 @@ func (s *Server) handleHealth(*http.Request) (any, *apiError) {
 			LatencyP99Ns:   int64(em.latency.Quantile(0.99) * 1e9),
 		}
 	}
+	cs := s.chain.Stats()
 	resp.Lifecycle = lifecycleJSON{
-		InFlight:    s.inflight.Load(),
-		MaxInFlight: s.maxInFlight,
-		Sheds:       s.sheds.Value(),
-		Panics:      s.panics.Value(),
-		Timeouts:    s.timeouts.Value(),
+		InFlight:    cs.InFlight,
+		MaxInFlight: cs.MaxInFlight,
+		Sheds:       cs.Sheds,
+		Panics:      cs.Panics,
+		Timeouts:    cs.Timeouts,
 	}
 	if s.breaker != nil {
-		state, consec, trips, shorts := s.breaker.snapshot()
+		state, consec, trips, shorts := s.breaker.Snapshot()
 		resp.Lifecycle.Breaker = &breakerJSON{
 			State: state, ConsecutiveFailures: consec, Trips: trips, ShortCircuits: shorts,
 		}
@@ -656,7 +725,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.breaker != nil {
-		if state, _, _, _ := s.breaker.snapshot(); state == "open" {
+		if state, _, _, _ := s.breaker.Snapshot(); state == "open" {
 			retryAfterHeader(w, 1)
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write([]byte("lifestore circuit open\n"))
@@ -676,6 +745,47 @@ func (s *Server) handleReload(r *http.Request) (any, *apiError) {
 		return nil, errf(http.StatusBadGateway, "%v", err)
 	}
 	return info, nil
+}
+
+// Sharder is implemented by sources that can report a shard identity:
+// *lifestore.Store, *lifestore.InMemory, and *Swappable (which forwards
+// to whatever generation is serving).
+type Sharder interface {
+	Shard() *lifestore.ShardInfo
+}
+
+// shardRangeJSON is the shard's ASN range in /v1/shard.
+type shardRangeJSON struct {
+	Index int     `json:"index"`
+	Count int     `json:"count"`
+	Lo    asn.ASN `json:"lo"`
+	Hi    asn.ASN `json:"hi"`
+	Sum   string  `json:"sum"`
+}
+
+type shardResponse struct {
+	Sharded    bool            `json:"sharded"`
+	Shard      *shardRangeJSON `json:"shard,omitempty"`
+	Generation int64           `json:"generation"`
+	ASNCount   int             `json:"asnCount"`
+}
+
+// handleShard reports this process's shard identity — the router's
+// handshake endpoint. An unsharded server answers sharded=false rather
+// than 404, so a router probe can distinguish "not a shard" from "not a
+// parallellives server at all".
+func (s *Server) handleShard(*http.Request) (any, *apiError) {
+	resp := shardResponse{Generation: s.generation(), ASNCount: s.src.ASNCount()}
+	if sh, ok := s.src.(Sharder); ok {
+		if si := sh.Shard(); si != nil {
+			resp.Sharded = true
+			resp.Shard = &shardRangeJSON{
+				Index: si.Index, Count: si.Count, Lo: si.Lo, Hi: si.Hi,
+				Sum: fmt.Sprintf("%08x", si.Sum),
+			}
+		}
+	}
+	return resp, nil
 }
 
 // handleStages serves the build's stage trace when the dataset was

@@ -21,4 +21,8 @@ echo "== go test -race -short (stream: checkpoints, tailer, dir source)"
 go test -race -short ./internal/stream/
 echo "== go test -race (stream crash-equivalence property)"
 go test -race -count=1 -run TestCrashEquivalence ./internal/stream/
+echo "== go test -race (lifestore shard plan + shard files)"
+go test -race -count=1 -run 'TestShard|TestSaveSharded|TestOneShardPlan|TestOpenShard|TestOpenMapped' ./internal/lifestore/
+echo "== go test -race (router: unit + sharded/single byte-equivalence property)"
+go test -race -count=1 ./internal/router/
 echo "verify: OK"
