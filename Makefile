@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke shard-smoke bench-serve bench-serve-smoke
+.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke shard-smoke fleet-smoke bench-serve bench-serve-smoke
 
 build:
 	go build ./...
@@ -41,7 +41,9 @@ chaos-serve:
 
 # Machine-readable perf trajectory: Pipeline/Lifestore/Serve benchmarks
 # (3 counts, -benchmem) distilled into BENCH_pipeline.json, including the
-# sequential vs -workers=N pipeline.Run comparison rows.
+# sequential vs -workers=N pipeline.Run comparison rows; plus
+# BENCH_delta.txt (% change vs the committed rows) and committed pprof
+# profiles of a small pipeline run under BENCH_profiles/.
 bench:
 	./scripts/bench.sh
 
@@ -53,6 +55,13 @@ bench-smoke:
 # prove degraded-then-recovered behaviour over live HTTP.
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# Fleet-observability smoke: router + 2 shards, one traced request must
+# yield a span tree stitched across processes, the federated /metrics
+# rollup must cover both shards, /v1/debug/slow must aggregate both
+# exemplar rings, and asnstat must render a row per shard.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # Serving-tier benchmark: single asnserve vs the 4-shard tier under the
 # asnload open-loop generator, distilled into BENCH_serve.json.

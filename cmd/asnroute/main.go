@@ -50,6 +50,8 @@ func run() error {
 		brkCool    = flag.Duration("breaker-cooldown", 5*time.Second, "breaker open time before a half-open probe")
 		handshake  = flag.Duration("handshake-timeout", 10*time.Second, "startup window for every shard to report its identity")
 		probe      = flag.Duration("probe-interval", 2*time.Second, "background shard probe cadence")
+		scrape     = flag.Duration("scrape-interval", 5*time.Second, "federation scrape cadence: how often each shard's /metrics folds into the fleet rollup (-1s disables)")
+		exempl     = flag.Int("exemplars", 32, "slow/error request exemplars kept for /v1/debug/slow (-1 disables capture)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
@@ -79,6 +81,8 @@ func run() error {
 		BreakerThreshold: *brkThresh,
 		BreakerCooldown:  *brkCool,
 		HandshakeTimeout: *handshake,
+		ScrapeInterval:   *scrape,
+		ExemplarCapacity: *exempl,
 		Obs:              o,
 	})
 	if err != nil {

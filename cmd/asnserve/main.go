@@ -65,6 +65,7 @@ func run() error {
 		cache    = flag.Int("cache", 256, "LRU response-cache capacity (entries, -1 disables)")
 		stride   = flag.Int("stride", 30, "default series downsampling stride (days)")
 		pprofOn  = flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints")
+		exempl   = flag.Int("exemplars", 32, "slow/error request exemplars kept for /v1/debug/slow (-1 disables capture)")
 		mmapOn   = flag.Bool("mmap", false, "memory-map the snapshot instead of reading through the descriptor (shares page cache across shard processes)")
 
 		follow     = flag.Duration("follow", 0, "poll the snapshot file at this interval and hot-reload when it changes (0 disables) — pairs with a live tail writing -snapshot")
@@ -154,7 +155,7 @@ func run() error {
 	return serveSnapshot(o, *snapshot, *listen, serveConfig{
 		cache: *cache, stride: *stride, pprofOn: *pprofOn, mmapOn: *mmapOn,
 		drain: *drain, maxInFlight: *maxInfl, requestTimeout: *reqTimeout,
-		follow: *follow,
+		follow: *follow, exemplars: *exempl,
 	})
 }
 
@@ -167,6 +168,7 @@ type serveConfig struct {
 	maxInFlight    int
 	requestTimeout time.Duration
 	follow         time.Duration
+	exemplars      int
 }
 
 // serveSnapshot opens and fully verifies the snapshot, binds the
@@ -191,7 +193,7 @@ func serveSnapshot(o *obs.Obs, snapshot, listen string, cfg serveConfig) error {
 	srv := serve.New(sw, serve.Options{
 		CacheSize: cfg.cache, DefaultStride: cfg.stride, Obs: o,
 		MaxInFlight: cfg.maxInFlight, RequestTimeout: cfg.requestTimeout,
-		Reloader: rel,
+		Reloader: rel, ExemplarCapacity: cfg.exemplars,
 	})
 	handler := http.Handler(srv)
 	if cfg.pprofOn {

@@ -1,0 +1,228 @@
+// Command asnstat is the fleet dashboard: a one-shot (or polling)
+// terminal view of a sharded serving tier, read entirely from one
+// /metrics scrape of an asnroute router — or of a single asnserve
+// process, which renders as a one-row fleet.
+//
+//	asnstat -url http://127.0.0.1:8080             # one shot
+//	asnstat -url http://127.0.0.1:8080 -interval 2s # live, qps from deltas
+//
+// Against a router with federation enabled (the default), the per-shard
+// rows come from the parallellives_fleet_* rollup the router re-exports
+// after scraping its shards, plus the router's own breaker gauges:
+//
+//	SHARD  UP  BREAKER  GEN  REQS  QPS  P99(ms)  ERRS  LAG(d)
+//
+// QPS needs two scrapes to difference, so it shows "-" on the first
+// poll and in one-shot mode. Shards whose last federation scrape failed
+// show UP 0 with their last-known numbers. Run with -interval against a
+// fresh router and the first row may be empty for one federation cycle
+// (default 5s) — the rollup does not exist until the router has scraped
+// its shards once.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"parallellives/internal/obs"
+	"parallellives/internal/router"
+	"parallellives/internal/serve"
+	"parallellives/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asnstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "router (or single asnserve) base URL")
+		interval = flag.Duration("interval", 0, "poll cadence; 0 renders once and exits")
+		count    = flag.Int("count", 0, "with -interval: stop after N renders (0 = until interrupted)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*url, "/")
+	var prev map[string]float64
+	var prevAt time.Time
+	renders := 0
+	for {
+		samples, err := scrape(client, base+"/metrics")
+		if err != nil {
+			if *interval <= 0 {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "asnstat: %v\n", err)
+		} else {
+			now := time.Now()
+			rows := buildRows(samples)
+			render(os.Stdout, base, rows, prev, now.Sub(prevAt))
+			prev, prevAt = requestTotals(rows), now
+		}
+		renders++
+		if *interval <= 0 || (*count > 0 && renders >= *count) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func scrape(client *http.Client, url string) (obs.Samples, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s answered %d", url, resp.StatusCode)
+	}
+	return obs.ParseExposition(body)
+}
+
+// row is one line of the dashboard: a shard of the fleet, or the single
+// process itself when asnstat points at a bare asnserve.
+type row struct {
+	shard      string
+	up         float64
+	upKnown    bool
+	breaker    string
+	gen        float64
+	genKnown   bool
+	reqs, errs float64
+	p99        float64
+	lag        float64
+	lagKnown   bool
+}
+
+// buildRows reads the fleet from one exposition. A router exports
+// fleet_* series per shard plus its own breaker gauges; a single
+// asnserve exports serve_* series, which become one synthetic row.
+func buildRows(samples obs.Samples) []row {
+	shards := map[string]*row{}
+	get := func(label string) *row {
+		r, ok := shards[label]
+		if !ok {
+			r = &row{shard: label, breaker: "-"}
+			shards[label] = r
+		}
+		return r
+	}
+	for _, s := range samples {
+		label, hasShard := s.Labels["shard"]
+		if !hasShard {
+			continue
+		}
+		switch s.Name {
+		case router.MetricFleetUp:
+			r := get(label)
+			r.up, r.upKnown = s.Value, true
+		case router.MetricFleetGen:
+			r := get(label)
+			r.gen, r.genKnown = s.Value, true
+		case router.MetricFleetRequests:
+			get(label).reqs = s.Value
+		case router.MetricFleetErrors:
+			get(label).errs = s.Value
+		case router.MetricFleetP99:
+			get(label).p99 = s.Value
+		case router.MetricFleetLag:
+			r := get(label)
+			r.lag, r.lagKnown = s.Value, true
+		case router.MetricBreakerState:
+			get(label).breaker = breakerName(s.Value)
+		}
+	}
+	if len(shards) == 0 {
+		// Not a router (or federation off): render the process itself.
+		r := &row{shard: "-", breaker: "-", up: 1, upKnown: true}
+		r.reqs = samples.Sum(serve.MetricRequests, nil)
+		r.errs = samples.Sum(serve.MetricErrors, nil)
+		r.p99 = samples.Quantile(serve.MetricLatency, 0.99, nil)
+		if v, ok := samples.Value(serve.MetricGeneration, nil); ok {
+			r.gen, r.genKnown = v, true
+		}
+		if v, ok := samples.Value(stream.MetricIngestLagDays, nil); ok {
+			r.lag, r.lagKnown = v, true
+		}
+		if r.reqs == 0 && r.errs == 0 {
+			return nil
+		}
+		return []row{*r}
+	}
+	out := make([]row, 0, len(shards))
+	for _, r := range shards {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, _ := strconv.Atoi(out[i].shard)
+		b, _ := strconv.Atoi(out[j].shard)
+		return a < b
+	})
+	return out
+}
+
+func breakerName(v float64) string {
+	switch v {
+	case 0:
+		return "closed"
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	}
+	return fmt.Sprintf("?%g", v)
+}
+
+func requestTotals(rows []row) map[string]float64 {
+	t := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		t[r.shard] = r.reqs
+	}
+	return t
+}
+
+func render(w io.Writer, target string, rows []row, prev map[string]float64, dt time.Duration) {
+	fmt.Fprintf(w, "%s  %s\n", target, time.Now().Format("15:04:05"))
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  (no fleet or serve metrics yet — federation may not have scraped)")
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SHARD\tUP\tBREAKER\tGEN\tREQS\tQPS\tP99(ms)\tERRS\tLAG(d)")
+	for _, r := range rows {
+		qps := "-"
+		if prev != nil && dt > 0 {
+			if p, ok := prev[r.shard]; ok && r.reqs >= p {
+				qps = fmt.Sprintf("%.1f", (r.reqs-p)/dt.Seconds())
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0f\t%s\t%.2f\t%.0f\t%s\n",
+			r.shard, optional(r.up, r.upKnown), r.breaker, optional(r.gen, r.genKnown),
+			r.reqs, qps, r.p99*1000, r.errs, optional(r.lag, r.lagKnown))
+	}
+	tw.Flush()
+}
+
+func optional(v float64, known bool) string {
+	if !known {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

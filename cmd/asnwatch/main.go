@@ -101,6 +101,7 @@ func run() error {
 		snapshot  = flag.String("snapshot", "", "with -tail: write each published snapshot to this path")
 		snapEvery = flag.Int("snapshot-every", 1, "with -tail: publish a full snapshot every N committed days")
 		listen    = flag.String("listen", "", "with -tail: serve the latest snapshot on this address")
+		exempl    = flag.Int("exemplars", 32, "with -tail -listen: slow/error request exemplars kept for /v1/debug/slow (-1 disables capture)")
 		notifyURL = flag.String("notify-url", "", "with -tail: POST a JSON notification here after each publish")
 
 		readTimeout = flag.Duration("read-timeout", 30*time.Second, "staleness deadline waiting for the next complete day")
@@ -165,6 +166,7 @@ func run() error {
 			dir: *tailDir, ckptDir: *ckptDir,
 			snapshot: *snapshot, snapshotEvery: *snapEvery,
 			listen: *listen, notifyURL: *notifyURL,
+			exemplars:   *exempl,
 			readTimeout: *readTimeout, poll: *poll,
 			reconnectAttempts: *reconnects,
 			verifyBatch:       *verifyBatch,
@@ -270,6 +272,7 @@ type tailConfig struct {
 	snapshot          string
 	snapshotEvery     int
 	listen, notifyURL string
+	exemplars         int
 	readTimeout, poll time.Duration
 	reconnectAttempts int
 	verifyBatch       bool
@@ -378,9 +381,10 @@ func startTailServer(ctx context.Context, o *obs.Obs, tl *stream.Tailer, snap *l
 	sw := serve.NewSwappable(lifestore.NewInMemory(snap), nil, fmt.Sprintf("tail@%s", day))
 	rl := serve.NewReloader(sw, open, o.Registry)
 	srv := serve.New(sw, serve.Options{
-		Obs:      o,
-		Reloader: rl,
-		Ingest:   func() any { return tl.Status() },
+		Obs:              o,
+		Reloader:         rl,
+		Ingest:           func() any { return tl.Status() },
+		ExemplarCapacity: cfg.exemplars,
 	})
 	ln, err := serve.Listen(cfg.listen)
 	if err != nil {

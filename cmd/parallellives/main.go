@@ -35,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	rpprof "runtime/pprof"
 	"strings"
 	"time"
 
@@ -78,6 +80,7 @@ func run() error {
 		chaos       = flag.Bool("chaos", false, "inject the default deterministic fault storm (implies -wire)")
 		chaosSeed   = flag.Int64("chaos-seed", 1, "fault injection seed for -chaos")
 		stageReport = flag.Bool("stage-report", false, "print a per-stage duration and record-flow table after the run")
+		profileOut  = flag.String("profile-out", "", "write cpu.pprof, heap.pprof and allocs.pprof into this directory (the build is profiled; reporting is not)")
 	)
 	flag.Parse()
 
@@ -108,10 +111,25 @@ func run() error {
 		opts.Obs = obs.New()
 	}
 
+	var stopProfiles func() error
+	if *profileOut != "" {
+		if stopProfiles, err = startProfiles(*profileOut); err != nil {
+			return err
+		}
+	}
+
 	t0 := time.Now()
 	fmt.Fprintf(os.Stderr, "building dataset (scale=%g, %s..%s, wire=%v)...\n",
 		*scale, *start, *end, opts.Wire)
 	ds, err := pipeline.Run(opts)
+	if stopProfiles != nil {
+		// Profiles cover exactly the build, success or failure: the CPU
+		// profile stops here and the heap/allocs profiles capture the
+		// dataset while it is still fully resident.
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}
 	if err != nil {
 		return err
 	}
@@ -160,6 +178,49 @@ func run() error {
 	sel := func(name string) bool { return all || want[name] }
 	printExperiments(ds, sel)
 	return nil
+}
+
+// startProfiles begins a CPU profile in dir and returns the stop func
+// that ends it and writes the heap and allocs profiles next to it.
+// Profiles pair with the bench harness: scripts/bench.sh commits them
+// alongside BENCH_pipeline.json so allocation regressions carry their
+// own evidence.
+func startProfiles(dir string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := rpprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		// A GC first, so the heap profile shows live retention rather
+		// than garbage awaiting collection.
+		runtime.GC()
+		for _, p := range []string{"heap", "allocs"} {
+			f, err := os.Create(filepath.Join(dir, p+".pprof"))
+			if err != nil {
+				return err
+			}
+			if err := rpprof.Lookup(p).WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "profiles written to %s (cpu.pprof, heap.pprof, allocs.pprof)\n", dir)
+		return nil
+	}, nil
 }
 
 func printExperiments(ds *pipeline.Dataset, sel func(string) bool) {

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestParseExpositionRoundTrip writes a registry with WritePrometheus
+// and requires the parser to recover every series exactly — the two
+// halves of the text format must stay inverse.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("parallellives_test_events_total", "Events.").Add(7)
+	reg.CounterVec("parallellives_test_by_kind_total", "By kind.", "kind").With("a\\b\"c\nd").Add(3)
+	reg.Gauge("parallellives_test_level", "Level.").Set(-2.5)
+	h := reg.Histogram("parallellives_test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse own exposition: %v", err)
+	}
+
+	if v, ok := samples.Value("parallellives_test_events_total", nil); !ok || v != 7 {
+		t.Fatalf("events_total = %v, %v", v, ok)
+	}
+	if v, ok := samples.Value("parallellives_test_by_kind_total", map[string]string{"kind": "a\\b\"c\nd"}); !ok || v != 3 {
+		t.Fatalf("escaped label value = %v, %v", v, ok)
+	}
+	if v, ok := samples.Value("parallellives_test_level", nil); !ok || v != -2.5 {
+		t.Fatalf("gauge = %v, %v", v, ok)
+	}
+	if v, ok := samples.Value("parallellives_test_latency_seconds_count", nil); !ok || v != 3 {
+		t.Fatalf("histogram count = %v, %v", v, ok)
+	}
+	if v, ok := samples.Value("parallellives_test_latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v, %v", v, ok)
+	}
+}
+
+// TestParsedQuantileAgrees pins the satellite contract: a quantile
+// interpolated from scraped exposition text equals the one computed
+// in-process by Histogram.Quantile over the same state.
+func TestParsedQuantileAgrees(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("parallellives_test_latency_seconds", "Latency.", ExpBuckets(0.000001, 10, 8))
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i%37) * 0.0001)
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := h.Quantile(q)
+		got := samples.Quantile("parallellives_test_latency_seconds", q, nil)
+		if got != want {
+			t.Fatalf("q=%v: parsed %v != in-process %v", q, got, want)
+		}
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	bad := []string{
+		"no_value",
+		"name{unterminated=\"x\" 1",
+		"name{le=\"0.1} 1",
+		"name{=\"v\"} 1",
+		"1name 2",
+		"name notanumber",
+	}
+	for _, line := range bad {
+		if _, err := ParseExposition([]byte(line)); err == nil {
+			t.Errorf("ParseExposition(%q): want error", line)
+		}
+	}
+	// Timestamps are tolerated; comments and blanks skipped.
+	doc := "# HELP x y\n\nparallellives_ok_total 4 1712000000\n"
+	samples, err := ParseExposition([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := samples.Value("parallellives_ok_total", nil); !ok || v != 4 {
+		t.Fatalf("timestamped sample = %v, %v", v, ok)
+	}
+}
+
+func TestQuantileFromBucketsEdges(t *testing.T) {
+	if v := QuantileFromBuckets(nil, nil, 0.5); v != 0 {
+		t.Fatalf("empty = %v", v)
+	}
+	if v := QuantileFromBuckets([]float64{1, 2}, []int64{0, 0, 0}, 0.5); v != 0 {
+		t.Fatalf("no observations = %v", v)
+	}
+	// Everything in +Inf clamps to the top finite bound.
+	if v := QuantileFromBuckets([]float64{1, 2}, []int64{0, 0, 5}, 0.5); v != 2 {
+		t.Fatalf("+Inf clamp = %v", v)
+	}
+	if v := QuantileFromBuckets([]float64{1}, []int64{4, 0}, 0.5); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("interpolation = %v", v)
+	}
+}

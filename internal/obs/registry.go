@@ -262,31 +262,51 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
 // within the bucket holding it — the usual Prometheus-side estimate,
 // computed here so callers without a query engine can report p50/p99.
-// Values in the +Inf bucket clamp to the highest finite bound. Returns 0
-// with no observations.
+// The buckets are snapshotted first and the total derived from the
+// snapshot (not the live count, which can tear against concurrent
+// Observes), so a quantile computed here agrees exactly with one
+// computed from the same Gather/exposition state — the /v1/health ↔
+// /metrics agreement contract. Values in the +Inf bucket clamp to the
+// highest finite bound. Returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 || len(h.bounds) == 0 {
+	buckets := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return QuantileFromBuckets(h.bounds, buckets, q)
+}
+
+// QuantileFromBuckets estimates the q-quantile from a frozen bucket
+// snapshot: bounds are the sorted finite upper bounds, buckets the
+// per-bucket (not cumulative) counts — one per bound plus the +Inf
+// bucket. This is the single interpolation routine shared by
+// Histogram.Quantile, the health report and the federation layer, so
+// every consumer of the same bucket state reports the same number.
+func QuantileFromBuckets(bounds []float64, buckets []int64, q float64) float64 {
+	var total int64
+	for _, n := range buckets {
+		total += n
+	}
+	if total == 0 || len(bounds) == 0 {
 		return 0
 	}
 	rank := q * float64(total)
 	var cum int64
-	for i := range h.buckets {
-		n := h.buckets[i].Load()
+	for i, n := range buckets {
 		if float64(cum+n) >= rank && n > 0 {
-			if i >= len(h.bounds) {
-				return h.bounds[len(h.bounds)-1]
+			if i >= len(bounds) {
+				return bounds[len(bounds)-1]
 			}
 			lo := 0.0
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
 			frac := (rank - float64(cum)) / float64(n)
-			return lo + (h.bounds[i]-lo)*frac
+			return lo + (bounds[i]-lo)*frac
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // HistogramVec is a labeled histogram family.

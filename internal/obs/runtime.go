@@ -1,0 +1,70 @@
+package obs
+
+import "runtime"
+
+// Runtime gauge names — the Go memory/scheduler state of one process,
+// sampled at scrape time (and at pipeline stage boundaries) so every
+// process in the fleet reports the same families. These are the
+// evidence trail for allocation-bound performance work: heap growth and
+// GC cadence show up next to the stage and request metrics they explain.
+const (
+	MetricRuntimeGoroutines      = "parallellives_runtime_goroutines"
+	MetricRuntimeHeapAllocBytes  = "parallellives_runtime_heap_alloc_bytes"
+	MetricRuntimeHeapObjects     = "parallellives_runtime_heap_objects"
+	MetricRuntimeTotalAllocBytes = "parallellives_runtime_total_alloc_bytes"
+	MetricRuntimeSysBytes        = "parallellives_runtime_sys_bytes"
+	MetricRuntimeNextGCBytes     = "parallellives_runtime_next_gc_bytes"
+	MetricRuntimeGCCycles        = "parallellives_runtime_gc_cycles"
+	MetricRuntimeGCPauseSeconds  = "parallellives_runtime_gc_pause_seconds"
+)
+
+// RuntimeStats holds resolved handles for the runtime gauges of one
+// registry. Collect is pull-driven: call it just before rendering
+// /metrics (or at a stage boundary) rather than on a timer, so idle
+// processes pay nothing.
+type RuntimeStats struct {
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapObjs   *Gauge
+	totalAlloc *Gauge
+	sys        *Gauge
+	nextGC     *Gauge
+	gcCycles   *Gauge
+	gcPause    *Gauge
+}
+
+// RegisterRuntime registers the runtime gauges on reg and returns the
+// collector. A nil registry returns a nil collector whose Collect
+// no-ops, matching the package's nil-safe instrumentation idiom.
+func RegisterRuntime(reg *Registry) *RuntimeStats {
+	if reg == nil {
+		return nil
+	}
+	return &RuntimeStats{
+		goroutines: reg.Gauge(MetricRuntimeGoroutines, "Live goroutines."),
+		heapAlloc:  reg.Gauge(MetricRuntimeHeapAllocBytes, "Bytes of allocated heap objects."),
+		heapObjs:   reg.Gauge(MetricRuntimeHeapObjects, "Number of allocated heap objects."),
+		totalAlloc: reg.Gauge(MetricRuntimeTotalAllocBytes, "Cumulative bytes allocated for heap objects."),
+		sys:        reg.Gauge(MetricRuntimeSysBytes, "Total bytes obtained from the OS."),
+		nextGC:     reg.Gauge(MetricRuntimeNextGCBytes, "Heap size target of the next GC cycle."),
+		gcCycles:   reg.Gauge(MetricRuntimeGCCycles, "Completed GC cycles."),
+		gcPause:    reg.Gauge(MetricRuntimeGCPauseSeconds, "Cumulative GC stop-the-world pause time."),
+	}
+}
+
+// Collect samples the runtime into the gauges. Nil-safe.
+func (r *RuntimeStats) Collect() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.goroutines.Set(float64(runtime.NumGoroutine()))
+	r.heapAlloc.Set(float64(ms.HeapAlloc))
+	r.heapObjs.Set(float64(ms.HeapObjects))
+	r.totalAlloc.Set(float64(ms.TotalAlloc))
+	r.sys.Set(float64(ms.Sys))
+	r.nextGC.Set(float64(ms.NextGC))
+	r.gcCycles.Set(float64(ms.NumGC))
+	r.gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+}

@@ -46,9 +46,11 @@ func (c *FakeClock) Advance(d time.Duration) {
 
 // Tracer records span trees. It is safe for concurrent use; spans are
 // cheap (one small allocation each) and the tracer keeps every root it
-// started, so long-running processes should scope tracers per run.
+// started, so long-running processes should scope tracers per run (the
+// serving tier creates one per request).
 type Tracer struct {
 	clock Clock
+	ids   IDSource // nil: spans carry no IDs (stage traces stay byte-stable)
 
 	mu    sync.Mutex
 	roots []*Span
@@ -59,6 +61,21 @@ func NewTracer() *Tracer { return NewTracerWithClock(realClock{}) }
 
 // NewTracerWithClock returns a tracer reading time from c.
 func NewTracerWithClock(c Clock) *Tracer { return &Tracer{clock: c} }
+
+// NewTracerWithIDs returns a tracer that stamps every span with an ID
+// from ids and every root with a trace ID — the form the serving tier
+// uses so request traces can be propagated and stitched across
+// processes. A nil clock means the wall clock; a nil ids means the
+// process-wide random source.
+func NewTracerWithIDs(c Clock, ids IDSource) *Tracer {
+	if c == nil {
+		c = realClock{}
+	}
+	if ids == nil {
+		ids = randomID
+	}
+	return &Tracer{clock: c, ids: ids}
+}
 
 // Roots returns the root spans started so far, in start order.
 // Nil-safe, so a hand-built Obs with no tracer can still be queried.
@@ -82,24 +99,39 @@ type Attr struct {
 // (what StartSpan returns without a tracer in context) no-ops, so
 // instrumented code needs no conditionals.
 type Span struct {
-	tracer *Tracer
-	name   string
-	start  time.Time
+	tracer   *Tracer
+	name     string
+	start    time.Time
+	id       string // empty on ID-less tracers
+	traceID  string // root: own or inherited from a remote parent; child: copied from parent
+	parentID string // remote parent span ID, set only on roots continuing an incoming trace
 
 	mu       sync.Mutex
 	end      time.Time
 	ended    bool
 	attrs    []Attr
 	children []*Span
+	remote   []SpanSummary // wire summaries stitched in from other processes
 }
 
-func (t *Tracer) startSpan(name string, parent *Span) *Span {
+func (t *Tracer) startSpan(name string, parent *Span, remote *SpanContext) *Span {
 	s := &Span{tracer: t, name: name, start: t.clock.Now()}
+	if t.ids != nil {
+		s.id = t.ids()
+	}
 	if parent == nil {
+		if t.ids != nil {
+			if remote != nil && remote.Valid() {
+				s.traceID, s.parentID = remote.TraceID, remote.SpanID
+			} else {
+				s.traceID = t.ids() + t.ids()
+			}
+		}
 		t.mu.Lock()
 		t.roots = append(t.roots, s)
 		t.mu.Unlock()
 	} else {
+		s.traceID = parent.traceID
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
@@ -132,8 +164,21 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	parent, _ := ctx.Value(spanKey{}).(*Span)
-	s := t.startSpan(name, parent)
+	var remote *SpanContext
+	if parent == nil {
+		if rp, ok := RemoteParentFrom(ctx); ok {
+			remote = &rp
+		}
+	}
+	s := t.startSpan(name, parent, remote)
 	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFrom returns the context's current span, or nil. Nil-safe callers
+// can interrogate it for trace identity without starting a child.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
 }
 
 // End closes the span. Ending twice keeps the first end time.
@@ -188,6 +233,55 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// ID returns the span ID (empty on ID-less tracers). Nil-safe.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// TraceID returns the trace ID the span belongs to (empty on ID-less
+// tracers). Children inherit their root's trace ID. Nil-safe.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SpanContext returns the span's wire identity — what a caller injects
+// as the traceparent of an outbound request so the next process joins
+// this trace. Invalid (zero) on ID-less tracers. Nil-safe.
+func (s *Span) SpanContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.traceID, SpanID: s.id}
+}
+
+// AttachRemote stitches a span summary received from another process
+// (over the X-Parallellives-Span response header) under this span. The
+// summary renders after the local children. Nil-safe.
+func (s *Span) AttachRemote(sum SpanSummary) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, sum)
+	s.mu.Unlock()
+}
+
+// Remote returns a copy of the stitched-in remote summaries. Nil-safe.
+func (s *Span) Remote() []SpanSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanSummary(nil), s.remote...)
 }
 
 // Duration returns end−start for an ended span, 0 otherwise. Nil-safe.
@@ -249,21 +343,38 @@ func (s *Span) Child(name string) *Span {
 }
 
 // SpanSummary is the JSON form of a span tree. Attribute maps marshal
-// with sorted keys, so the encoding is deterministic.
+// with sorted keys, so the encoding is deterministic. The identity
+// fields are only populated by ID-carrying tracers (request traces):
+// TraceID and ParentID appear on roots, SpanID on every span — so the
+// ID-less stage traces behind /v1/stages keep their historical bytes.
 type SpanSummary struct {
 	Name       string           `json:"name"`
+	TraceID    string           `json:"traceId,omitempty"`
+	SpanID     string           `json:"spanId,omitempty"`
+	ParentID   string           `json:"parentId,omitempty"`
 	DurationNs int64            `json:"durationNs"`
 	Attrs      map[string]int64 `json:"attrs,omitempty"`
 	Children   []SpanSummary    `json:"children,omitempty"`
 }
 
 // Summarize converts a span tree into its JSON form. Nil-safe (returns
-// the zero summary).
+// the zero summary). Remote summaries stitched in with AttachRemote
+// render after the local children and keep their own root identity, so
+// a cross-process tree shows every process's trace ID (all equal when
+// propagation worked).
 func Summarize(s *Span) SpanSummary {
+	return summarize(s, true)
+}
+
+func summarize(s *Span, root bool) SpanSummary {
 	if s == nil {
 		return SpanSummary{}
 	}
-	sum := SpanSummary{Name: s.Name(), DurationNs: s.Duration().Nanoseconds()}
+	sum := SpanSummary{Name: s.Name(), SpanID: s.ID(), DurationNs: s.Duration().Nanoseconds()}
+	if root {
+		sum.TraceID = s.TraceID()
+		sum.ParentID = s.parentID
+	}
 	if attrs := s.Attrs(); len(attrs) > 0 {
 		sum.Attrs = make(map[string]int64, len(attrs))
 		for _, a := range attrs {
@@ -271,8 +382,9 @@ func Summarize(s *Span) SpanSummary {
 		}
 	}
 	for _, c := range s.Children() {
-		sum.Children = append(sum.Children, Summarize(c))
+		sum.Children = append(sum.Children, summarize(c, false))
 	}
+	sum.Children = append(sum.Children, s.Remote()...)
 	return sum
 }
 

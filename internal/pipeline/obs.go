@@ -40,6 +40,7 @@ type runMetrics struct {
 	quarTails     *obs.Counter
 	malformed     *obs.Counter
 	stageSeconds  *obs.HistogramVec
+	runtime       *obs.RuntimeStats
 }
 
 func newRunMetrics(reg *obs.Registry) *runMetrics {
@@ -58,7 +59,19 @@ func newRunMetrics(reg *obs.Registry) *runMetrics {
 		malformed:     quar.With("malformed"),
 		stageSeconds: reg.HistogramVec(MetricStageSeconds,
 			"Wall-clock duration of each pipeline stage.", nil, "stage"),
+		runtime: obs.RegisterRuntime(reg),
 	}
+}
+
+// collect refreshes the shared runtime gauges (heap, GC, goroutines).
+// Called at stage boundaries, never inside hot loops: ReadMemStats
+// stops the world briefly, so a sampler watching a long scan sees the
+// memory profile move stage by stage at zero per-record cost.
+func (m *runMetrics) collect() {
+	if m == nil {
+		return
+	}
+	m.runtime.Collect()
 }
 
 // shardMetrics is one scan shard's single-goroutine view of the shared

@@ -122,6 +122,7 @@ func RunContext(ctx context.Context, opts Options) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.collect()
 
 	// Operational dimension: scan the collectors.
 	sctx, spScan := obs.StartSpan(ctx, "bgpscan")
@@ -137,6 +138,7 @@ func RunContext(ctx context.Context, opts Options) (*Dataset, error) {
 		act.Stats.DropMalformed+act.Stats.DropLowVis)
 	spScan.SetAttr(obs.AttrQuarantined, act.Stats.QuarantinedTruncated+act.Stats.QuarantinedTails)
 	spScan.End()
+	m.collect()
 
 	ds, err := base.Complete(ctx, act, op)
 	if err != nil {
@@ -145,6 +147,7 @@ func RunContext(ctx context.Context, opts Options) (*Dataset, error) {
 	ds.Trace = root
 	root.End()
 	m.observeStages(root)
+	m.collect()
 	return ds, nil
 }
 

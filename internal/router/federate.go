@@ -1,0 +1,187 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"parallellives/internal/obs"
+	"parallellives/internal/serve"
+	"parallellives/internal/stream"
+)
+
+// Fleet rollup metric names. The router scrapes every shard's /metrics
+// and re-exports the fleet view under parallellives_fleet_* with a
+// bounded `shard` label (one series per shard index — never per ASN or
+// per path, per the DESIGN.md §8 cardinality budget). Mirrored counter
+// readings are exported as gauges ("the value last scraped"), so only
+// the router's own scrape counter keeps the _total suffix.
+const (
+	MetricFleetRequests = "parallellives_fleet_requests"
+	MetricFleetErrors   = "parallellives_fleet_errors"
+	MetricFleetP50      = "parallellives_fleet_request_p50_seconds"
+	MetricFleetP99      = "parallellives_fleet_request_p99_seconds"
+	MetricFleetInflight = "parallellives_fleet_inflight"
+	MetricFleetGen      = "parallellives_fleet_generation"
+	MetricFleetLag      = "parallellives_fleet_ingest_lag_days"
+	MetricFleetUp       = "parallellives_fleet_shard_up"
+	MetricFleetLastUnix = "parallellives_fleet_scrape_last_unix_seconds"
+	MetricFleetScrapes  = "parallellives_fleet_scrapes_total"
+
+	// Derived fleet-wide gauges (no labels).
+	MetricFleetGenSkew      = "parallellives_fleet_generation_skew"
+	MetricFleetLagMax       = "parallellives_fleet_ingest_lag_days_max"
+	MetricFleetBreakersOpen = "parallellives_fleet_breakers_open"
+	MetricFleetShards       = "parallellives_fleet_shards"
+)
+
+// sysClock is the federator's default clock; tests swap in a FakeClock
+// so the last-scrape timestamp is deterministic.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time { return time.Now() }
+
+// federator owns the fleet rollup instruments. Scrapes re-set the
+// per-shard gauges wholesale — the rollup is a snapshot of the fleet,
+// not an accumulation, so a restarted shard's counters going backwards
+// is fine by construction.
+type federator struct {
+	clock obs.Clock
+
+	reqs     *obs.GaugeVec
+	errs     *obs.GaugeVec
+	p50      *obs.GaugeVec
+	p99      *obs.GaugeVec
+	inflight *obs.GaugeVec
+	gen      *obs.GaugeVec
+	lag      *obs.GaugeVec
+	up       *obs.GaugeVec
+	lastUnix *obs.GaugeVec
+	scrapes  *obs.CounterVec
+
+	genSkew      *obs.Gauge
+	lagMax       *obs.Gauge
+	breakersOpen *obs.Gauge
+	shardsTotal  *obs.Gauge
+}
+
+func newFederator(reg *obs.Registry) *federator {
+	return &federator{
+		clock: sysClock{},
+		reqs: reg.GaugeVec(MetricFleetRequests,
+			"Per-shard serve_requests_total as last scraped.", "shard"),
+		errs: reg.GaugeVec(MetricFleetErrors,
+			"Per-shard serve_errors_total as last scraped.", "shard"),
+		p50: reg.GaugeVec(MetricFleetP50,
+			"Per-shard request latency p50, interpolated from the scraped histogram.", "shard"),
+		p99: reg.GaugeVec(MetricFleetP99,
+			"Per-shard request latency p99, interpolated from the scraped histogram.", "shard"),
+		inflight: reg.GaugeVec(MetricFleetInflight,
+			"Per-shard in-flight requests as last scraped.", "shard"),
+		gen: reg.GaugeVec(MetricFleetGen,
+			"Per-shard snapshot generation from the last probe.", "shard"),
+		lag: reg.GaugeVec(MetricFleetLag,
+			"Per-shard streaming ingest lag in days, where the shard runs a tailer.", "shard"),
+		up: reg.GaugeVec(MetricFleetUp,
+			"1 when the last scrape of this shard succeeded, else 0.", "shard"),
+		lastUnix: reg.GaugeVec(MetricFleetLastUnix,
+			"Unix time of this shard's last successful scrape.", "shard"),
+		scrapes: reg.CounterVec(MetricFleetScrapes,
+			"Federation scrapes by shard and outcome (ok, error).", "shard", "outcome"),
+		genSkew: reg.Gauge(MetricFleetGenSkew,
+			"Max minus min shard generation: non-zero while a rollout is in flight."),
+		lagMax: reg.Gauge(MetricFleetLagMax,
+			"Worst streaming ingest lag across shards reporting one."),
+		breakersOpen: reg.Gauge(MetricFleetBreakersOpen,
+			"Shard circuit breakers currently open."),
+		shardsTotal: reg.Gauge(MetricFleetShards,
+			"Shards this router fronts."),
+	}
+}
+
+// ScrapeFleet scrapes every shard's /metrics concurrently and folds the
+// results into the fleet rollup. Shard fetches run through the normal
+// breaker-guarded client, so a dark shard costs one fast failure — and
+// its scrape outcome, up flag, and stale gauges say so on the router's
+// own exposition. No-op when federation is disabled.
+func (rt *Router) ScrapeFleet(ctx context.Context) {
+	f := rt.fed
+	if f == nil {
+		return
+	}
+	type scrape struct {
+		samples obs.Samples
+		ok      bool
+	}
+	results := make([]scrape, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sc := range rt.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			u, err := sc.fetch(sctx, http.MethodGet, "/metrics", "")
+			if err != nil || u.status != http.StatusOK {
+				return
+			}
+			samples, err := obs.ParseExposition(u.body)
+			if err != nil {
+				return
+			}
+			results[i] = scrape{samples: samples, ok: true}
+		}(i, sc)
+	}
+	wg.Wait()
+
+	now := float64(f.clock.Now().Unix())
+	var minGen, maxGen int64
+	var lagMax float64
+	lagSeen := false
+	open := 0
+	for i, sc := range rt.shards {
+		label := strconv.Itoa(sc.index)
+		state, gen, _ := sc.state()
+		if state == "open" {
+			open++
+		}
+		if i == 0 || gen < minGen {
+			minGen = gen
+		}
+		if i == 0 || gen > maxGen {
+			maxGen = gen
+		}
+		f.gen.With(label).Set(float64(gen))
+
+		res := results[i]
+		if !res.ok {
+			f.scrapes.With(label, "error").Inc()
+			f.up.With(label).Set(0)
+			continue
+		}
+		f.scrapes.With(label, "ok").Inc()
+		f.up.With(label).Set(1)
+		f.lastUnix.With(label).Set(now)
+		f.reqs.With(label).Set(res.samples.Sum(serve.MetricRequests, nil))
+		f.errs.With(label).Set(res.samples.Sum(serve.MetricErrors, nil))
+		f.p50.With(label).Set(res.samples.Quantile(serve.MetricLatency, 0.5, nil))
+		f.p99.With(label).Set(res.samples.Quantile(serve.MetricLatency, 0.99, nil))
+		if v, ok := res.samples.Value(serve.MetricInFlight, nil); ok {
+			f.inflight.With(label).Set(v)
+		}
+		if v, ok := res.samples.Value(stream.MetricIngestLagDays, nil); ok {
+			f.lag.With(label).Set(v)
+			if !lagSeen || v > lagMax {
+				lagMax, lagSeen = v, true
+			}
+		}
+	}
+	f.genSkew.Set(float64(maxGen - minGen))
+	if lagSeen {
+		f.lagMax.Set(lagMax)
+	}
+	f.breakersOpen.Set(float64(open))
+	f.shardsTotal.Set(float64(len(rt.shards)))
+}

@@ -132,6 +132,16 @@ type Options struct {
 	// ProbeInterval is the background re-handshake cadence once serving
 	// (default 2s; Start only).
 	ProbeInterval time.Duration
+	// ScrapeInterval is the federation cadence: how often Start scrapes
+	// every shard's /metrics into the fleet rollup (default 5s; negative
+	// disables federation).
+	ScrapeInterval time.Duration
+	// ExemplarCapacity sizes the slow/error exemplar ring serving
+	// /v1/debug/slow (default 32; negative disables capture).
+	ExemplarCapacity int
+	// SpanIDs overrides the trace/span ID source (tests). Nil uses
+	// crypto-grade-enough random hex.
+	SpanIDs obs.IDSource
 	// Client is the HTTP client for shard traffic (default: pooled
 	// transport, no client-level timeout — deadlines come from the
 	// request context).
@@ -154,6 +164,12 @@ type Router struct {
 	chain   *serve.Chain
 	cache   *cache
 	obs     *obs.Obs
+
+	exemplars   *obs.ExemplarRing
+	spanIDs     obs.IDSource
+	runtime     *obs.RuntimeStats
+	fed         *federator
+	scrapeEvery time.Duration
 
 	metrics map[string]*endpointMetrics
 
@@ -211,6 +227,12 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 	if opts.ProbeInterval <= 0 {
 		opts.ProbeInterval = 2 * time.Second
 	}
+	if opts.ScrapeInterval == 0 {
+		opts.ScrapeInterval = 5 * time.Second
+	}
+	if opts.ExemplarCapacity == 0 {
+		opts.ExemplarCapacity = 32
+	}
 	if opts.Client == nil {
 		opts.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConns:        4 * len(opts.Shards),
@@ -230,9 +252,13 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 			MaxInFlight:    opts.MaxInFlight,
 			RequestTimeout: opts.RequestTimeout,
 		}),
-		cache:   newCache(opts.CacheSize),
-		obs:     opts.Obs,
-		metrics: make(map[string]*endpointMetrics),
+		cache:       newCache(opts.CacheSize),
+		obs:         opts.Obs,
+		exemplars:   obs.NewExemplarRing(opts.ExemplarCapacity),
+		spanIDs:     opts.SpanIDs,
+		runtime:     obs.RegisterRuntime(reg),
+		scrapeEvery: opts.ScrapeInterval,
+		metrics:     make(map[string]*endpointMetrics),
 		shardRequests: reg.CounterVec(MetricShardRequests,
 			"Upstream requests by shard index.", "shard"),
 		shardErrors: reg.CounterVec(MetricShardErrors,
@@ -264,6 +290,9 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 				stateVec.With(label), tripsVec.With(label), shortsVec.With(label)),
 		})
 	}
+	if opts.ScrapeInterval > 0 {
+		rt.fed = newFederator(reg)
+	}
 	if err := rt.handshake(ctx, clients, opts.HandshakeTimeout); err != nil {
 		return nil, err
 	}
@@ -281,6 +310,7 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/stages", rt.wrap("/v1/stages", rt.handleStages))
 	rt.mux.HandleFunc("GET /v1/health", rt.wrap("/v1/health", rt.handleHealth))
 	rt.mux.HandleFunc("GET /v1/shards", rt.wrap("/v1/shards", rt.handleShards))
+	rt.mux.HandleFunc("GET /v1/debug/slow", rt.wrap("/v1/debug/slow", rt.handleSlow))
 	rt.mux.HandleFunc("POST /v1/admin/reload", rt.wrap("/v1/admin/reload", rt.handleReload))
 	rt.mux.HandleFunc("GET /metrics", rt.wrap("/metrics", rt.handleMetrics))
 	rt.mux.HandleFunc("GET /healthz", rt.wrap("/healthz", rt.handleHealthz))
@@ -380,10 +410,11 @@ const maxASN = 1<<32 - 1
 // ServeHTTP implements http.Handler behind the shared lifecycle chain.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.handler.ServeHTTP(w, r) }
 
-// Start launches the background probe loop and returns a stop func.
-// Probing keeps generations fresh and — because identity requests run
-// through each breaker — turns a recovered shard closed again without
-// sacrificing a client request.
+// Start launches the background probe and federation-scrape loops and
+// returns a stop func. Probing keeps generations fresh and — because
+// identity requests run through each breaker — turns a recovered shard
+// closed again without sacrificing a client request. Scraping folds
+// every shard's /metrics into the fleet rollup (DESIGN.md §13).
 func (rt *Router) Start(ctx context.Context, interval time.Duration) (stop func()) {
 	pctx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
@@ -401,6 +432,23 @@ func (rt *Router) Start(ctx context.Context, interval time.Duration) (stop func(
 			}
 		}
 	}()
+	if rt.fed != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt.ScrapeFleet(pctx) // first rollup immediately, not one interval in
+			t := time.NewTicker(rt.scrapeEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-pctx.Done():
+					return
+				case <-t.C:
+					rt.ScrapeFleet(pctx)
+				}
+			}
+		}()
+	}
 	return func() { cancel(); wg.Wait() }
 }
 
@@ -420,7 +468,10 @@ func (rt *Router) Probe(ctx context.Context) {
 }
 
 // wrap instruments one endpoint: request count, latency, 5xx error
-// count. Router handlers write their own responses (most are relays).
+// count, plus the same per-request tracing and exemplar capture the
+// serving tier's wrapper does — the router's root span is where shard
+// fan-out spans hang, and where a traced caller's summary comes from.
+// Router handlers write their own responses (most are relays).
 func (rt *Router) wrap(label string, fn http.HandlerFunc) http.HandlerFunc {
 	reg := rt.obs.Registry
 	m := &endpointMetrics{
@@ -432,13 +483,61 @@ func (rt *Router) wrap(label string, fn http.HandlerFunc) http.HandlerFunc {
 	rt.metrics[label] = m
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
 		m.requests.Inc()
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		fn(sw, r)
-		if sw.status >= http.StatusInternalServerError {
-			m.errors.Inc()
+		key := pathq(r)
+
+		remote, traced := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		if rt.exemplars == nil && !traced {
+			defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			fn(sw, r)
+			if sw.status >= http.StatusInternalServerError {
+				m.errors.Inc()
+			}
+			return
 		}
+
+		ctx := obs.WithTracer(r.Context(), obs.NewTracerWithIDs(nil, rt.spanIDs))
+		if traced {
+			ctx = obs.WithRemoteParent(ctx, remote)
+		}
+		ctx, span := obs.StartSpan(ctx, "route "+label)
+		r = r.WithContext(ctx)
+		tw := &traceWriter{status: http.StatusOK}
+		tw.ResponseWriter = w
+		tw.finish = func(status int) {
+			span.SetAttr("status", int64(status))
+			span.End()
+			if traced {
+				if b, err := json.Marshal(obs.Summarize(span)); err == nil {
+					w.Header().Set(obs.SpanHeader, string(b))
+				}
+			}
+		}
+		defer func() {
+			d := time.Since(start)
+			m.latency.Observe(d.Seconds())
+			status := tw.status
+			if !tw.done {
+				// Panic unwinding: the lifecycle chain's recovery owns the
+				// response on the underlying writer.
+				status = http.StatusInternalServerError
+				span.SetAttr("status", int64(status))
+				span.End()
+			}
+			if status >= http.StatusInternalServerError {
+				m.errors.Inc()
+			}
+			rt.exemplars.OfferLazy(obs.Exemplar{
+				CapturedUnixNs: start.UnixNano(),
+				Endpoint:       label,
+				Path:           key,
+				Status:         status,
+				DurationNs:     d.Nanoseconds(),
+				TraceID:        span.TraceID(),
+			}, func() obs.SpanSummary { return obs.Summarize(span) })
+		}()
+		fn(tw, r)
 	}
 }
 
@@ -450,6 +549,32 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// traceWriter finalizes the request span just before the first response
+// byte, exactly like the serving tier's: the span summary travels in a
+// header, so the span must end before WriteHeader reaches the wire.
+type traceWriter struct {
+	http.ResponseWriter
+	status int
+	done   bool
+	finish func(status int)
+}
+
+func (w *traceWriter) WriteHeader(code int) {
+	if !w.done {
+		w.done = true
+		w.status = code
+		w.finish(code)
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *traceWriter) Write(b []byte) (int, error) {
+	if !w.done {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // writeJSON renders a local (non-proxied) JSON response in exactly the
@@ -859,8 +984,47 @@ func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{"results": outcomes})
 }
 
+// shardSlowJSON is one shard's row in the router's /v1/debug/slow.
+type shardSlowJSON struct {
+	Shard     int             `json:"shard"`
+	Exemplars json.RawMessage `json:"exemplars,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// handleSlow aggregates slow-request exemplars across the fleet: the
+// router's own ring plus each shard's /v1/debug/slow, gathered
+// concurrently. A dark shard becomes an error row, never a failure —
+// this is a debugging endpoint and partial truth beats none.
+func (rt *Router) handleSlow(w http.ResponseWriter, r *http.Request) {
+	rows := make([]shardSlowJSON, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sc := range rt.shards {
+		wg.Add(1)
+		go func(i int, sc *shardClient) {
+			defer wg.Done()
+			rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
+			u, err := sc.fetch(r.Context(), http.MethodGet, "/v1/debug/slow", "")
+			switch {
+			case err != nil:
+				rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
+				rows[i] = shardSlowJSON{Shard: sc.index, Error: err.Error()}
+			case u.status != http.StatusOK:
+				rows[i] = shardSlowJSON{Shard: sc.index, Error: fmt.Sprintf("status %d", u.status)}
+			default:
+				rows[i] = shardSlowJSON{Shard: sc.index, Exemplars: u.body}
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"router": rt.exemplars.Snapshot(),
+		"shards": rows,
+	})
+}
+
 // handleMetrics is the router's Prometheus scrape.
 func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	rt.runtime.Collect()
 	hits, misses, size, _ := rt.cache.stats()
 	rt.cacheHits.Set(float64(hits))
 	rt.cacheMisses.Set(float64(misses))

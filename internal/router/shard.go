@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"parallellives/internal/asn"
+	"parallellives/internal/obs"
 	"parallellives/internal/serve"
 )
 
@@ -103,6 +104,14 @@ func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch str
 	if !sc.breaker.Allow() {
 		return nil, fmt.Errorf("%w: breaker open for %s", errShardDown, sc.baseURL)
 	}
+	// One child span per upstream call (no-op unless the request carries
+	// a tracer). When the caller's trace crossed a process boundary to
+	// reach us, cross the next one too: inject traceparent so the shard
+	// joins the same trace, and stitch its span summary back under this
+	// span (DESIGN.md §13).
+	ctx, sp := obs.StartSpan(ctx, "shard["+strconv.Itoa(sc.index)+"] "+method+" "+pathq)
+	defer sp.End()
+	_, propagate := obs.RemoteParentFrom(ctx)
 	req, err := http.NewRequestWithContext(ctx, method, sc.baseURL+pathq, nil)
 	if err != nil {
 		sc.breaker.OnNeutral()
@@ -110,6 +119,11 @@ func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch str
 	}
 	if ifNoneMatch != "" {
 		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	if propagate {
+		if pc := sp.SpanContext(); pc.Valid() {
+			req.Header.Set(obs.TraceparentHeader, pc.Traceparent())
+		}
 	}
 	resp, err := sc.client.Do(req)
 	if err != nil {
@@ -130,11 +144,20 @@ func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch str
 		sc.breaker.OnFailure()
 		return nil, fmt.Errorf("%w: reading body: %v", errShardDown, err)
 	}
+	sp.SetAttr("status", int64(resp.StatusCode))
 	if resp.StatusCode >= http.StatusInternalServerError {
 		sc.breaker.OnFailure()
 		return nil, fmt.Errorf("%w: %s answered %d", errShardDown, sc.baseURL, resp.StatusCode)
 	}
 	sc.breaker.OnSuccess()
+	if propagate {
+		if h := resp.Header.Get(obs.SpanHeader); h != "" {
+			var sum obs.SpanSummary
+			if json.Unmarshal([]byte(h), &sum) == nil {
+				sp.AttachRemote(sum)
+			}
+		}
+	}
 	return &upstream{
 		status:      resp.StatusCode,
 		contentType: resp.Header.Get("Content-Type"),

@@ -142,6 +142,16 @@ type Options struct {
 	// returned value must be JSON-serializable and the function safe for
 	// concurrent use.
 	Ingest func() any
+
+	// ExemplarCapacity sizes the slow/error exemplar ring behind
+	// /v1/debug/slow: the span trees of the slowest-N and the last N
+	// failed requests (default 32; negative disables capture, and with
+	// it per-request span recording for untraced requests).
+	ExemplarCapacity int
+	// SpanIDs overrides the request tracer's span/trace ID source —
+	// tests inject deterministic sequences. Nil uses the process-wide
+	// random source.
+	SpanIDs obs.IDSource
 }
 
 // Server is the HTTP API over one opened dataset. It is safe for
@@ -163,6 +173,11 @@ type Server struct {
 	breaker  *Breaker
 	reloader *Reloader
 	ingest   func() any
+
+	// Request tracing + exemplar capture (DESIGN.md §13).
+	exemplars *obs.ExemplarRing
+	spanIDs   obs.IDSource
+	runtime   *obs.RuntimeStats
 }
 
 // endpointMetrics holds one endpoint's pre-resolved registry handles.
@@ -196,6 +211,9 @@ func New(src Source, opts Options) *Server {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 5 * time.Second
 	}
+	if opts.ExemplarCapacity == 0 {
+		opts.ExemplarCapacity = 32
+	}
 	reg := opts.Obs.Registry
 	s := &Server{
 		src:           src,
@@ -212,8 +230,11 @@ func New(src Source, opts Options) *Server {
 			MaxInFlight:    opts.MaxInFlight,
 			RequestTimeout: opts.RequestTimeout,
 		}),
-		reloader: opts.Reloader,
-		ingest:   opts.Ingest,
+		reloader:  opts.Reloader,
+		ingest:    opts.Ingest,
+		exemplars: obs.NewExemplarRing(opts.ExemplarCapacity),
+		spanIDs:   opts.SpanIDs,
+		runtime:   obs.RegisterRuntime(reg),
 	}
 	if opts.BreakerThreshold > 0 {
 		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, reg)
@@ -229,6 +250,7 @@ func New(src Source, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/health", s.wrap("/v1/health", false, s.handleHealth))
 	s.mux.HandleFunc("GET /v1/stages", s.wrap("/v1/stages", false, s.handleStages))
 	s.mux.HandleFunc("GET /v1/shard", s.wrap("/v1/shard", false, s.handleShard))
+	s.mux.HandleFunc("GET /v1/debug/slow", s.wrap("/v1/debug/slow", false, s.handleSlow))
 	// The probe and scrape endpoints write their own bodies (text, not
 	// JSON) but still ride the metrics wrapper, so /v1/health and
 	// /metrics account for every request the process answers. They stay
@@ -312,12 +334,63 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 	s.metrics[label] = m
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
 		m.requests.Inc()
 
 		key := r.URL.Path
 		if r.URL.RawQuery != "" {
 			key += "?" + r.URL.RawQuery
+		}
+
+		// Per-request trace (DESIGN.md §13). A fresh tracer per request —
+		// the process tracer keeps every root forever, so it must not see
+		// request spans. Recording happens when exemplar capture is on or
+		// the client sent trace context; with both disabled the request
+		// runs exactly the pre-tracing path.
+		remote, traced := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		var span *obs.Span
+		if s.exemplars != nil || traced {
+			ctx := obs.WithTracer(r.Context(), obs.NewTracerWithIDs(nil, s.spanIDs))
+			if traced {
+				ctx = obs.WithRemoteParent(ctx, remote)
+			}
+			ctx, span = obs.StartSpan(ctx, "serve "+label)
+			r = r.WithContext(ctx)
+			tw := &traceWriter{ResponseWriter: w, finish: func(status int) {
+				// Runs once, just before the first response byte: the span
+				// must end here so its summary can still travel as a header.
+				span.SetAttr("status", int64(status))
+				span.End()
+				if traced {
+					if b, err := json.Marshal(obs.Summarize(span)); err == nil {
+						w.Header().Set(obs.SpanHeader, string(b))
+					}
+				}
+			}}
+			w = tw
+			defer func() {
+				d := time.Since(start)
+				m.latency.Observe(d.Seconds())
+				status := tw.status
+				if !tw.done {
+					// Every normal path writes a response, so an open span
+					// here means a panic is unwinding: the recovery
+					// middleware owns the response (a 500 on the underlying
+					// writer) — end the span without touching ours.
+					status = http.StatusInternalServerError
+					span.SetAttr("status", int64(status))
+					span.End()
+				}
+				s.exemplars.OfferLazy(obs.Exemplar{
+					CapturedUnixNs: start.UnixNano(),
+					Endpoint:       label,
+					Path:           key,
+					Status:         status,
+					DurationNs:     d.Nanoseconds(),
+					TraceID:        span.TraceID(),
+				}, func() obs.SpanSummary { return obs.Summarize(span) })
+			}()
+		} else {
+			defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
 		}
 		var etag string
 		if cacheable {
@@ -356,6 +429,34 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 		}
 		writeBody(w, http.StatusOK, c)
 	}
+}
+
+// traceWriter finalizes the request span just before the first response
+// byte — headers must be set before WriteHeader, so the span summary
+// can only travel back to a traced caller if the span ends here. The
+// span therefore measures time to first byte; the endpoint latency
+// histogram keeps measuring the full handler.
+type traceWriter struct {
+	http.ResponseWriter
+	status int
+	done   bool
+	finish func(status int)
+}
+
+func (w *traceWriter) WriteHeader(code int) {
+	if !w.done {
+		w.done = true
+		w.status = code
+		w.finish(code)
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *traceWriter) Write(b []byte) (int, error) {
+	if !w.done {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // statusWriter records the status a raw handler wrote, so wrapRaw can
@@ -485,7 +586,12 @@ func (s *Server) lookup(ctx context.Context, a asn.ASN) (lifestore.ASNLives, boo
 		return lifestore.ASNLives{}, false, retryf(http.StatusServiceUnavailable, 1,
 			"lifestore circuit open after repeated read failures; retrying shortly")
 	}
+	ctx, sp := obs.StartSpan(ctx, "lifestore.lookup")
 	lives, ok, err := s.src.LookupContext(ctx, a)
+	if ok {
+		sp.SetAttr("found", 1)
+	}
+	sp.End()
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.chain.timeouts.Inc()
@@ -788,6 +894,14 @@ func (s *Server) handleShard(*http.Request) (any, *apiError) {
 	return resp, nil
 }
 
+// handleSlow serves the exemplar ring: the span trees of the slowest-N
+// and last-N-failed requests this process has answered. Always 200 —
+// an empty document just means nothing interesting happened yet (or
+// capture is disabled, in which case capacity reads 0).
+func (s *Server) handleSlow(*http.Request) (any, *apiError) {
+	return s.exemplars.Snapshot(), nil
+}
+
 // handleStages serves the build's stage trace when the dataset was
 // built with observability attached to the same Obs this server uses.
 func (s *Server) handleStages(*http.Request) (any, *apiError) {
@@ -807,6 +921,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.cacheHits.Set(float64(hits))
 	s.cacheMisses.Set(float64(misses))
 	s.cacheEntries.Set(float64(size))
+	s.runtime.Collect()
 	w.Header().Set("Content-Type", obs.ContentType)
 	if err := obs.WritePrometheus(w, s.obs.Registry); err != nil {
 		http.Error(w, "rendering metrics: "+err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"parallellives/internal/obs"
+)
+
+// seqIDs is a deterministic span/trace ID source for tests.
+func seqIDs() obs.IDSource {
+	n := 0
+	return func() string {
+		n++
+		return fmt.Sprintf("%016x", n)
+	}
+}
+
+// TestTracePropagation pins the serve half of the trace-context wire
+// format: a request carrying traceparent gets its span tree back in the
+// X-Parallellives-Span header, joined to the caller's trace.
+func TestTracePropagation(t *testing.T) {
+	srv := New(tinyStore(t, 1), Options{Obs: obs.New(), SpanIDs: seqIDs()})
+	parent := obs.SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+
+	req, rec := newRequest("GET", "/v1/asn/64496")
+	req.Header.Set(obs.TraceparentHeader, parent.Traceparent())
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("traced request: status %d", rec.Code)
+	}
+	hdr := rec.Header().Get(obs.SpanHeader)
+	if hdr == "" {
+		t.Fatalf("traced response missing %s header", obs.SpanHeader)
+	}
+	var sum obs.SpanSummary
+	if err := json.Unmarshal([]byte(hdr), &sum); err != nil {
+		t.Fatalf("span header is not SpanSummary JSON: %v\n%s", err, hdr)
+	}
+	if sum.TraceID != parent.TraceID {
+		t.Errorf("span joined trace %q, want %q", sum.TraceID, parent.TraceID)
+	}
+	if sum.ParentID != parent.SpanID {
+		t.Errorf("span parent %q, want %q", sum.ParentID, parent.SpanID)
+	}
+	if sum.Name != "serve /v1/asn/{n}" || sum.SpanID == "" {
+		t.Errorf("root span = %+v", sum)
+	}
+	if sum.Attrs["status"] != 200 {
+		t.Errorf("status attr = %d, want 200", sum.Attrs["status"])
+	}
+	found := false
+	for _, c := range sum.Children {
+		if c.Name == "lifestore.lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("span tree missing the lifestore.lookup child: %+v", sum)
+	}
+}
+
+// TestUntracedAndMalformedTraceparent pins that requests without valid
+// trace context are answered without the span header and byte-identical
+// bodies — tracing must be strictly additive.
+func TestUntracedAndMalformedTraceparent(t *testing.T) {
+	srv := New(tinyStore(t, 1), Options{Obs: obs.New()})
+
+	_, plainBody := get(t, srv, "/v1/asn/64496")
+	for _, tp := range []string{"", "garbage", "00-zz-zz-01"} {
+		req, rec := newRequest("GET", "/v1/asn/64496")
+		if tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
+		srv.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("traceparent=%q: status %d", tp, rec.Code)
+		}
+		if h := rec.Header().Get(obs.SpanHeader); h != "" {
+			t.Errorf("traceparent=%q: unexpected span header %q", tp, h)
+		}
+		if rec.Body.String() != string(plainBody) {
+			t.Errorf("traceparent=%q changed the body", tp)
+		}
+	}
+}
+
+// TestSlowEndpoint pins /v1/debug/slow: requests land in the exemplar
+// ring with their span trees, and a server-side failure shows on the
+// error side.
+func TestSlowEndpoint(t *testing.T) {
+	srv := New(tinyStore(t, 1), Options{Obs: obs.New(), ExemplarCapacity: 8})
+	for i := 0; i < 5; i++ {
+		get(t, srv, "/v1/asn/64496")
+	}
+	get(t, srv, "/v1/taxonomy")
+
+	code, body := get(t, srv, "/v1/debug/slow")
+	if code != 200 {
+		t.Fatalf("/v1/debug/slow: status %d", code)
+	}
+	var snap obs.ExemplarSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("slow body: %v", err)
+	}
+	if snap.Capacity != 8 || snap.Seen < 6 {
+		t.Fatalf("snapshot meta = %+v", snap)
+	}
+	if len(snap.Slowest) == 0 {
+		t.Fatalf("no slow exemplars captured")
+	}
+	e := snap.Slowest[0]
+	if e.Trace.Name == "" || e.DurationNs <= 0 || e.Status != 200 {
+		t.Errorf("exemplar = %+v", e)
+	}
+	if e.TraceID == "" {
+		t.Errorf("exemplar missing trace ID")
+	}
+
+	// A panic becomes a 500 exemplar on the error side.
+	perr := New(panicSource{tinyStore(t, 1)}, Options{Obs: obs.New(), ExemplarCapacity: 8})
+	get(t, perr, "/v1/taxonomy")
+	_, body = get(t, perr, "/v1/debug/slow")
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Errors) != 1 || snap.Errors[0].Status != 500 {
+		t.Fatalf("error exemplars = %+v", snap.Errors)
+	}
+}
+
+// TestExemplarsDisabled pins that a negative capacity turns capture off
+// without disturbing serving.
+func TestExemplarsDisabled(t *testing.T) {
+	srv := New(tinyStore(t, 1), Options{Obs: obs.New(), ExemplarCapacity: -1})
+	if code, _ := get(t, srv, "/v1/asn/64496"); code != 200 {
+		t.Fatalf("serving with exemplars disabled failed")
+	}
+	code, body := get(t, srv, "/v1/debug/slow")
+	if code != 200 {
+		t.Fatalf("/v1/debug/slow disabled: status %d", code)
+	}
+	var snap obs.ExemplarSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Capacity != 0 || len(snap.Slowest) != 0 {
+		t.Fatalf("disabled snapshot = %+v", snap)
+	}
+}
+
+// TestHealthMetricsAgree is the satellite pin: the latency fields in
+// /v1/health and the histograms /metrics exports must be two views of
+// the same state — same buckets, same interpolation, exactly equal
+// numbers.
+func TestHealthMetricsAgree(t *testing.T) {
+	srv := New(tinyStore(t, 1), Options{Obs: obs.New()})
+	for i := 0; i < 40; i++ {
+		get(t, srv, "/v1/asn/64496")
+		if i%3 == 0 {
+			get(t, srv, "/v1/taxonomy")
+		}
+		if i%7 == 0 {
+			get(t, srv, "/v1/asn/99999999") // 404s count as errors
+		}
+	}
+
+	code, healthBody := get(t, srv, "/v1/health")
+	if code != 200 {
+		t.Fatalf("/v1/health: %d", code)
+	}
+	var health healthResponse
+	if err := json.Unmarshal(healthBody, &health); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	samples, err := obs.ParseExposition(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+
+	// Only endpoints untouched between the two reads can be compared
+	// exactly; /v1/health and /metrics bump themselves.
+	for _, label := range []string{"/v1/asn/{n}", "/v1/taxonomy"} {
+		ep, ok := health.Endpoints[label]
+		if !ok {
+			t.Fatalf("health has no endpoint %q", label)
+		}
+		sel := map[string]string{"endpoint": label}
+		if v, _ := samples.Value(MetricRequests, sel); int64(v) != ep.Requests {
+			t.Errorf("%s requests: metrics %v, health %d", label, v, ep.Requests)
+		}
+		if v, _ := samples.Value(MetricErrors, sel); int64(v) != ep.Errors {
+			t.Errorf("%s errors: metrics %v, health %d", label, v, ep.Errors)
+		}
+		if v, _ := samples.Value(MetricLatency+"_sum", sel); int64(v*1e9) != ep.TotalLatencyNs {
+			t.Errorf("%s latency sum: metrics %v, health %d", label, int64(v*1e9), ep.TotalLatencyNs)
+		}
+		for _, q := range []struct {
+			q    float64
+			want int64
+		}{{0.5, ep.LatencyP50Ns}, {0.99, ep.LatencyP99Ns}} {
+			got := int64(samples.Quantile(MetricLatency, q.q, sel) * 1e9)
+			if got != q.want {
+				t.Errorf("%s p%v: metrics-derived %d, health %d", label, q.q*100, got, q.want)
+			}
+		}
+	}
+}

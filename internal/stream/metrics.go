@@ -16,6 +16,7 @@ const (
 	MetricSnapshotsPushed = "parallellives_stream_snapshots_published_total"
 	MetricCheckpointSeq   = "parallellives_stream_checkpoint_seq"
 	MetricLastCommitUnix  = "parallellives_stream_last_commit_unix_seconds"
+	MetricLastPublishUnix = "parallellives_stream_last_publish_unix_seconds"
 	MetricIngestLagDays   = "parallellives_stream_ingest_lag_days"
 	MetricSourceHealthy   = "parallellives_stream_source_healthy"
 )
@@ -33,6 +34,7 @@ type tailMetrics struct {
 	snapshots      *obs.Counter
 	ckptSeq        *obs.Gauge
 	lastCommit     *obs.Gauge
+	lastPublish    *obs.Gauge
 	lagDays        *obs.Gauge
 	healthy        *obs.Gauge
 }
@@ -60,6 +62,8 @@ func newTailMetrics(reg *obs.Registry) *tailMetrics {
 			"Sequence number of the last committed checkpoint."),
 		lastCommit: reg.Gauge(MetricLastCommitUnix,
 			"Wall-clock time of the last checkpoint commit (unix seconds); checkpoint age = now - this."),
+		lastPublish: reg.Gauge(MetricLastPublishUnix,
+			"Wall-clock time of the last published snapshot (unix seconds); publish age = now - this."),
 		lagDays: reg.Gauge(MetricIngestLagDays,
 			"Days between the configured window end and the last committed day."),
 		healthy: reg.Gauge(MetricSourceHealthy,

@@ -405,6 +405,7 @@ func (t *Tailer) publish(ctx context.Context) error {
 	t.snap, t.snapDay = snap, t.last
 	t.mu.Unlock()
 	t.m.counter(t.m.snapshots, 1)
+	t.m.gauge(t.m.lastPublish, float64(time.Now().Unix()))
 	if t.opt.OnSnapshot != nil {
 		t.opt.OnSnapshot(t.last, snap)
 	}

@@ -6,6 +6,14 @@
 # -workers=N pipeline.Run comparison lands here as the
 # BenchmarkPipelineRun/workers=* rows.
 #
+# Alongside the rows it also writes:
+#   - BENCH_delta.txt: per-benchmark ns/op and allocs/op % change vs the
+#     committed (HEAD) BENCH_pipeline.json, so a perf regression is one
+#     diff line in the PR rather than two JSON blobs to eyeball;
+#   - BENCH_profiles/{cpu,heap,allocs}.pprof: pprof captures of a small
+#     profiled pipeline run (cmd/parallellives -profile-out), committed
+#     so `go tool pprof` can diff memory shape PR over PR.
+#
 # Knobs (for CI smoke): BENCH_COUNT (default 3) and BENCH_TIME (go test
 # -benchtime; empty = the go default).
 set -eu
@@ -14,9 +22,19 @@ cd "$(dirname "$0")/.."
 COUNT="${BENCH_COUNT:-3}"
 BENCHTIME="${BENCH_TIME:-}"
 OUT="BENCH_pipeline.json"
+DELTA="BENCH_delta.txt"
+PROFDIR="BENCH_profiles"
 
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+prev="$(mktemp)"
+trap 'rm -f "$tmp" "$prev"' EXIT
+
+# The baseline is what's committed, not what's on disk: a rerun after an
+# uncommitted bench still compares against the last recorded trajectory.
+have_prev=0
+if git show "HEAD:$OUT" > "$prev" 2>/dev/null; then
+    have_prev=1
+fi
 
 echo "== go test -bench 'Pipeline|Lifestore|Serve' -benchmem -count $COUNT ${BENCHTIME:+-benchtime $BENCHTIME}"
 if [ -n "$BENCHTIME" ]; then
@@ -55,3 +73,34 @@ END {
 }' "$tmp" > "$OUT"
 
 echo "bench: wrote $OUT"
+
+if [ "$have_prev" = 1 ]; then
+    awk '
+    # Both files are one benchmark per line:
+    #   "name": {"ns_per_op": N, "bytes_per_op": N, "allocs_per_op": N},
+    /ns_per_op/ {
+        split($0, q, "\""); name = q[2]
+        ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/,.*/, "", ns)
+        al = $0; sub(/.*"allocs_per_op": /, "", al); sub(/[},].*/, "", al)
+        if (FNR == NR) { pns[name] = ns; pal[name] = al; next }
+        if (!(name in pns)) {
+            printf "BENCH_delta %s new benchmark (%s ns/op, %s allocs/op)\n", name, ns, al
+            next
+        }
+        nd = (pns[name] + 0 > 0) ? (ns - pns[name]) * 100.0 / pns[name] : 0
+        ad = (al == "null" || pal[name] == "null") ? "n/a" : \
+            sprintf("%+.1f%%", (pal[name] + 0 > 0) ? (al - pal[name]) * 100.0 / pal[name] : 0)
+        printf "BENCH_delta %s ns/op %s -> %s (%+.1f%%) allocs/op %s -> %s (%s)\n", \
+            name, pns[name], ns, nd, pal[name], al, ad
+    }' "$prev" "$OUT" > "$DELTA"
+    cat "$DELTA"
+    echo "bench: wrote $DELTA (vs committed $OUT)"
+else
+    echo "BENCH_delta no committed $OUT to compare against" > "$DELTA"
+    echo "bench: no committed $OUT; skipped delta"
+fi
+
+echo "== profiled pipeline run -> $PROFDIR"
+go run ./cmd/parallellives -scale 0.01 -start 2004-01-01 -end 2007-01-01 \
+    -experiments "" -profile-out "$PROFDIR" >/dev/null
+echo "bench: wrote $PROFDIR/{cpu,heap,allocs}.pprof"

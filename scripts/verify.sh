@@ -9,7 +9,7 @@ echo "== go vet"
 go vet ./...
 echo "== go test"
 go test ./...
-echo "== go test -race (faults, bgpscan, serve, obs, parallel)"
+echo "== go test -race (faults, bgpscan, serve, obs incl. exemplar-ring hammer, parallel)"
 go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/
 echo "== go test -race -short (pipeline)"
 go test -race -short ./internal/pipeline/
@@ -23,6 +23,6 @@ echo "== go test -race (stream crash-equivalence property)"
 go test -race -count=1 -run TestCrashEquivalence ./internal/stream/
 echo "== go test -race (lifestore shard plan + shard files)"
 go test -race -count=1 -run 'TestShard|TestSaveSharded|TestOneShardPlan|TestOpenShard|TestOpenMapped' ./internal/lifestore/
-echo "== go test -race (router: unit + sharded/single byte-equivalence property)"
+echo "== go test -race (router: unit + byte-equivalence + stitched traces + federated metrics)"
 go test -race -count=1 ./internal/router/
 echo "verify: OK"
