@@ -1,4 +1,4 @@
-.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke shard-smoke fleet-smoke bench-serve bench-serve-smoke
+.PHONY: build test vet race verify fuzz snapshot-smoke chaos-serve stage-report bench bench-smoke tail-smoke shard-smoke fleet-smoke replica-smoke bench-serve bench-serve-smoke
 
 build:
 	go build ./...
@@ -11,7 +11,7 @@ vet:
 
 # Race-check the concurrency-sensitive and fault-handling packages.
 race:
-	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/ ./internal/stream/ ./internal/router/
+	go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/ ./internal/stream/ ./internal/router/ ./internal/loadgen/
 	go test -race -short ./internal/pipeline/
 	go test -race -count=1 -run 'TestShard|TestSaveSharded|TestOneShardPlan|TestOpenShard|TestOpenMapped' ./internal/lifestore/
 
@@ -62,6 +62,13 @@ shard-smoke:
 # exemplar rings, and asnstat must render a row per shard.
 fleet-smoke:
 	./scripts/fleet_smoke.sh
+
+# Replicated-tier smoke: 2 ranges x 2 replicas behind asnroute; under
+# sustained asnload traffic, kill -9 and restart every replica in turn
+# (retire + readmit via topology reload) and require zero client-visible
+# errors with failovers > 0.
+replica-smoke:
+	./scripts/replica_smoke.sh
 
 # Serving-tier benchmark: single asnserve vs the 4-shard tier under the
 # asnload open-loop generator, distilled into BENCH_serve.json.

@@ -10,8 +10,11 @@
 // generator down. The per-ASN population is sampled from the snapshot
 // file (-working-set caps the hot set); -mix reweights the endpoint
 // classes; the error taxonomy separates sheds (503 + Retry-After) from
-// hard failures. scripts/bench_serve.sh assembles rows from this
-// command into BENCH_serve.json.
+// hard failures. Against a replicated asnroute, replica failovers and
+// hedge wins absorbed by the fleet are counted too — the numbers a
+// chaos drill asserts on ("failovers > 0, errors == 0").
+// scripts/bench_serve.sh assembles rows from this command into
+// BENCH_serve.json.
 package main
 
 import (
@@ -97,6 +100,10 @@ func run() error {
 	res, err := loadgen.Run(ctx, opts)
 	if err != nil {
 		return err
+	}
+	if res.Failovers > 0 || res.HedgeWins > 0 {
+		fmt.Fprintf(os.Stderr, "asnload: fleet absorbed %d failover(s), %d hedge win(s)\n",
+			res.Failovers, res.HedgeWins)
 	}
 
 	row := struct {

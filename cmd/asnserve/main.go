@@ -67,6 +67,7 @@ func run() error {
 		pprofOn  = flag.Bool("pprof", false, "also serve /debug/pprof/* profiling endpoints")
 		exempl   = flag.Int("exemplars", 32, "slow/error request exemplars kept for /v1/debug/slow (-1 disables capture)")
 		mmapOn   = flag.Bool("mmap", false, "memory-map the snapshot instead of reading through the descriptor (shares page cache across shard processes)")
+		replica  = flag.String("replica", "", "replica identity reported on /v1/shard so a fronting router can tell same-range replicas apart (default: random per process)")
 
 		follow     = flag.Duration("follow", 0, "poll the snapshot file at this interval and hot-reload when it changes (0 disables) — pairs with a live tail writing -snapshot")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight requests")
@@ -155,7 +156,7 @@ func run() error {
 	return serveSnapshot(o, *snapshot, *listen, serveConfig{
 		cache: *cache, stride: *stride, pprofOn: *pprofOn, mmapOn: *mmapOn,
 		drain: *drain, maxInFlight: *maxInfl, requestTimeout: *reqTimeout,
-		follow: *follow, exemplars: *exempl,
+		follow: *follow, exemplars: *exempl, replica: *replica,
 	})
 }
 
@@ -169,6 +170,7 @@ type serveConfig struct {
 	requestTimeout time.Duration
 	follow         time.Duration
 	exemplars      int
+	replica        string
 }
 
 // serveSnapshot opens and fully verifies the snapshot, binds the
@@ -193,7 +195,7 @@ func serveSnapshot(o *obs.Obs, snapshot, listen string, cfg serveConfig) error {
 	srv := serve.New(sw, serve.Options{
 		CacheSize: cfg.cache, DefaultStride: cfg.stride, Obs: o,
 		MaxInFlight: cfg.maxInFlight, RequestTimeout: cfg.requestTimeout,
-		Reloader: rel, ExemplarCapacity: cfg.exemplars,
+		Reloader: rel, ExemplarCapacity: cfg.exemplars, Replica: cfg.replica,
 	})
 	handler := http.Handler(srv)
 	if cfg.pprofOn {

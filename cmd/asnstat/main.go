@@ -6,18 +6,21 @@
 //	asnstat -url http://127.0.0.1:8080             # one shot
 //	asnstat -url http://127.0.0.1:8080 -interval 2s # live, qps from deltas
 //
-// Against a router with federation enabled (the default), the per-shard
-// rows come from the parallellives_fleet_* rollup the router re-exports
-// after scraping its shards, plus the router's own breaker gauges:
+// Against a router with federation enabled (the default), one row per
+// replica comes from the parallellives_fleet_* rollup the router
+// re-exports after scraping its fleet, plus the router's own per-replica
+// breaker gauges:
 //
-//	SHARD  UP  BREAKER  GEN  REQS  QPS  P99(ms)  ERRS  LAG(d)
+//	SHARD  REPLICA  UP  BREAKER  GEN  REQS  QPS  P99(ms)  ERRS  LAG(d)
 //
-// QPS needs two scrapes to difference, so it shows "-" on the first
-// poll and in one-shot mode. Shards whose last federation scrape failed
+// REPLICA is the ordinal within the range's replica set (a 1-replica
+// fleet shows ordinal 0 everywhere; a bare asnserve shows "-"). QPS
+// needs two scrapes to difference, so it shows "-" on the first poll
+// and in one-shot mode. Replicas whose last federation scrape failed
 // show UP 0 with their last-known numbers. Run with -interval against a
 // fresh router and the first row may be empty for one federation cycle
 // (default 5s) — the rollup does not exist until the router has scraped
-// its shards once.
+// its fleet once.
 package main
 
 import (
@@ -96,10 +99,11 @@ func scrape(client *http.Client, url string) (obs.Samples, error) {
 	return obs.ParseExposition(body)
 }
 
-// row is one line of the dashboard: a shard of the fleet, or the single
-// process itself when asnstat points at a bare asnserve.
+// row is one line of the dashboard: one replica of the fleet, or the
+// single process itself when asnstat points at a bare asnserve.
 type row struct {
 	shard      string
+	replica    string
 	up         float64
 	upKnown    bool
 	breaker    string
@@ -111,47 +115,56 @@ type row struct {
 	lagKnown   bool
 }
 
+// key identifies a row across scrapes (QPS differencing).
+func (r row) key() string { return r.shard + "/" + r.replica }
+
 // buildRows reads the fleet from one exposition. A router exports
-// fleet_* series per shard plus its own breaker gauges; a single
-// asnserve exports serve_* series, which become one synthetic row.
+// fleet_* series per (shard, replica) slot plus its own per-replica
+// breaker gauges; a single asnserve exports serve_* series, which
+// become one synthetic row.
 func buildRows(samples obs.Samples) []row {
-	shards := map[string]*row{}
-	get := func(label string) *row {
-		r, ok := shards[label]
+	replicas := map[string]*row{}
+	get := func(shard, replica string) *row {
+		k := shard + "/" + replica
+		r, ok := replicas[k]
 		if !ok {
-			r = &row{shard: label, breaker: "-"}
-			shards[label] = r
+			r = &row{shard: shard, replica: replica, breaker: "-"}
+			replicas[k] = r
 		}
 		return r
 	}
 	for _, s := range samples {
-		label, hasShard := s.Labels["shard"]
+		shard, hasShard := s.Labels["shard"]
 		if !hasShard {
 			continue
 		}
+		rep, hasRep := s.Labels["replica"]
+		if !hasRep {
+			rep = "-"
+		}
 		switch s.Name {
 		case router.MetricFleetUp:
-			r := get(label)
+			r := get(shard, rep)
 			r.up, r.upKnown = s.Value, true
 		case router.MetricFleetGen:
-			r := get(label)
+			r := get(shard, rep)
 			r.gen, r.genKnown = s.Value, true
 		case router.MetricFleetRequests:
-			get(label).reqs = s.Value
+			get(shard, rep).reqs = s.Value
 		case router.MetricFleetErrors:
-			get(label).errs = s.Value
+			get(shard, rep).errs = s.Value
 		case router.MetricFleetP99:
-			get(label).p99 = s.Value
+			get(shard, rep).p99 = s.Value
 		case router.MetricFleetLag:
-			r := get(label)
+			r := get(shard, rep)
 			r.lag, r.lagKnown = s.Value, true
 		case router.MetricBreakerState:
-			get(label).breaker = breakerName(s.Value)
+			get(shard, rep).breaker = breakerName(s.Value)
 		}
 	}
-	if len(shards) == 0 {
+	if len(replicas) == 0 {
 		// Not a router (or federation off): render the process itself.
-		r := &row{shard: "-", breaker: "-", up: 1, upKnown: true}
+		r := &row{shard: "-", replica: "-", breaker: "-", up: 1, upKnown: true}
 		r.reqs = samples.Sum(serve.MetricRequests, nil)
 		r.errs = samples.Sum(serve.MetricErrors, nil)
 		r.p99 = samples.Quantile(serve.MetricLatency, 0.99, nil)
@@ -166,14 +179,19 @@ func buildRows(samples obs.Samples) []row {
 		}
 		return []row{*r}
 	}
-	out := make([]row, 0, len(shards))
-	for _, r := range shards {
+	out := make([]row, 0, len(replicas))
+	for _, r := range replicas {
 		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, _ := strconv.Atoi(out[i].shard)
 		b, _ := strconv.Atoi(out[j].shard)
-		return a < b
+		if a != b {
+			return a < b
+		}
+		c, _ := strconv.Atoi(out[i].replica)
+		d, _ := strconv.Atoi(out[j].replica)
+		return c < d
 	})
 	return out
 }
@@ -193,7 +211,7 @@ func breakerName(v float64) string {
 func requestTotals(rows []row) map[string]float64 {
 	t := make(map[string]float64, len(rows))
 	for _, r := range rows {
-		t[r.shard] = r.reqs
+		t[r.key()] = r.reqs
 	}
 	return t
 }
@@ -205,16 +223,16 @@ func render(w io.Writer, target string, rows []row, prev map[string]float64, dt 
 		return
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "SHARD\tUP\tBREAKER\tGEN\tREQS\tQPS\tP99(ms)\tERRS\tLAG(d)")
+	fmt.Fprintln(tw, "SHARD\tREPLICA\tUP\tBREAKER\tGEN\tREQS\tQPS\tP99(ms)\tERRS\tLAG(d)")
 	for _, r := range rows {
 		qps := "-"
 		if prev != nil && dt > 0 {
-			if p, ok := prev[r.shard]; ok && r.reqs >= p {
+			if p, ok := prev[r.key()]; ok && r.reqs >= p {
 				qps = fmt.Sprintf("%.1f", (r.reqs-p)/dt.Seconds())
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.0f\t%s\t%.2f\t%.0f\t%s\n",
-			r.shard, optional(r.up, r.upKnown), r.breaker, optional(r.gen, r.genKnown),
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.0f\t%s\t%.2f\t%.0f\t%s\n",
+			r.shard, r.replica, optional(r.up, r.upKnown), r.breaker, optional(r.gen, r.genKnown),
 			r.reqs, qps, r.p99*1000, r.errs, optional(r.lag, r.lagKnown))
 	}
 	tw.Flush()

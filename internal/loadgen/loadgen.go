@@ -15,6 +15,13 @@
 // (p50/p90/p99/p999/max), and an error taxonomy that separates
 // shed responses (503 with Retry-After — the tier protecting itself)
 // from hard failures (other 5xx, transport errors, timeouts).
+//
+// Against a replicated router the generator also counts what the fleet
+// absorbed: responses carrying the X-Parallellives-Failover header
+// (a replica died mid-request and a sibling answered) and hedge wins
+// (X-Parallellives-Hedge) are first-class outcome counts, so a chaos
+// drill can assert "replicas failed over N times and the client saw
+// zero errors" from the load report alone.
 package loadgen
 
 import (
@@ -24,6 +31,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -97,6 +105,13 @@ type Result struct {
 	// not_modified, shed (503 + Retry-After), http_5xx, transport,
 	// timeout.
 	Errors map[string]int64 `json:"errors"`
+
+	// Failovers totals the replica failovers the fleet absorbed on this
+	// run's behalf (sum of X-Parallellives-Failover header values);
+	// HedgeWins counts responses won by a hedged second request. Both
+	// stay zero against an unreplicated target.
+	Failovers int64 `json:"failovers"`
+	HedgeWins int64 `json:"hedge_wins"`
 
 	P50Ms  float64 `json:"p50_ms"`
 	P90Ms  float64 `json:"p90_ms"`
@@ -190,10 +205,14 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		wg        sync.WaitGroup
 		sem       = make(chan struct{}, maxInFlight)
 	)
-	record := func(key string, d time.Duration) {
+	record := func(o outcome, d time.Duration) {
 		mu.Lock()
-		res.Errors[key]++
+		res.Errors[o.class]++
 		res.Completed++
+		res.Failovers += o.failovers
+		if o.hedgeWin {
+			res.HedgeWins++
+		}
 		latencies = append(latencies, d)
 		mu.Unlock()
 	}
@@ -287,33 +306,56 @@ func pickPath(rng *rand.Rand, mix Mix, opts Options, working int, strides []int)
 	}
 }
 
+// Replica-fleet response markers, mirroring router.FailoverHeader and
+// router.HedgeHeader (pinned equal by a test so they cannot drift).
+const (
+	failoverHeader = "X-Parallellives-Failover"
+	hedgeHeader    = "X-Parallellives-Hedge"
+)
+
+// outcome is one request's classification plus what the fleet went
+// through to produce it.
+type outcome struct {
+	class     string
+	failovers int64
+	hedgeWin  bool
+}
+
 // fire sends one request and classifies the outcome.
-func fire(ctx context.Context, client *http.Client, target, path string) string {
+func fire(ctx context.Context, client *http.Client, target, path string) outcome {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+path, nil)
 	if err != nil {
-		return "transport"
+		return outcome{class: "transport"}
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			return "timeout"
+			return outcome{class: "timeout"}
 		}
-		return "transport"
+		return outcome{class: "transport"}
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	var o outcome
+	if v := resp.Header.Get(failoverHeader); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			o.failovers = n
+		}
+	}
+	o.hedgeWin = resp.Header.Get(hedgeHeader) == "win"
 	switch {
 	case resp.StatusCode == http.StatusNotModified:
-		return "not_modified"
+		o.class = "not_modified"
 	case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
-		return "shed"
+		o.class = "shed"
 	case resp.StatusCode >= 500:
-		return "http_5xx"
+		o.class = "http_5xx"
 	case resp.StatusCode == http.StatusNotFound:
-		return "not_found"
+		o.class = "not_found"
 	case resp.StatusCode >= 400:
-		return "bad_request"
+		o.class = "bad_request"
 	default:
-		return "ok"
+		o.class = "ok"
 	}
+	return o
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"parallellives/internal/asn"
+	"parallellives/internal/router"
 )
 
 // stubServer answers the serving tier's read surface well enough to
@@ -150,6 +151,58 @@ func TestRunOpenLoopDrops(t *testing.T) {
 	// Latency is measured from the schedule, so queueing shows up.
 	if res.P50Ms < 40 {
 		t.Fatalf("p50 %.1fms below the server's 50ms floor", res.P50Ms)
+	}
+}
+
+// TestRunCountsFailoversAndHedgeWins drives the generator against a
+// stub that stamps the router's failover/hedge marker headers on some
+// responses, and checks both land in the result as first-class numbers
+// — the counters a chaos drill asserts on.
+func TestRunCountsFailoversAndHedgeWins(t *testing.T) {
+	var served atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := served.Add(1)
+		if n%3 == 0 {
+			w.Header().Set(failoverHeader, "2") // two hops before this answer
+		}
+		if n%5 == 0 {
+			w.Header().Set(hedgeHeader, "win")
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		Target:   ts.URL,
+		Rate:     200,
+		Duration: 250 * time.Millisecond,
+		Mix:      Mix{Taxonomy: 1},
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Errors["ok"] != res.Completed {
+		t.Fatalf("stub traffic misclassified: %+v of %d", res.Errors, res.Completed)
+	}
+	n := served.Load()
+	wantFailovers := (n / 3) * 2
+	wantHedgeWins := n / 5
+	if res.Failovers != wantFailovers || res.HedgeWins != wantHedgeWins {
+		t.Fatalf("counted %d failovers / %d hedge wins over %d responses, want %d / %d",
+			res.Failovers, res.HedgeWins, n, wantFailovers, wantHedgeWins)
+	}
+}
+
+// TestHeaderNamesMatchRouter pins the header constants to the router's
+// exported ones — the generator parses by local copies (no import in
+// production code), so drift would silently zero the counters.
+func TestHeaderNamesMatchRouter(t *testing.T) {
+	if failoverHeader != router.FailoverHeader {
+		t.Fatalf("failoverHeader %q != router.FailoverHeader %q", failoverHeader, router.FailoverHeader)
+	}
+	if hedgeHeader != router.HedgeHeader {
+		t.Fatalf("hedgeHeader %q != router.HedgeHeader %q", hedgeHeader, router.HedgeHeader)
 	}
 }
 

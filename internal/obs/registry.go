@@ -95,6 +95,17 @@ func (r *Registry) getFamily(name, help string, kind Kind, labels []string, boun
 	return f
 }
 
+// drop removes one labeled series from the family. A later with()
+// recreates it from zero. This is how layers whose label population can
+// change at runtime (the router's per-replica fleet rollup across
+// topology swaps) keep the exposition bounded to the live set instead
+// of accumulating every label pair ever seen.
+func (f *family) drop(values []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.series, labelKey(values))
+}
+
 // with returns (creating if needed) the series for the given label
 // values. The read path is an RLock + map hit; creation takes the write
 // lock once per distinct label set.
@@ -145,6 +156,13 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.with(values, func() any { return &Counter{} }).(*Counter)
 }
 
+// Drop removes the series with the given label values; a later With
+// recreates it at zero. Dropping a counter mid-scrape makes its value
+// appear to reset, which Prometheus-style consumers already tolerate
+// (process restarts look the same) — use it only for series whose
+// labeled entity is gone for good.
+func (v *CounterVec) Drop(values ...string) { v.f.drop(values) }
+
 // Counter registers (or finds) an unlabeled counter.
 func (r *Registry) Counter(name, help string) *Counter {
 	f := r.getFamily(name, help, KindCounter, nil, nil)
@@ -186,6 +204,10 @@ type GaugeVec struct{ f *family }
 func (v *GaugeVec) With(values ...string) *Gauge {
 	return v.f.with(values, func() any { return &Gauge{} }).(*Gauge)
 }
+
+// Drop removes the series with the given label values; a later With
+// recreates it at zero.
+func (v *GaugeVec) Drop(values ...string) { v.f.drop(values) }
 
 // Gauge registers (or finds) an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {

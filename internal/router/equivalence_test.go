@@ -200,6 +200,54 @@ func compareHealth(t *testing.T, want, got *httptest.ResponseRecorder) {
 	}
 }
 
+// TestReplicatedEquivalence extends the contract to replica sets: a
+// router over R=2 replicas per range is byte-for-byte indistinguishable
+// from the single process — and stays so after one replica of every
+// range is killed mid-test, because failover absorbs the loss before
+// any client sees it. The failover/hedge marker headers are additive
+// and deliberately outside the compared set.
+func TestReplicatedEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		seed  int64
+		chaos bool
+	}{
+		{"clean", 1, false},
+		{"chaos", 7, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			snap := equivSnapshot(t, tc.seed, tc.chaos)
+			baseline := startBaseline(t, snap)
+
+			for _, ranges := range []int{1, 2} {
+				t.Run(fmt.Sprintf("ranges=%d", ranges), func(t *testing.T) {
+					fleet := startReplicated(t, snap, ranges, 2)
+					rt := newRouterOver(t, fleet.urls, Options{CacheSize: 8})
+
+					paths := probePaths(snap, fleet.plan)
+					for _, path := range paths {
+						want := fetchRec(baseline, path)
+						compareResponses(t, path, want, fetchRec(rt, path))
+						compareResponses(t, path+" (warm)", want, fetchRec(rt, path))
+					}
+					compareHealth(t, fetchRec(baseline, "/v1/health"), fetchRec(rt, "/v1/health"))
+
+					// Kill one replica of every range mid-test: the
+					// answers must not change by a byte.
+					for i := 0; i < ranges; i++ {
+						fleet.flakyAt(t, rt, i, 0).broken.Store(true)
+					}
+					for _, path := range paths {
+						want := fetchRec(baseline, path)
+						compareResponses(t, path+" (degraded)", want, fetchRec(rt, path))
+					}
+					compareHealth(t, fetchRec(baseline, "/v1/health"), fetchRec(rt, "/v1/health"))
+				})
+			}
+		})
+	}
+}
+
 func TestShardedEquivalence(t *testing.T) {
 	for _, tc := range []struct {
 		name  string

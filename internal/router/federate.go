@@ -12,12 +12,15 @@ import (
 	"parallellives/internal/stream"
 )
 
-// Fleet rollup metric names. The router scrapes every shard's /metrics
-// and re-exports the fleet view under parallellives_fleet_* with a
-// bounded `shard` label (one series per shard index — never per ASN or
-// per path, per the DESIGN.md §8 cardinality budget). Mirrored counter
-// readings are exported as gauges ("the value last scraped"), so only
-// the router's own scrape counter keeps the _total suffix.
+// Fleet rollup metric names. The router scrapes every replica's
+// /metrics and re-exports the fleet view under parallellives_fleet_*
+// with bounded `shard` (range index) and `replica` (ordinal within the
+// range) labels — one series per replica slot, never per ASN or per
+// path, per the DESIGN.md §8 cardinality budget. Ordinals, not replica
+// IDs: a range's series count is its replica count no matter how often
+// the processes behind it restart. Mirrored counter readings are
+// exported as gauges ("the value last scraped"), so only the router's
+// own scrape counter keeps the _total suffix.
 const (
 	MetricFleetRequests = "parallellives_fleet_requests"
 	MetricFleetErrors   = "parallellives_fleet_errors"
@@ -35,6 +38,7 @@ const (
 	MetricFleetLagMax       = "parallellives_fleet_ingest_lag_days_max"
 	MetricFleetBreakersOpen = "parallellives_fleet_breakers_open"
 	MetricFleetShards       = "parallellives_fleet_shards"
+	MetricFleetReplicas     = "parallellives_fleet_replicas"
 )
 
 // sysClock is the federator's default clock; tests swap in a FakeClock
@@ -44,9 +48,9 @@ type sysClock struct{}
 func (sysClock) Now() time.Time { return time.Now() }
 
 // federator owns the fleet rollup instruments. Scrapes re-set the
-// per-shard gauges wholesale — the rollup is a snapshot of the fleet,
-// not an accumulation, so a restarted shard's counters going backwards
-// is fine by construction.
+// per-replica gauges wholesale — the rollup is a snapshot of the fleet,
+// not an accumulation, so a restarted replica's counters going
+// backwards is fine by construction.
 type federator struct {
 	clock obs.Clock
 
@@ -65,59 +69,108 @@ type federator struct {
 	lagMax       *obs.Gauge
 	breakersOpen *obs.Gauge
 	shardsTotal  *obs.Gauge
+	replicas     *obs.Gauge
+
+	// emitted tracks every (shard, replica) pair with live fleet series,
+	// so prune can drop the ones a topology swap retired.
+	mu      sync.Mutex
+	emitted map[[2]string]bool
 }
 
 func newFederator(reg *obs.Registry) *federator {
 	return &federator{
-		clock: sysClock{},
+		clock:   sysClock{},
+		emitted: make(map[[2]string]bool),
 		reqs: reg.GaugeVec(MetricFleetRequests,
-			"Per-shard serve_requests_total as last scraped.", "shard"),
+			"Per-replica serve_requests_total as last scraped.", "shard", "replica"),
 		errs: reg.GaugeVec(MetricFleetErrors,
-			"Per-shard serve_errors_total as last scraped.", "shard"),
+			"Per-replica serve_errors_total as last scraped.", "shard", "replica"),
 		p50: reg.GaugeVec(MetricFleetP50,
-			"Per-shard request latency p50, interpolated from the scraped histogram.", "shard"),
+			"Per-replica request latency p50, interpolated from the scraped histogram.", "shard", "replica"),
 		p99: reg.GaugeVec(MetricFleetP99,
-			"Per-shard request latency p99, interpolated from the scraped histogram.", "shard"),
+			"Per-replica request latency p99, interpolated from the scraped histogram.", "shard", "replica"),
 		inflight: reg.GaugeVec(MetricFleetInflight,
-			"Per-shard in-flight requests as last scraped.", "shard"),
+			"Per-replica in-flight requests as last scraped.", "shard", "replica"),
 		gen: reg.GaugeVec(MetricFleetGen,
-			"Per-shard snapshot generation from the last probe.", "shard"),
+			"Per-replica snapshot generation from the last probe.", "shard", "replica"),
 		lag: reg.GaugeVec(MetricFleetLag,
-			"Per-shard streaming ingest lag in days, where the shard runs a tailer.", "shard"),
+			"Per-replica streaming ingest lag in days, where the replica runs a tailer.", "shard", "replica"),
 		up: reg.GaugeVec(MetricFleetUp,
-			"1 when the last scrape of this shard succeeded, else 0.", "shard"),
+			"1 when the last scrape of this replica succeeded, else 0.", "shard", "replica"),
 		lastUnix: reg.GaugeVec(MetricFleetLastUnix,
-			"Unix time of this shard's last successful scrape.", "shard"),
+			"Unix time of this replica's last successful scrape.", "shard", "replica"),
 		scrapes: reg.CounterVec(MetricFleetScrapes,
-			"Federation scrapes by shard and outcome (ok, error).", "shard", "outcome"),
+			"Federation scrapes by shard, replica and outcome (ok, error).", "shard", "replica", "outcome"),
 		genSkew: reg.Gauge(MetricFleetGenSkew,
-			"Max minus min shard generation: non-zero while a rollout is in flight."),
+			"Max minus min replica generation: non-zero while a rollout is in flight."),
 		lagMax: reg.Gauge(MetricFleetLagMax,
-			"Worst streaming ingest lag across shards reporting one."),
+			"Worst streaming ingest lag across replicas reporting one."),
 		breakersOpen: reg.Gauge(MetricFleetBreakersOpen,
-			"Shard circuit breakers currently open."),
+			"Replica circuit breakers currently open."),
 		shardsTotal: reg.Gauge(MetricFleetShards,
-			"Shards this router fronts."),
+			"Shard ranges this router fronts."),
+		replicas: reg.Gauge(MetricFleetReplicas,
+			"Replica processes this router fronts, across all ranges."),
 	}
 }
 
-// ScrapeFleet scrapes every shard's /metrics concurrently and folds the
-// results into the fleet rollup. Shard fetches run through the normal
-// breaker-guarded client, so a dark shard costs one fast failure — and
-// its scrape outcome, up flag, and stale gauges say so on the router's
-// own exposition. No-op when federation is disabled.
+// touch records a (shard, replica) pair as having live fleet series.
+func (f *federator) touch(shard, rep string) {
+	f.mu.Lock()
+	f.emitted[[2]string{shard, rep}] = true
+	f.mu.Unlock()
+}
+
+// prune drops fleet series for replica slots the given topology no
+// longer has, so the exposition reflects the live fleet rather than the
+// union of every topology ever served.
+func (f *federator) prune(topo *topology) {
+	live := map[[2]string]bool{}
+	for _, set := range topo.sets {
+		for ord := range set.replicas {
+			live[[2]string{strconv.Itoa(set.index), strconv.Itoa(ord)}] = true
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for key := range f.emitted {
+		if live[key] {
+			continue
+		}
+		shard, rep := key[0], key[1]
+		f.reqs.Drop(shard, rep)
+		f.errs.Drop(shard, rep)
+		f.p50.Drop(shard, rep)
+		f.p99.Drop(shard, rep)
+		f.inflight.Drop(shard, rep)
+		f.gen.Drop(shard, rep)
+		f.lag.Drop(shard, rep)
+		f.up.Drop(shard, rep)
+		f.lastUnix.Drop(shard, rep)
+		f.scrapes.Drop(shard, rep, "ok")
+		f.scrapes.Drop(shard, rep, "error")
+		delete(f.emitted, key)
+	}
+}
+
+// ScrapeFleet scrapes every replica's /metrics concurrently and folds
+// the results into the fleet rollup. Replica fetches run through the
+// normal breaker-guarded client, so a dark replica costs one fast
+// failure — and its scrape outcome, up flag, and stale gauges say so on
+// the router's own exposition. No-op when federation is disabled.
 func (rt *Router) ScrapeFleet(ctx context.Context) {
 	f := rt.fed
 	if f == nil {
 		return
 	}
+	topo := rt.topo.Load()
 	type scrape struct {
 		samples obs.Samples
 		ok      bool
 	}
-	results := make([]scrape, len(rt.shards))
+	results := make([]scrape, len(topo.replicas))
 	var wg sync.WaitGroup
-	for i, sc := range rt.shards {
+	for i, sc := range topo.replicas {
 		wg.Add(1)
 		go func(i int, sc *shardClient) {
 			defer wg.Done()
@@ -141,8 +194,9 @@ func (rt *Router) ScrapeFleet(ctx context.Context) {
 	var lagMax float64
 	lagSeen := false
 	open := 0
-	for i, sc := range rt.shards {
-		label := strconv.Itoa(sc.index)
+	for i, sc := range topo.replicas {
+		shard, rep := strconv.Itoa(sc.index), strconv.Itoa(sc.ordinal)
+		f.touch(shard, rep)
 		state, gen, _ := sc.state()
 		if state == "open" {
 			open++
@@ -153,26 +207,26 @@ func (rt *Router) ScrapeFleet(ctx context.Context) {
 		if i == 0 || gen > maxGen {
 			maxGen = gen
 		}
-		f.gen.With(label).Set(float64(gen))
+		f.gen.With(shard, rep).Set(float64(gen))
 
 		res := results[i]
 		if !res.ok {
-			f.scrapes.With(label, "error").Inc()
-			f.up.With(label).Set(0)
+			f.scrapes.With(shard, rep, "error").Inc()
+			f.up.With(shard, rep).Set(0)
 			continue
 		}
-		f.scrapes.With(label, "ok").Inc()
-		f.up.With(label).Set(1)
-		f.lastUnix.With(label).Set(now)
-		f.reqs.With(label).Set(res.samples.Sum(serve.MetricRequests, nil))
-		f.errs.With(label).Set(res.samples.Sum(serve.MetricErrors, nil))
-		f.p50.With(label).Set(res.samples.Quantile(serve.MetricLatency, 0.5, nil))
-		f.p99.With(label).Set(res.samples.Quantile(serve.MetricLatency, 0.99, nil))
+		f.scrapes.With(shard, rep, "ok").Inc()
+		f.up.With(shard, rep).Set(1)
+		f.lastUnix.With(shard, rep).Set(now)
+		f.reqs.With(shard, rep).Set(res.samples.Sum(serve.MetricRequests, nil))
+		f.errs.With(shard, rep).Set(res.samples.Sum(serve.MetricErrors, nil))
+		f.p50.With(shard, rep).Set(res.samples.Quantile(serve.MetricLatency, 0.5, nil))
+		f.p99.With(shard, rep).Set(res.samples.Quantile(serve.MetricLatency, 0.99, nil))
 		if v, ok := res.samples.Value(serve.MetricInFlight, nil); ok {
-			f.inflight.With(label).Set(v)
+			f.inflight.With(shard, rep).Set(v)
 		}
 		if v, ok := res.samples.Value(stream.MetricIngestLagDays, nil); ok {
-			f.lag.With(label).Set(v)
+			f.lag.With(shard, rep).Set(v)
 			if !lagSeen || v > lagMax {
 				lagMax, lagSeen = v, true
 			}
@@ -183,5 +237,6 @@ func (rt *Router) ScrapeFleet(ctx context.Context) {
 		f.lagMax.Set(lagMax)
 	}
 	f.breakersOpen.Set(float64(open))
-	f.shardsTotal.Set(float64(len(rt.shards)))
+	f.shardsTotal.Set(float64(len(topo.sets)))
+	f.replicas.Set(float64(len(topo.replicas)))
 }

@@ -66,8 +66,8 @@ parallellives_serve_request_seconds_bucket{endpoint="/v1/asn/{n}",le="+Inf"} 40
 // TestFederatedMetricsGolden pins the federation rollup byte-for-byte:
 // two healthy fake shards plus one that stops answering mid-flight must
 // produce exactly the fleet series in testdata/federated_metrics.golden
-// — shard labels, the generation-skew and lag-max gauges, the
-// scrape-failure counter, and nothing of unbounded cardinality.
+// — (shard, replica) labels, the generation-skew and lag-max gauges,
+// the scrape-failure counter, and nothing of unbounded cardinality.
 func TestFederatedMetricsGolden(t *testing.T) {
 	s0, _ := fakeShard(t, 0, 3, 0, 1000, 3, fakeShardMetrics0)
 	s1, _ := fakeShard(t, 1, 3, 1001, 2000, 3, fakeShardMetrics1)
@@ -139,6 +139,7 @@ func TestFederatedMetricsGolden(t *testing.T) {
 		{MetricFleetLagMax, nil, 5},
 		{MetricFleetBreakersOpen, nil, 0},
 		{MetricFleetShards, nil, 3},
+		{MetricFleetReplicas, nil, 3},
 	}
 	for _, c := range checks {
 		if v, ok := samples.Value(c.name, c.match); !ok || v != c.want {

@@ -86,15 +86,25 @@ func fixtureSnapshot(seed int64) *lifestore.Snapshot {
 
 // flaky wraps a shard server so tests can kill and revive it without
 // juggling listeners: while broken, every request answers 500 (which
-// the router's breaker treats exactly like a dead process).
+// the router's breaker treats exactly like a dead process). A non-zero
+// delay stalls every response first — the slow-replica half of the
+// hedged-read tests.
 type flaky struct {
 	h      http.Handler
 	broken atomic.Bool
+	delay  atomic.Int64 // nanoseconds added before answering
 	hits   atomic.Int64
 }
 
 func (f *flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.hits.Add(1)
+	if d := f.delay.Load(); d > 0 {
+		select {
+		case <-time.After(time.Duration(d)):
+		case <-r.Context().Done():
+			return
+		}
+	}
 	if f.broken.Load() {
 		http.Error(w, "injected shard failure", http.StatusInternalServerError)
 		return
@@ -158,10 +168,65 @@ func (s *shardSet) rewriteShards(t *testing.T, snap *lifestore.Snapshot) {
 	}
 }
 
-// newTestRouter builds a router over the set with fast breakers.
-func newTestRouter(t *testing.T, set *shardSet, opts Options) *Router {
+// replicaFleet is a running replicated fleet over one sharded fixture:
+// `ranges` shard files, each served by `replicas` independent
+// serve.Server processes (distinct replica IDs, shared shard file).
+type replicaFleet struct {
+	urls  []string
+	byURL map[string]*flaky
+	paths []string
+	plan  lifestore.ShardPlan
+}
+
+// startReplicated cuts the fixture into `ranges` shard files and serves
+// each with `replicas` full serve.Servers behind flaky wrappers.
+func startReplicated(t *testing.T, snap *lifestore.Snapshot, ranges, replicas int) *replicaFleet {
 	t.Helper()
-	opts.Shards = set.urls
+	dir := t.TempDir()
+	plan, paths, err := lifestore.SaveSharded(snap, ranges, filepath.Join(dir, "lives.%d.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := &replicaFleet{paths: paths, plan: plan, byURL: map[string]*flaky{}}
+	for i, path := range paths {
+		for j := 0; j < replicas; j++ {
+			o := obs.New()
+			open := serve.FileOpener(path, o.Registry)
+			src, closer, source, err := open(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := serve.NewSwappable(src, closer, source)
+			rel := serve.NewReloader(sw, open, o.Registry)
+			s := serve.New(sw, serve.Options{Obs: o, Reloader: rel, Replica: fmt.Sprintf("r%d-%d", i, j)})
+			f := &flaky{h: s}
+			ts := httptest.NewServer(f)
+			t.Cleanup(ts.Close)
+			fleet.urls = append(fleet.urls, ts.URL)
+			fleet.byURL[ts.URL] = f
+		}
+	}
+	return fleet
+}
+
+// flakyAt resolves a (range, ordinal) slot of the router's live
+// topology back to the flaky wrapper serving it — ordinals are assigned
+// by URL sort, so tests must look them up rather than assume start
+// order.
+func (fl *replicaFleet) flakyAt(t *testing.T, rt *Router, rangeIdx, ordinal int) *flaky {
+	t.Helper()
+	sc := rt.topo.Load().sets[rangeIdx].replicas[ordinal]
+	f, ok := fl.byURL[sc.baseURL]
+	if !ok {
+		t.Fatalf("no fixture server behind %s", sc.baseURL)
+	}
+	return f
+}
+
+// newRouterOver builds a router over the given URLs with fast breakers.
+func newRouterOver(t *testing.T, urls []string, opts Options) *Router {
+	t.Helper()
+	opts.Shards = urls
 	if opts.BreakerThreshold == 0 {
 		opts.BreakerThreshold = 2
 	}
@@ -176,6 +241,12 @@ func newTestRouter(t *testing.T, set *shardSet, opts Options) *Router {
 		t.Fatal(err)
 	}
 	return rt
+}
+
+// newTestRouter builds a router over the set with fast breakers.
+func newTestRouter(t *testing.T, set *shardSet, opts Options) *Router {
+	t.Helper()
+	return newRouterOver(t, set.urls, opts)
 }
 
 // get performs one request against the router, returning the recorder.

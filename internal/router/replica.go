@@ -1,0 +1,200 @@
+package router
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"parallellives/internal/asn"
+)
+
+// replicaSet is one shard range and every replica serving it. The set
+// is immutable once its topology generation is published; only the
+// round-robin cursor and the replicas' breakers mutate afterwards, both
+// atomically.
+type replicaSet struct {
+	index    int
+	lo, hi   asn.ASN
+	asns     int
+	replicas []*shardClient
+	rr       atomic.Uint64
+}
+
+// candidates returns the replicas in the order a read should try them:
+// closed-breaker replicas first, rotated round-robin so load spreads,
+// then the non-closed ones as a last resort (their breakers still gate
+// each attempt in fetch, so an open replica inside its cooldown costs
+// nothing). A replica whose breaker is open is therefore never picked
+// while a sibling's breaker is closed.
+func (set *replicaSet) candidates() []*shardClient {
+	n := len(set.replicas)
+	if n == 1 {
+		return set.replicas
+	}
+	offset := int(set.rr.Add(1) % uint64(n))
+	closed := make([]*shardClient, 0, n)
+	var rest []*shardClient
+	for i := 0; i < n; i++ {
+		sc := set.replicas[(offset+i)%n]
+		if sc.breakerState() == "closed" {
+			closed = append(closed, sc)
+		} else {
+			rest = append(rest, sc)
+		}
+	}
+	return append(closed, rest...)
+}
+
+// dark reports whether every replica of the range has an open breaker —
+// the range equivalent of the old single-process "breaker open".
+func (set *replicaSet) dark() bool {
+	for _, sc := range set.replicas {
+		if sc.breakerState() != "open" {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchMeta carries what a replica-set read went through on its way to
+// an answer, so the response can say so (headers) and drills can assert
+// it (loadgen's failover accounting).
+type fetchMeta struct {
+	failovers int
+	hedgeWin  bool
+}
+
+// mark stamps the failover/hedge outcome onto the response headers.
+// Both headers are additive: an unreplicated fleet never emits them, so
+// byte-equivalence against a single process holds whenever no replica
+// actually failed.
+func (m fetchMeta) mark(h http.Header) {
+	if m.failovers > 0 {
+		h.Set(FailoverHeader, strconv.Itoa(m.failovers))
+	}
+	if m.hedgeWin {
+		h.Set(HedgeHeader, "win")
+	}
+}
+
+// fetchSet performs one read against a replica set: candidates in
+// breaker-aware order, failing over past transport errors and 5xx, with
+// an optional hedged second request per attempt. The error surfaces
+// only after every replica has refused — killing one replica of R≥2
+// yields a failover, never a client-visible error.
+func (rt *Router) fetchSet(ctx context.Context, set *replicaSet, method, pathq, inm string) (*upstream, *shardClient, fetchMeta, error) {
+	var meta fetchMeta
+	cands := set.candidates()
+	var lastErr error
+	for i := 0; i < len(cands); i++ {
+		primary := cands[i]
+		var backup *shardClient
+		if rt.hedgeAfter > 0 && i+1 < len(cands) {
+			backup = cands[i+1]
+		}
+		u, served, hedged, triedBackup, err := rt.fetchHedged(ctx, primary, backup, method, pathq, inm)
+		if err == nil {
+			if hedged {
+				meta.hedgeWin = true
+				rt.hedgeWins.Inc()
+			}
+			return u, served, meta, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// The client's deadline, not the replica's health: failing over
+			// would just burn the next replica's time on a dead request.
+			return nil, nil, meta, err
+		}
+		if triedBackup {
+			// The hedge already burned the next candidate too.
+			i++
+		}
+		if i+1 < len(cands) {
+			meta.failovers++
+			rt.failovers.With(strconv.Itoa(set.index)).Inc()
+		}
+	}
+	return nil, nil, meta, lastErr
+}
+
+// fetchHedged runs one attempt against primary, launching a hedge
+// request against backup if primary has not answered within
+// rt.hedgeAfter. The first success wins and the loser is cancelled —
+// a cancelled attempt lands as breaker-neutral, so hedging never trips
+// a healthy replica's breaker. A primary that fails *before* the hedge
+// timer fires returns immediately: the failover loop reaches the next
+// replica faster than waiting out the timer would.
+func (rt *Router) fetchHedged(ctx context.Context, primary, backup *shardClient, method, pathq, inm string) (u *upstream, served *shardClient, hedgeWon, triedBackup bool, err error) {
+	if backup == nil || rt.hedgeAfter <= 0 {
+		u, err = rt.fetchOne(ctx, primary, method, pathq, inm)
+		return u, primary, false, false, err
+	}
+
+	type attempt struct {
+		u   *upstream
+		sc  *shardClient
+		err error
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+
+	ch := make(chan attempt, 2)
+	go func() {
+		u, err := rt.fetchOne(pctx, primary, method, pathq, inm)
+		ch <- attempt{u, primary, err}
+	}()
+
+	timer := time.NewTimer(rt.hedgeAfter)
+	defer timer.Stop()
+
+	pending := 1
+	launched := false
+	var firstErr error
+	for pending > 0 {
+		select {
+		case a := <-ch:
+			pending--
+			if a.err == nil {
+				// Winner; the deferred cancels reap the loser, whose
+				// cancelled fetch records breaker-neutral.
+				return a.u, a.sc, a.sc != primary, launched, nil
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if !launched {
+				// Primary failed fast: let the failover loop move on
+				// instead of waiting for the hedge timer.
+				return nil, nil, false, false, a.err
+			}
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				rt.hedges.Inc()
+				go func() {
+					u, err := rt.fetchOne(bctx, backup, method, pathq, inm)
+					ch <- attempt{u, backup, err}
+				}()
+			}
+		}
+	}
+	return nil, nil, false, launched, firstErr
+}
+
+// fetchOne is a single replica fetch with per-replica accounting.
+func (rt *Router) fetchOne(ctx context.Context, sc *shardClient, method, pathq, inm string) (*upstream, error) {
+	if sc.reqs != nil {
+		sc.reqs.Inc()
+	}
+	u, err := sc.fetch(ctx, method, pathq, inm)
+	if err != nil && sc.errs != nil {
+		sc.errs.Inc()
+	}
+	return u, err
+}

@@ -1,42 +1,61 @@
 // Package router is the scatter-gather front of the sharded serving
 // tier. It speaks the exact same HTTP surface as a single asnserve
 // process — that equivalence is tested byte-for-byte — but answers from
-// N shard processes, each serving one contiguous ASN range of a sharded
-// snapshot (lifestore.SaveSharded).
+// a fleet of shard processes, each serving one contiguous ASN range of
+// a sharded snapshot (lifestore.SaveSharded), with up to R replicas per
+// range.
 //
 // Routing rules per endpoint:
 //
-//	/v1/asn/{n}        exactly one shard owns every ASN (the shard plan
-//	                   partitions the whole 32-bit space), so the request
-//	                   is proxied to its owner; a malformed ASN is
-//	                   rejected locally with the serving tier's exact 400
+//	/v1/asn/{n}        exactly one shard range owns every ASN (the shard
+//	                   plan partitions the whole 32-bit space), so the
+//	                   request is proxied to its owner's replica set; a
+//	                   malformed ASN is rejected locally with the serving
+//	                   tier's exact 400
 //	/v1/rir/{r}/series every shard carries the global sections whole, so
-//	/v1/taxonomy       aggregates either scatter to all shards and keep
+//	/v1/taxonomy       aggregates either scatter to all ranges and keep
 //	                   the lowest-index answer (ties-to-lower, the same
 //	                   determinism rule parallel.MergeSorted uses) or
-//	                   hash the request onto one shard (mode "hash"),
+//	                   hash the request onto one range (mode "hash"),
 //	                   which partitions the aggregate working set across
 //	                   shard caches
-//	/v1/stages         proxied to the lowest-index healthy shard
-//	/v1/health         router lifecycle + per-shard states, with the
+//	/v1/stages         proxied to the lowest-index healthy range
+//	/v1/health         router lifecycle + per-range states, with the
 //	                   store/pipeline sections gathered from the lowest
-//	                   healthy shard so clients read one merged document
-//	/v1/shards         the shard topology: ranges, generations, breakers
-//	/v1/admin/reload   fanned out to every shard; the router cache
-//	                   flushes after any swap
+//	                   healthy range so clients read one merged document
+//	/v1/shards         the live topology: ranges, replicas, generations,
+//	                   breakers
+//	/v1/admin/reload   snapshot reload, fanned out to every replica; the
+//	                   router cache flushes after any swap
+//	/v1/admin/topology/reload
+//	                   POST: re-run the handshake against the configured
+//	                   URL set and swap the routing table — admit
+//	                   replicas that answer, retire ones that don't
+//	                   (zero-downtime rolling restarts; §14)
 //
-// Degradation is per range: each shard sits behind its own circuit
-// breaker (serve.Breaker), so a dead shard fails fast with 503 +
-// Retry-After for its ASN range while every other range keeps serving.
-// Aggregates follow Options.Policy: "partial" serves from the surviving
-// shards and marks the response with the X-Parallellives-Partial
-// header; "strict" answers 503 as soon as any shard is down.
+// Within a replica set, reads spread round-robin across closed-breaker
+// replicas; a replica whose breaker is open is never picked while a
+// sibling is closed. A failed read fails over to the next replica
+// before any error surfaces — killing one replica of R≥2 produces zero
+// client-visible errors, just a failover (marked on the response with
+// X-Parallellives-Failover). Options.HedgeAfter additionally arms a
+// hedged second request per attempt: if the picked replica has not
+// answered within the threshold, the next one is asked too, first
+// answer wins, the loser is cancelled (X-Parallellives-Hedge: win).
+//
+// Degradation is per range: every replica sits behind its own circuit
+// breaker (serve.Breaker), and a range is dark only when all its
+// replicas' breakers are open — then its ASN range fails fast with
+// 503 + Retry-After while every other range keeps serving. Aggregates
+// follow Options.Policy: "partial" serves from the surviving ranges and
+// marks the response with the X-Parallellives-Partial header; "strict"
+// answers 503 as soon as any range is dark.
 //
 // The router keeps a small response cache, tagged with each entry's
-// upstream ETag. A hit is revalidated against the owning shard with
-// If-None-Match: the shard answers 304 from its generation counter
-// without rebuilding the body, so a warm router serves mostly 304-sized
-// upstream traffic. See DESIGN.md §12.
+// upstream ETag. A hit is revalidated against the owning range with
+// If-None-Match: any same-generation replica answers 304 from its
+// generation counter without rebuilding the body, so a warm router
+// serves mostly 304-sized upstream traffic. See DESIGN.md §12 and §14.
 package router
 
 import (
@@ -46,14 +65,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parallellives/internal/asn"
-	"parallellives/internal/lifestore"
 	"parallellives/internal/obs"
 	"parallellives/internal/serve"
 )
@@ -77,30 +95,50 @@ const (
 	MetricDisagreements = "parallellives_route_disagreements_total"
 	MetricRevalidations = "parallellives_route_revalidations_total"
 
+	// Replica failover + hedging (§14). Failovers are labelled by shard
+	// range; hedges are fleet-wide totals.
+	MetricFailovers = "parallellives_route_failovers_total"
+	MetricHedges    = "parallellives_route_hedges_total"
+	MetricHedgeWins = "parallellives_route_hedge_wins_total"
+
+	// Topology swaps (RebuildTopology).
+	MetricTopologyGen     = "parallellives_route_topology_generation"
+	MetricTopologyReloads = "parallellives_route_topology_reloads_total"
+
 	MetricCacheHits    = "parallellives_route_cache_hits"
 	MetricCacheMisses  = "parallellives_route_cache_misses"
 	MetricCacheEntries = "parallellives_route_cache_entries"
 )
 
-// PartialHeader marks a scatter response assembled without every shard.
-// Its value lists the unavailable shard indexes, comma-separated.
+// PartialHeader marks a scatter response assembled without every shard
+// range. Its value lists the unavailable range indexes, comma-separated.
 const PartialHeader = "X-Parallellives-Partial"
 
-// Policies for aggregate endpoints when shards are down.
+// FailoverHeader marks a response that survived one or more replica
+// failures; its value is how many replicas failed before one answered.
+// It never appears when the first-picked replica answers, so responses
+// from a healthy fleet stay byte-identical to a single process.
+const FailoverHeader = "X-Parallellives-Failover"
+
+// HedgeHeader marks a response won by a hedged second request
+// (value "win").
+const HedgeHeader = "X-Parallellives-Hedge"
+
+// Policies for aggregate endpoints when shard ranges are down.
 const (
-	// PolicyPartial serves what the surviving shards can answer and
+	// PolicyPartial serves what the surviving ranges can answer and
 	// marks the response with PartialHeader.
 	PolicyPartial = "partial"
-	// PolicyStrict refuses (503) as soon as any shard is down.
+	// PolicyStrict refuses (503) as soon as any range is down.
 	PolicyStrict = "strict"
 )
 
 // Aggregate modes for the global endpoints.
 const (
-	// AggregateScatter queries every shard and keeps the lowest-index
+	// AggregateScatter queries every range and keeps the lowest-index
 	// answer (after an agreement check).
 	AggregateScatter = "scatter"
-	// AggregateHash routes each distinct request to one shard by key
+	// AggregateHash routes each distinct request to one range by key
 	// hash, failing over to the next index; this shards the aggregate
 	// working set across the processes' caches.
 	AggregateHash = "hash"
@@ -108,13 +146,23 @@ const (
 
 // Options configures a Router.
 type Options struct {
-	// Shards lists the shard base URLs (e.g. http://127.0.0.1:8081), in
-	// any order: the handshake sorts them by their self-reported index.
+	// Shards lists the replica base URLs (e.g. http://127.0.0.1:8081),
+	// in any order: the handshake groups them by their self-reported
+	// shard index, so several URLs serving the same range form that
+	// range's replica set.
 	Shards []string
 	// Policy is PolicyPartial (default) or PolicyStrict.
 	Policy string
 	// Aggregate is AggregateScatter (default) or AggregateHash.
 	Aggregate string
+	// ReplicasMin is the minimum replicas every range must have for a
+	// topology (startup or reload) to be accepted (default 1).
+	ReplicasMin int
+	// HedgeAfter, when positive, arms hedged reads: if the picked
+	// replica has not answered within this duration, the next healthy
+	// replica is asked too — first answer wins, the loser is cancelled.
+	// Zero (default) disables hedging.
+	HedgeAfter time.Duration
 	// CacheSize is the router response-cache capacity in entries
 	// (default 256; negative disables).
 	CacheSize int
@@ -122,19 +170,21 @@ type Options struct {
 	// (defaults 512 and 10s, as in serve.Options).
 	MaxInFlight    int
 	RequestTimeout time.Duration
-	// BreakerThreshold / BreakerCooldown configure each shard's circuit
-	// breaker (defaults 5 and 5s).
+	// BreakerThreshold / BreakerCooldown configure each replica's
+	// circuit breaker (defaults 5 and 5s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	// HandshakeTimeout bounds the startup handshake during which every
-	// shard must report its identity (default 10s).
+	// replica must report its identity (default 10s). Topology reloads
+	// reuse it as the window after which unreachable replicas are
+	// retired.
 	HandshakeTimeout time.Duration
 	// ProbeInterval is the background re-handshake cadence once serving
 	// (default 2s; Start only).
 	ProbeInterval time.Duration
 	// ScrapeInterval is the federation cadence: how often Start scrapes
-	// every shard's /metrics into the fleet rollup (default 5s; negative
-	// disables federation).
+	// every replica's /metrics into the fleet rollup (default 5s;
+	// negative disables federation).
 	ScrapeInterval time.Duration
 	// ExemplarCapacity sizes the slow/error exemplar ring serving
 	// /v1/debug/slow (default 32; negative disables capture).
@@ -150,14 +200,25 @@ type Options struct {
 	Obs *obs.Obs
 }
 
-// Router fronts a set of shard servers as one HTTP surface. It is safe
-// for concurrent use.
+// Router fronts a fleet of shard replicas as one HTTP surface. It is
+// safe for concurrent use. The routing table lives behind an atomic
+// pointer: requests load it once and finish against that generation
+// even while RebuildTopology swaps in a new one.
 type Router struct {
-	shards  []*shardClient
-	plan    lifestore.ShardPlan
-	sum     string
 	policy  string
 	aggMode string
+
+	// Static fleet configuration, reused by every topology rebuild.
+	urls             []string
+	replicasMin      int
+	hedgeAfter       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	handshakeTimeout time.Duration
+	client           *http.Client
+
+	topo      atomic.Pointer[topology]
+	rebuildMu sync.Mutex // serializes RebuildTopology
 
 	mux     *http.ServeMux
 	handler http.Handler
@@ -175,12 +236,20 @@ type Router struct {
 
 	shardRequests *obs.CounterVec
 	shardErrors   *obs.CounterVec
+	failovers     *obs.CounterVec
+	hedges        *obs.Counter
+	hedgeWins     *obs.Counter
 	partials      *obs.Counter
 	disagreements *obs.Counter
 	revalidations *obs.CounterVec
 	cacheHits     *obs.Gauge
 	cacheMisses   *obs.Gauge
 	cacheEntries  *obs.Gauge
+	topoGen       *obs.Gauge
+	topoReloads   *obs.CounterVec
+	breakerState  *obs.GaugeVec
+	breakerTrips  *obs.CounterVec
+	breakerShorts *obs.CounterVec
 }
 
 type endpointMetrics struct {
@@ -189,10 +258,12 @@ type endpointMetrics struct {
 	latency  *obs.Histogram
 }
 
-// New connects to every shard, verifies they form one complete plan,
-// and builds the routing front. It fails rather than serve with holes:
-// a router that cannot see every range would turn part of the ASN space
-// into silent 404s.
+// New connects to every replica, verifies that together they form one
+// complete plan (every range covered, one fingerprint), and builds the
+// routing front. Startup is strict — every listed URL must answer — and
+// it fails rather than serve with holes: a router that cannot see every
+// range would turn part of the ASN space into silent 404s. Once
+// serving, RebuildTopology relaxes that to "every range still covered".
 func New(ctx context.Context, opts Options) (*Router, error) {
 	if len(opts.Shards) == 0 {
 		return nil, errors.New("router: no shard URLs")
@@ -208,6 +279,9 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 	}
 	if opts.Aggregate != AggregateScatter && opts.Aggregate != AggregateHash {
 		return nil, fmt.Errorf("router: unknown aggregate mode %q (want %s or %s)", opts.Aggregate, AggregateScatter, AggregateHash)
+	}
+	if opts.ReplicasMin <= 0 {
+		opts.ReplicasMin = 1
 	}
 	if opts.CacheSize == 0 {
 		opts.CacheSize = 256
@@ -244,10 +318,24 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 	}
 	reg := opts.Obs.Registry
 
+	urls := make([]string, 0, len(opts.Shards))
+	for _, base := range opts.Shards {
+		urls = append(urls, strings.TrimRight(base, "/"))
+	}
+
 	rt := &Router{
 		policy:  opts.Policy,
 		aggMode: opts.Aggregate,
-		mux:     http.NewServeMux(),
+
+		urls:             urls,
+		replicasMin:      opts.ReplicasMin,
+		hedgeAfter:       opts.HedgeAfter,
+		breakerThreshold: opts.BreakerThreshold,
+		breakerCooldown:  opts.BreakerCooldown,
+		handshakeTimeout: opts.HandshakeTimeout,
+		client:           opts.Client,
+
+		mux: http.NewServeMux(),
 		chain: serve.NewChain(reg, serve.ChainOptions{
 			MaxInFlight:    opts.MaxInFlight,
 			RequestTimeout: opts.RequestTimeout,
@@ -260,49 +348,44 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 		scrapeEvery: opts.ScrapeInterval,
 		metrics:     make(map[string]*endpointMetrics),
 		shardRequests: reg.CounterVec(MetricShardRequests,
-			"Upstream requests by shard index.", "shard"),
+			"Upstream requests by shard range and replica ordinal.", "shard", "replica"),
 		shardErrors: reg.CounterVec(MetricShardErrors,
-			"Upstream failures (transport or 5xx) by shard index.", "shard"),
+			"Upstream failures (transport or 5xx) by shard range and replica ordinal.", "shard", "replica"),
+		failovers: reg.CounterVec(MetricFailovers,
+			"Reads that failed over to another replica of the same range.", "shard"),
+		hedges: reg.Counter(MetricHedges,
+			"Hedged second requests launched after the latency threshold."),
+		hedgeWins: reg.Counter(MetricHedgeWins,
+			"Reads answered by the hedged request instead of the first pick."),
 		partials: reg.Counter(MetricPartials,
-			"Aggregate responses served without every shard."),
+			"Aggregate responses served without every shard range."),
 		disagreements: reg.Counter(MetricDisagreements,
-			"Scatter gathers where healthy shards returned different answers."),
+			"Scatter gathers where healthy ranges returned different answers."),
 		revalidations: reg.CounterVec(MetricRevalidations,
 			"Cache revalidations by outcome (fresh = upstream 304, stale = refetched).", "outcome"),
 		cacheHits:    reg.Gauge(MetricCacheHits, "Router response-cache hits since start."),
 		cacheMisses:  reg.Gauge(MetricCacheMisses, "Router response-cache misses since start."),
 		cacheEntries: reg.Gauge(MetricCacheEntries, "Router response-cache entries currently held."),
-	}
-
-	stateVec := reg.GaugeVec(MetricBreakerState,
-		"Per-shard circuit-breaker state (0 closed, 1 open, 2 half-open).", "shard")
-	tripsVec := reg.CounterVec(MetricBreakerTrips,
-		"Times a shard's circuit breaker opened.", "shard")
-	shortsVec := reg.CounterVec(MetricBreakerShortCircuits,
-		"Requests rejected while a shard's breaker was open.", "shard")
-	var clients []*shardClient
-	for i, base := range opts.Shards {
-		label := strconv.Itoa(i) // provisional; relabelled after handshake
-		clients = append(clients, &shardClient{
-			baseURL: strings.TrimRight(base, "/"),
-			client:  opts.Client,
-			breaker: serve.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown,
-				stateVec.With(label), tripsVec.With(label), shortsVec.With(label)),
-		})
+		topoGen: reg.Gauge(MetricTopologyGen,
+			"Routing-table generation: bumps on every accepted topology reload."),
+		topoReloads: reg.CounterVec(MetricTopologyReloads,
+			"Topology reloads by outcome (ok, error).", "outcome"),
+		breakerState: reg.GaugeVec(MetricBreakerState,
+			"Per-replica circuit-breaker state (0 closed, 1 open, 2 half-open).", "shard", "replica"),
+		breakerTrips: reg.CounterVec(MetricBreakerTrips,
+			"Times a replica's circuit breaker opened.", "shard", "replica"),
+		breakerShorts: reg.CounterVec(MetricBreakerShortCircuits,
+			"Requests rejected while a replica's breaker was open.", "shard", "replica"),
 	}
 	if opts.ScrapeInterval > 0 {
 		rt.fed = newFederator(reg)
 	}
-	if err := rt.handshake(ctx, clients, opts.HandshakeTimeout); err != nil {
+	topo, err := rt.buildTopology(ctx, 1, false)
+	if err != nil {
 		return nil, err
 	}
-	// Re-resolve the per-shard instruments now that indexes are known,
-	// so the labels mean shard index, not URL order.
-	for _, sc := range rt.shards {
-		label := strconv.Itoa(sc.index)
-		sc.breaker = serve.NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown,
-			stateVec.With(label), tripsVec.With(label), shortsVec.With(label))
-	}
+	rt.topo.Store(topo)
+	rt.topoGen.Set(float64(topo.generation))
 
 	rt.mux.HandleFunc("GET /v1/asn/{n}", rt.wrap("/v1/asn/{n}", rt.handleASN))
 	rt.mux.HandleFunc("GET /v1/rir/{r}/series", rt.wrap("/v1/rir/{r}/series", rt.handleAggregate))
@@ -312,97 +395,12 @@ func New(ctx context.Context, opts Options) (*Router, error) {
 	rt.mux.HandleFunc("GET /v1/shards", rt.wrap("/v1/shards", rt.handleShards))
 	rt.mux.HandleFunc("GET /v1/debug/slow", rt.wrap("/v1/debug/slow", rt.handleSlow))
 	rt.mux.HandleFunc("POST /v1/admin/reload", rt.wrap("/v1/admin/reload", rt.handleReload))
+	rt.mux.HandleFunc("POST /v1/admin/topology/reload", rt.wrap("/v1/admin/topology/reload", rt.handleTopologyReload))
 	rt.mux.HandleFunc("GET /metrics", rt.wrap("/metrics", rt.handleMetrics))
 	rt.mux.HandleFunc("GET /healthz", rt.wrap("/healthz", rt.handleHealthz))
 	rt.mux.HandleFunc("GET /readyz", rt.wrap("/readyz", rt.handleReadyz))
 	rt.handler = rt.chain.Wrap(rt.mux)
 	return rt, nil
-}
-
-// handshake collects every shard's identity, retrying until all answer
-// or the timeout lapses, then validates that together they form one
-// complete plan: same count, same fingerprint, every index exactly
-// once, and ranges that cover the whole ASN space back to back.
-func (rt *Router) handshake(ctx context.Context, clients []*shardClient, timeout time.Duration) error {
-	hctx, cancel := context.WithTimeout(ctx, timeout)
-	defer cancel()
-	ids := make([]shardIdentity, len(clients))
-	done := make([]bool, len(clients))
-	var lastErr error
-	for {
-		missing := 0
-		for i, sc := range clients {
-			if done[i] {
-				continue
-			}
-			id, err := sc.identity(hctx)
-			if err != nil {
-				missing++
-				lastErr = err
-				continue
-			}
-			ids[i], done[i] = id, true
-		}
-		if missing == 0 {
-			break
-		}
-		select {
-		case <-hctx.Done():
-			return fmt.Errorf("router: handshake incomplete (%d/%d shards): %w", len(clients)-missing, len(clients), lastErr)
-		case <-time.After(100 * time.Millisecond):
-		}
-	}
-
-	// A single unsharded server is a valid degenerate deployment: the
-	// router fronts it as one full-range shard.
-	if len(clients) == 1 && !ids[0].Sharded {
-		clients[0].index, clients[0].lo, clients[0].hi = 0, 0, asn.ASN(maxASN)
-		rt.shards = clients
-		rt.plan = lifestore.ShardPlan{Count: 1, Ranges: []lifestore.ShardRange{{Lo: 0, Hi: asn.ASN(maxASN), ASNs: ids[0].ASNCount}}}
-		rt.sum = "unsharded"
-		return nil
-	}
-
-	for i, id := range ids {
-		if !id.Sharded || id.Shard == nil {
-			return fmt.Errorf("router: %s serves an unsharded snapshot; point the router at shard files or a single server", clients[i].baseURL)
-		}
-		if id.Shard.Count != len(clients) {
-			return fmt.Errorf("router: %s is shard %d of %d but %d shard URLs were given",
-				clients[i].baseURL, id.Shard.Index, id.Shard.Count, len(clients))
-		}
-		if ids[0].Shard.Sum != id.Shard.Sum {
-			return fmt.Errorf("router: shard fingerprints differ (%s has %s, %s has %s): mixed shard sets",
-				clients[0].baseURL, ids[0].Shard.Sum, clients[i].baseURL, id.Shard.Sum)
-		}
-		clients[i].index = id.Shard.Index
-		clients[i].lo, clients[i].hi = id.Shard.Lo, id.Shard.Hi
-	}
-	sort.Slice(clients, func(i, j int) bool { return clients[i].index < clients[j].index })
-	plan := lifestore.ShardPlan{Count: len(clients)}
-	for i, sc := range clients {
-		if sc.index != i {
-			return fmt.Errorf("router: shard index %d missing or duplicated", i)
-		}
-		if i == 0 && sc.lo != 0 {
-			return fmt.Errorf("router: shard 0 starts at AS%s, not AS0", sc.lo)
-		}
-		if i > 0 && sc.lo != clients[i-1].hi+1 {
-			return fmt.Errorf("router: gap between shard %d (ends AS%s) and shard %d (starts AS%s)",
-				i-1, clients[i-1].hi, i, sc.lo)
-		}
-		if i == len(clients)-1 && sc.hi != asn.ASN(maxASN) {
-			return fmt.Errorf("router: last shard ends at AS%s, not the top of the ASN space", sc.hi)
-		}
-		sc.mu.Lock()
-		count := sc.asnCount
-		sc.mu.Unlock()
-		plan.Ranges = append(plan.Ranges, lifestore.ShardRange{Lo: sc.lo, Hi: sc.hi, ASNs: count})
-	}
-	rt.shards = clients
-	rt.plan = plan
-	rt.sum = ids[0].Shard.Sum
-	return nil
 }
 
 const maxASN = 1<<32 - 1
@@ -412,9 +410,9 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.handler
 
 // Start launches the background probe and federation-scrape loops and
 // returns a stop func. Probing keeps generations fresh and — because
-// identity requests run through each breaker — turns a recovered shard
-// closed again without sacrificing a client request. Scraping folds
-// every shard's /metrics into the fleet rollup (DESIGN.md §13).
+// identity requests run through each breaker — turns a recovered
+// replica closed again without sacrificing a client request. Scraping
+// folds every replica's /metrics into the fleet rollup (DESIGN.md §13).
 func (rt *Router) Start(ctx context.Context, interval time.Duration) (stop func()) {
 	pctx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
@@ -452,10 +450,12 @@ func (rt *Router) Start(ctx context.Context, interval time.Duration) (stop func(
 	return func() { cancel(); wg.Wait() }
 }
 
-// Probe re-handshakes every shard once, concurrently.
+// Probe re-handshakes every replica of the live topology once,
+// concurrently.
 func (rt *Router) Probe(ctx context.Context) {
+	topo := rt.topo.Load()
 	var wg sync.WaitGroup
-	for _, sc := range rt.shards {
+	for _, sc := range topo.replicas {
 		wg.Add(1)
 		go func(sc *shardClient) {
 			defer wg.Done()
@@ -614,48 +614,49 @@ func pathq(r *http.Request) string {
 }
 
 // serveVia proxies one request through the router cache against a
-// preferred shard: a cached entry is revalidated with If-None-Match
+// replica set: a cached entry is revalidated with If-None-Match
 // (upstream 304 keeps the cached body without a byte of payload
-// transfer), a miss fetches and caches. fetch runs against whichever
-// shard the caller routed to; the cache trusts entries only from the
-// same shard index it stored them from.
-func (rt *Router) serveVia(w http.ResponseWriter, r *http.Request, sc *shardClient) {
+// transfer), a miss fetches and caches. Fetches run through fetchSet,
+// so replica failover and hedging apply to cold and warm paths alike;
+// the cache trusts entries only from the same range index it stored
+// them from — any same-generation replica of that range validates them.
+func (rt *Router) serveVia(w http.ResponseWriter, r *http.Request, set *replicaSet) {
 	key := pathq(r)
 	clientINM := r.Header.Get("If-None-Match")
-	rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
 
-	if e, ok := rt.cache.get(key); ok && e.shard == sc.index && e.resp.etag != "" {
-		u, err := sc.fetch(r.Context(), http.MethodGet, key, e.resp.etag)
+	if e, ok := rt.cache.get(key); ok && e.shard == set.index && e.resp.etag != "" {
+		u, _, meta, err := rt.fetchSet(r.Context(), set, http.MethodGet, key, e.resp.etag)
 		if err == nil && u.status == http.StatusNotModified {
 			rt.revalidations.With("fresh").Inc()
+			meta.mark(w.Header())
 			rt.answerCached(w, clientINM, e.resp)
 			return
 		}
 		if err == nil {
 			rt.revalidations.With("stale").Inc()
 			if u.status == http.StatusOK && u.etag != "" {
-				rt.cache.put(key, entry{shard: sc.index, resp: *u})
+				rt.cache.put(key, entry{shard: set.index, resp: *u})
 			} else {
 				rt.cache.drop(key)
 			}
+			meta.mark(w.Header())
 			rt.answerFetched(w, clientINM, u)
 			return
 		}
 		rt.cache.drop(key)
-		rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
-		rt.upstreamError(w, r, sc, err)
+		rt.rangeError(w, r, set)
 		return
 	}
 
-	u, err := sc.fetch(r.Context(), http.MethodGet, key, clientINM)
+	u, _, meta, err := rt.fetchSet(r.Context(), set, http.MethodGet, key, clientINM)
 	if err != nil {
-		rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
-		rt.upstreamError(w, r, sc, err)
+		rt.rangeError(w, r, set)
 		return
 	}
 	if u.status == http.StatusOK && u.etag != "" {
-		rt.cache.put(key, entry{shard: sc.index, resp: *u})
+		rt.cache.put(key, entry{shard: set.index, resp: *u})
 	}
+	meta.mark(w.Header())
 	relay(w, u)
 }
 
@@ -680,21 +681,21 @@ func (rt *Router) answerFetched(w http.ResponseWriter, clientINM string, u *upst
 	relay(w, u)
 }
 
-// upstreamError classifies a failed shard fetch for the client: the
+// rangeError classifies a range whose every replica refused: the
 // router's deadline maps to 504 (matching the serving tier's own
 // taxonomy), everything else to the fail-fast 503.
-func (rt *Router) upstreamError(w http.ResponseWriter, r *http.Request, sc *shardClient, err error) {
+func (rt *Router) rangeError(w http.ResponseWriter, r *http.Request, set *replicaSet) {
 	if r.Context().Err() != nil {
 		rt.chain.Timeouts().Inc()
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded querying shard %d", sc.index)
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded querying shard %d", set.index)
 		return
 	}
-	shardUnavailable(w, "shard %d (AS%s-AS%s) unavailable; retrying shortly", sc.index, sc.lo, sc.hi)
+	shardUnavailable(w, "shard %d (AS%s-AS%s) unavailable; retrying shortly", set.index, set.lo, set.hi)
 }
 
-// handleASN routes a single-ASN read to the one shard whose range owns
-// it. Malformed ASNs never cross the network: the router answers the
-// serving tier's exact 400 itself.
+// handleASN routes a single-ASN read to the replica set whose range
+// owns it. Malformed ASNs never cross the network: the router answers
+// the serving tier's exact 400 itself.
 func (rt *Router) handleASN(w http.ResponseWriter, r *http.Request) {
 	raw := strings.TrimPrefix(strings.TrimPrefix(r.PathValue("n"), "AS"), "as")
 	a, err := asn.Parse(raw)
@@ -702,26 +703,26 @@ func (rt *Router) handleASN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad ASN %q", r.PathValue("n"))
 		return
 	}
-	rt.serveVia(w, r, rt.shards[rt.plan.ShardFor(a)])
+	rt.serveVia(w, r, rt.topo.Load().setFor(a))
 }
 
 // handleStages proxies the build trace from the lowest-index healthy
-// shard (every shard of one build carries the same snapshot metadata).
+// range (every shard of one build carries the same snapshot metadata).
 func (rt *Router) handleStages(w http.ResponseWriter, r *http.Request) {
-	sc := rt.firstHealthy()
-	if sc == nil {
+	set := rt.firstHealthy(rt.topo.Load())
+	if set == nil {
 		shardUnavailable(w, "no shard available")
 		return
 	}
-	rt.serveVia(w, r, sc)
+	rt.serveVia(w, r, set)
 }
 
-// firstHealthy returns the lowest-index shard whose breaker is not
-// open, or nil when every range is dark.
-func (rt *Router) firstHealthy() *shardClient {
-	for _, sc := range rt.shards {
-		if state, _, _, _ := sc.breaker.Snapshot(); state != "open" {
-			return sc
+// firstHealthy returns the lowest-index range with at least one
+// non-open replica, or nil when every range is dark.
+func (rt *Router) firstHealthy(topo *topology) *replicaSet {
+	for _, set := range topo.sets {
+		if !set.dark() {
+			return set
 		}
 	}
 	return nil
@@ -729,90 +730,89 @@ func (rt *Router) firstHealthy() *shardClient {
 
 // handleAggregate answers the global endpoints (series, taxonomy).
 // Every shard carries the global sections whole, so the router needs
-// any one authoritative copy — scatter mode asks everyone and keeps the
-// lowest-index answer, hash mode deterministically picks one shard per
-// request key so each process's cache holds a distinct slice of the
+// any one authoritative copy — scatter mode asks every range and keeps
+// the lowest-index answer, hash mode deterministically picks one range
+// per request key so each process's cache holds a distinct slice of the
 // aggregate working set.
 func (rt *Router) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	topo := rt.topo.Load()
 	if rt.aggMode == AggregateHash {
-		rt.aggregateHash(w, r)
+		rt.aggregateHash(w, r, topo)
 		return
 	}
-	rt.aggregateScatter(w, r)
+	rt.aggregateScatter(w, r, topo)
 }
 
-func (rt *Router) aggregateHash(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) aggregateHash(w http.ResponseWriter, r *http.Request, topo *topology) {
 	h := crc32.Checksum([]byte(pathq(r)), crc32.MakeTable(crc32.Castagnoli))
-	start := int(h % uint32(len(rt.shards)))
-	for i := 0; i < len(rt.shards); i++ {
-		sc := rt.shards[(start+i)%len(rt.shards)]
-		if state, _, _, _ := sc.breaker.Snapshot(); state == "open" {
+	start := int(h % uint32(len(topo.sets)))
+	for i := 0; i < len(topo.sets); i++ {
+		set := topo.sets[(start+i)%len(topo.sets)]
+		if set.dark() {
 			continue
 		}
-		rt.serveVia(w, r, sc)
+		rt.serveVia(w, r, set)
 		return
 	}
 	shardUnavailable(w, "no shard available")
 }
 
-// aggregateScatter fans the request out to every shard. The winner is
-// deterministic — the lowest-index healthy shard, the same
+// aggregateScatter fans the request out to every range — one
+// failover-capable fetch per range, not per replica. The winner is
+// deterministic — the lowest-index healthy range, the same
 // ties-to-lower rule the pipeline's MergeSorted uses — and an agreement
 // check across the other healthy answers feeds a disagreement counter
 // (mixed shard generations are legal mid-rollout, but persistent
 // disagreement means a mixed shard set and deserves an alert).
-func (rt *Router) aggregateScatter(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) aggregateScatter(w http.ResponseWriter, r *http.Request, topo *topology) {
 	key := pathq(r)
 	clientINM := r.Header.Get("If-None-Match")
 
-	// A cached scatter answer revalidates against its winner only — one
-	// conditional request, not a full fan-out.
-	if e, ok := rt.cache.get(key); ok && e.resp.etag != "" && e.shard < len(rt.shards) {
-		sc := rt.shards[e.shard]
-		rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
-		u, err := sc.fetch(r.Context(), http.MethodGet, key, e.resp.etag)
+	// A cached scatter answer revalidates against its winner range only
+	// — one conditional request, not a full fan-out.
+	if e, ok := rt.cache.get(key); ok && e.resp.etag != "" && e.shard < len(topo.sets) {
+		set := topo.sets[e.shard]
+		u, _, meta, err := rt.fetchSet(r.Context(), set, http.MethodGet, key, e.resp.etag)
 		if err == nil && u.status == http.StatusNotModified {
 			rt.revalidations.With("fresh").Inc()
+			meta.mark(w.Header())
 			rt.answerCached(w, clientINM, e.resp)
 			return
 		}
 		rt.cache.drop(key)
-		if err != nil {
-			rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
-		}
 		// Fall through to a full gather on any other outcome.
 	}
 
 	type result struct {
-		u   *upstream
-		err error
+		u    *upstream
+		meta fetchMeta
+		err  error
 	}
-	results := make([]result, len(rt.shards))
+	results := make([]result, len(topo.sets))
 	var wg sync.WaitGroup
-	for i, sc := range rt.shards {
+	for i, set := range topo.sets {
 		wg.Add(1)
-		go func(i int, sc *shardClient) {
+		go func(i int, set *replicaSet) {
 			defer wg.Done()
-			rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
-			u, err := sc.fetch(r.Context(), http.MethodGet, key, clientINM)
-			if err != nil {
-				rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
-			}
-			results[i] = result{u: u, err: err}
-		}(i, sc)
+			u, _, meta, err := rt.fetchSet(r.Context(), set, http.MethodGet, key, clientINM)
+			results[i] = result{u: u, meta: meta, err: err}
+		}(i, set)
 	}
 	wg.Wait()
 
 	var winner *upstream
-	winnerShard := -1
+	winnerSet := -1
+	var meta fetchMeta
 	var down []string
 	for i, res := range results {
+		meta.failovers += res.meta.failovers
+		meta.hedgeWin = meta.hedgeWin || res.meta.hedgeWin
 		if res.err != nil {
 			down = append(down, strconv.Itoa(i))
 			continue
 		}
 		if winner == nil {
-			winner, winnerShard = res.u, i
+			winner, winnerSet = res.u, i
 		} else if res.u.status != winner.status || !equalBody(res.u, winner) {
 			rt.disagreements.Inc()
 		}
@@ -835,8 +835,9 @@ func (rt *Router) aggregateScatter(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(PartialHeader, strings.Join(down, ","))
 	}
 	if winner.status == http.StatusOK && winner.etag != "" && len(down) == 0 {
-		rt.cache.put(key, entry{shard: winnerShard, resp: *winner})
+		rt.cache.put(key, entry{shard: winnerSet, resp: *winner})
 	}
+	meta.mark(w.Header())
 	relay(w, winner)
 }
 
@@ -849,39 +850,57 @@ func equalBody(a, b *upstream) bool {
 	return string(a.body) == string(b.body)
 }
 
-// shardStateJSON is one shard's row in /v1/shards and /v1/health.
-type shardStateJSON struct {
-	Index    int     `json:"index"`
-	URL      string  `json:"url"`
-	Lo       asn.ASN `json:"lo"`
-	Hi       asn.ASN `json:"hi"`
-	ASNs     int     `json:"asns"`
-	Breaker  string  `json:"breaker"`
-	Gen      int64   `json:"gen"`
-	ASNCount int     `json:"asnCount"`
+// replicaStateJSON is one replica's row inside a range's entry in
+// /v1/shards and /v1/health.
+type replicaStateJSON struct {
+	URL      string `json:"url"`
+	Replica  string `json:"replica"`
+	Ordinal  int    `json:"ordinal"`
+	Breaker  string `json:"breaker"`
+	Gen      int64  `json:"gen"`
+	ASNCount int    `json:"asnCount"`
 }
 
-func (rt *Router) shardStates() []shardStateJSON {
-	out := make([]shardStateJSON, len(rt.shards))
-	for i, sc := range rt.shards {
-		state, gen, count := sc.state()
-		out[i] = shardStateJSON{
-			Index: sc.index, URL: sc.baseURL,
-			Lo: sc.lo, Hi: sc.hi, ASNs: rt.plan.Ranges[i].ASNs,
-			Breaker: state, Gen: gen, ASNCount: count,
+// shardStateJSON is one shard range's row in /v1/shards and /v1/health.
+type shardStateJSON struct {
+	Index    int                `json:"index"`
+	Lo       asn.ASN            `json:"lo"`
+	Hi       asn.ASN            `json:"hi"`
+	ASNs     int                `json:"asns"`
+	Dark     bool               `json:"dark"`
+	Replicas []replicaStateJSON `json:"replicas"`
+}
+
+func (rt *Router) shardStates(topo *topology) []shardStateJSON {
+	out := make([]shardStateJSON, len(topo.sets))
+	for i, set := range topo.sets {
+		row := shardStateJSON{
+			Index: set.index, Lo: set.lo, Hi: set.hi,
+			ASNs: topo.plan.Ranges[i].ASNs, Dark: set.dark(),
 		}
+		for _, sc := range set.replicas {
+			state, gen, count := sc.state()
+			row.Replicas = append(row.Replicas, replicaStateJSON{
+				URL: sc.baseURL, Replica: sc.replica, Ordinal: sc.ordinal,
+				Breaker: state, Gen: gen, ASNCount: count,
+			})
+		}
+		out[i] = row
 	}
 	return out
 }
 
-// handleShards is the topology endpoint: the plan the router routes by.
+// handleShards is the topology endpoint: the table the router routes by.
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	topo := rt.topo.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"count":     rt.plan.Count,
-		"sum":       rt.sum,
-		"policy":    rt.policy,
-		"aggregate": rt.aggMode,
-		"shards":    rt.shardStates(),
+		"count":       topo.plan.Count,
+		"sum":         topo.sum,
+		"generation":  topo.generation,
+		"policy":      rt.policy,
+		"aggregate":   rt.aggMode,
+		"replicasMin": rt.replicasMin,
+		"shards":      rt.shardStates(topo),
 	})
 }
 
@@ -889,9 +908,12 @@ func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 type routerHealthJSON struct {
 	Policy    string           `json:"policy"`
 	Aggregate string           `json:"aggregate"`
+	Topology  int64            `json:"topologyGeneration"`
 	Lifecycle serve.ChainStats `json:"lifecycle"`
 	Cache     cacheStatsJSON   `json:"cache"`
 	Partials  int64            `json:"partials"`
+	Failovers int64            `json:"failovers"`
+	HedgeWins int64            `json:"hedgeWins"`
 	Shards    []shardStateJSON `json:"shards"`
 }
 
@@ -903,15 +925,15 @@ type cacheStatsJSON struct {
 }
 
 // handleHealth merges the dataset view (store + pipeline sections,
-// gathered live from the lowest-index healthy shard — global sections
+// gathered live from the lowest-index healthy range — global sections
 // are identical on every shard) with the router's own lifecycle state.
-// With every shard down the document still answers 200: the router is
+// With every range down the document still answers 200: the router is
 // alive, and the shard table shows exactly what is not.
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	topo := rt.topo.Load()
 	doc := map[string]json.RawMessage{}
-	if sc := rt.firstHealthy(); sc != nil {
-		rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
-		if u, err := sc.fetch(r.Context(), http.MethodGet, "/v1/health", ""); err == nil && u.status == http.StatusOK {
+	if set := rt.firstHealthy(topo); set != nil {
+		if u, _, _, err := rt.fetchSet(r.Context(), set, http.MethodGet, "/v1/health", ""); err == nil && u.status == http.StatusOK {
 			var shardDoc map[string]json.RawMessage
 			if json.Unmarshal(u.body, &shardDoc) == nil {
 				for _, k := range []string{"store", "pipeline"} {
@@ -920,18 +942,23 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}
-		} else if err != nil {
-			rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
 		}
+	}
+	var failovers int64
+	for _, set := range topo.sets {
+		failovers += rt.failovers.With(strconv.Itoa(set.index)).Value()
 	}
 	hits, misses, size, capacity := rt.cache.stats()
 	routerSection, err := json.Marshal(routerHealthJSON{
 		Policy:    rt.policy,
 		Aggregate: rt.aggMode,
+		Topology:  topo.generation,
 		Lifecycle: rt.chain.Stats(),
 		Cache:     cacheStatsJSON{Hits: hits, Misses: misses, Size: size, Capacity: capacity},
 		Partials:  rt.partials.Value(),
-		Shards:    rt.shardStates(),
+		Failovers: failovers,
+		HedgeWins: rt.hedgeWins.Value(),
+		Shards:    rt.shardStates(topo),
 	})
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "encoding health: %v", err)
@@ -941,35 +968,36 @@ func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
-// handleReload fans the reload out to every shard concurrently and
-// flushes the router cache afterwards — cached bodies must not outlive
-// the generations that rendered them. 200 only when every shard
-// swapped; any failure reports 502 with the per-shard outcomes (the
-// shards that did swap keep their new generation; the document says
-// which retry is needed).
+// handleReload fans the snapshot reload out to every replica of every
+// range concurrently and flushes the router cache afterwards — cached
+// bodies must not outlive the generations that rendered them. 200 only
+// when every replica swapped; any failure reports 502 with the
+// per-replica outcomes (the replicas that did swap keep their new
+// generation; the document says which retry is needed).
 func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 	type outcome struct {
-		Shard int             `json:"shard"`
-		OK    bool            `json:"ok"`
-		Gen   json.RawMessage `json:"gen,omitempty"`
-		Error string          `json:"error,omitempty"`
+		Shard   int             `json:"shard"`
+		Replica int             `json:"replica"`
+		URL     string          `json:"url"`
+		OK      bool            `json:"ok"`
+		Gen     json.RawMessage `json:"gen,omitempty"`
+		Error   string          `json:"error,omitempty"`
 	}
-	outcomes := make([]outcome, len(rt.shards))
+	topo := rt.topo.Load()
+	outcomes := make([]outcome, len(topo.replicas))
 	var wg sync.WaitGroup
-	for i, sc := range rt.shards {
+	for i, sc := range topo.replicas {
 		wg.Add(1)
 		go func(i int, sc *shardClient) {
 			defer wg.Done()
-			rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
-			u, err := sc.fetch(r.Context(), http.MethodPost, "/v1/admin/reload", "")
+			u, err := rt.fetchOne(r.Context(), sc, http.MethodPost, "/v1/admin/reload", "")
 			switch {
 			case err != nil:
-				rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
-				outcomes[i] = outcome{Shard: sc.index, Error: err.Error()}
+				outcomes[i] = outcome{Shard: sc.index, Replica: sc.ordinal, URL: sc.baseURL, Error: err.Error()}
 			case u.status != http.StatusOK:
-				outcomes[i] = outcome{Shard: sc.index, Error: fmt.Sprintf("status %d: %s", u.status, u.body)}
+				outcomes[i] = outcome{Shard: sc.index, Replica: sc.ordinal, URL: sc.baseURL, Error: fmt.Sprintf("status %d: %s", u.status, u.body)}
 			default:
-				outcomes[i] = outcome{Shard: sc.index, OK: true, Gen: u.body}
+				outcomes[i] = outcome{Shard: sc.index, Replica: sc.ordinal, URL: sc.baseURL, OK: true, Gen: u.body}
 			}
 		}(i, sc)
 	}
@@ -984,34 +1012,35 @@ func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{"results": outcomes})
 }
 
-// shardSlowJSON is one shard's row in the router's /v1/debug/slow.
+// shardSlowJSON is one replica's row in the router's /v1/debug/slow.
 type shardSlowJSON struct {
 	Shard     int             `json:"shard"`
+	Replica   int             `json:"replica"`
+	URL       string          `json:"url"`
 	Exemplars json.RawMessage `json:"exemplars,omitempty"`
 	Error     string          `json:"error,omitempty"`
 }
 
 // handleSlow aggregates slow-request exemplars across the fleet: the
-// router's own ring plus each shard's /v1/debug/slow, gathered
-// concurrently. A dark shard becomes an error row, never a failure —
+// router's own ring plus each replica's /v1/debug/slow, gathered
+// concurrently. A dark replica becomes an error row, never a failure —
 // this is a debugging endpoint and partial truth beats none.
 func (rt *Router) handleSlow(w http.ResponseWriter, r *http.Request) {
-	rows := make([]shardSlowJSON, len(rt.shards))
+	topo := rt.topo.Load()
+	rows := make([]shardSlowJSON, len(topo.replicas))
 	var wg sync.WaitGroup
-	for i, sc := range rt.shards {
+	for i, sc := range topo.replicas {
 		wg.Add(1)
 		go func(i int, sc *shardClient) {
 			defer wg.Done()
-			rt.shardRequests.With(strconv.Itoa(sc.index)).Inc()
-			u, err := sc.fetch(r.Context(), http.MethodGet, "/v1/debug/slow", "")
+			u, err := rt.fetchOne(r.Context(), sc, http.MethodGet, "/v1/debug/slow", "")
 			switch {
 			case err != nil:
-				rt.shardErrors.With(strconv.Itoa(sc.index)).Inc()
-				rows[i] = shardSlowJSON{Shard: sc.index, Error: err.Error()}
+				rows[i] = shardSlowJSON{Shard: sc.index, Replica: sc.ordinal, URL: sc.baseURL, Error: err.Error()}
 			case u.status != http.StatusOK:
-				rows[i] = shardSlowJSON{Shard: sc.index, Error: fmt.Sprintf("status %d", u.status)}
+				rows[i] = shardSlowJSON{Shard: sc.index, Replica: sc.ordinal, URL: sc.baseURL, Error: fmt.Sprintf("status %d", u.status)}
 			default:
-				rows[i] = shardSlowJSON{Shard: sc.index, Exemplars: u.body}
+				rows[i] = shardSlowJSON{Shard: sc.index, Replica: sc.ordinal, URL: sc.baseURL, Exemplars: u.body}
 			}
 		}(i, sc)
 	}
@@ -1041,23 +1070,25 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
-// handleReadyz: ready while the router can still answer — every shard
-// up under strict policy, at least one under partial. (Single-ASN reads
-// for a dead range fail fast either way; readiness is about whether the
+// handleReadyz: ready while the router can still answer — every range
+// lit under strict policy, at least one under partial. A range is dark
+// only when all of its replicas' breakers are open. (Single-ASN reads
+// for a dark range fail fast either way; readiness is about whether the
 // router deserves traffic at all.)
 func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	open := 0
-	for _, sc := range rt.shards {
-		if state, _, _, _ := sc.breaker.Snapshot(); state == "open" {
-			open++
+	topo := rt.topo.Load()
+	dark := 0
+	for _, set := range topo.sets {
+		if set.dark() {
+			dark++
 		}
 	}
-	notReady := (rt.policy == PolicyStrict && open > 0) || open == len(rt.shards)
+	notReady := (rt.policy == PolicyStrict && dark > 0) || dark == len(topo.sets)
 	if notReady {
 		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "%d/%d shard breakers open\n", open, len(rt.shards))
+		fmt.Fprintf(w, "%d/%d shard ranges dark\n", dark, len(topo.sets))
 		return
 	}
 	w.WriteHeader(http.StatusOK)

@@ -159,7 +159,8 @@ func TestAggregateHashMode(t *testing.T) {
 				kill, w.Code, w.Body.String() != want)
 		}
 		set.flakies[kill].broken.Store(false)
-		rt.shards[kill].breaker.OnSuccess() // close the breaker for the next round
+		// Close the breaker for the next round.
+		rt.topo.Load().sets[kill].replicas[0].breaker.OnSuccess()
 	}
 }
 
@@ -258,12 +259,12 @@ func TestReloadFanout(t *testing.T) {
 func TestHandshakeValidation(t *testing.T) {
 	set := startShards(t, fixtureSnapshot(1), 4)
 
-	// Subset of a 4-way plan: count mismatch.
+	// Subset of a 4-way plan: two ranges have no replica.
 	_, err := New(context.Background(), Options{
 		Shards:           set.urls[:2],
 		HandshakeTimeout: 2 * time.Second,
 	})
-	if err == nil || !strings.Contains(err.Error(), "shard URLs were given") {
+	if err == nil || !strings.Contains(err.Error(), "has no replica") {
 		t.Fatalf("subset handshake error = %v", err)
 	}
 
@@ -304,9 +305,12 @@ func TestHealthAndTopology(t *testing.T) {
 		Router   struct {
 			Policy string `json:"policy"`
 			Shards []struct {
-				Index   int    `json:"index"`
-				Breaker string `json:"breaker"`
-				Gen     int64  `json:"gen"`
+				Index    int  `json:"index"`
+				Dark     bool `json:"dark"`
+				Replicas []struct {
+					Breaker string `json:"breaker"`
+					Gen     int64  `json:"gen"`
+				} `json:"replicas"`
 			} `json:"shards"`
 		} `json:"router"`
 	}
@@ -320,8 +324,13 @@ func TestHealthAndTopology(t *testing.T) {
 		t.Fatalf("router section = %+v", health.Router)
 	}
 	for _, sh := range health.Router.Shards {
-		if sh.Breaker != "closed" || sh.Gen != 1 {
+		if sh.Dark || len(sh.Replicas) != 1 {
 			t.Fatalf("shard %d state = %+v", sh.Index, sh)
+		}
+		for _, rep := range sh.Replicas {
+			if rep.Breaker != "closed" || rep.Gen != 1 {
+				t.Fatalf("shard %d replica state = %+v", sh.Index, rep)
+			}
 		}
 	}
 

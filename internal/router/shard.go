@@ -41,18 +41,28 @@ type shardIdentity struct {
 		Hi    asn.ASN `json:"hi"`
 		Sum   string  `json:"sum"`
 	} `json:"shard"`
-	Generation int64 `json:"generation"`
-	ASNCount   int   `json:"asnCount"`
+	Generation int64  `json:"generation"`
+	ASNCount   int    `json:"asnCount"`
+	Replica    string `json:"replica"`
 }
 
-// shardClient is the router's handle on one shard process: its base
-// URL, its range, a circuit breaker, and the identity the last
-// handshake or probe reported.
+// shardClient is the router's handle on one replica process: its base
+// URL, the range it serves, a circuit breaker, and the identity the
+// last handshake or probe reported. Until the handshake has grouped
+// replicas into sets the breaker and counters are nil — fetch treats a
+// nil breaker as always-allow with no accounting.
 type shardClient struct {
-	index   int
+	index   int    // shard range index
+	ordinal int    // position within the range's replica set
+	replica string // the process's self-reported replica ID
 	baseURL string
 	client  *http.Client
 	breaker *serve.Breaker
+
+	// Pre-resolved (shard, replica) instrument handles, assigned when
+	// the topology admits this client.
+	reqs *obs.Counter
+	errs *obs.Counter
 
 	lo, hi asn.ASN
 
@@ -88,20 +98,52 @@ func (sc *shardClient) identity(ctx context.Context) (shardIdentity, error) {
 
 // state summarises the client for health and topology endpoints.
 func (sc *shardClient) state() (breakerState string, gen int64, asnCount int) {
-	breakerState, _, _, _ = sc.breaker.Snapshot()
+	breakerState = "closed"
+	if sc.breaker != nil {
+		breakerState, _, _, _ = sc.breaker.Snapshot()
+	}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	return breakerState, sc.gen, sc.asnCount
 }
 
-// fetch performs one breaker-guarded request against the shard and
+// Nil-safe breaker transitions: a handshake-phase client has no breaker
+// yet, and its probes must not crash for it.
+func (sc *shardClient) onNeutral() {
+	if sc.breaker != nil {
+		sc.breaker.OnNeutral()
+	}
+}
+
+func (sc *shardClient) onFailure() {
+	if sc.breaker != nil {
+		sc.breaker.OnFailure()
+	}
+}
+
+func (sc *shardClient) onSuccess() {
+	if sc.breaker != nil {
+		sc.breaker.OnSuccess()
+	}
+}
+
+// breakerState is the picker's view: "closed" sorts first.
+func (sc *shardClient) breakerState() string {
+	if sc.breaker == nil {
+		return "closed"
+	}
+	state, _, _, _ := sc.breaker.Snapshot()
+	return state
+}
+
+// fetch performs one breaker-guarded request against the replica and
 // captures the response whole. The breaker's failure taxonomy mirrors
 // the serving tier's: transport errors and 5xx are failures, a context
 // expiry is neutral (the shard may be fine; the client gave up), and
 // everything else — including 4xx, which prove the shard answered — is
 // success.
 func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch string) (*upstream, error) {
-	if !sc.breaker.Allow() {
+	if sc.breaker != nil && !sc.breaker.Allow() {
 		return nil, fmt.Errorf("%w: breaker open for %s", errShardDown, sc.baseURL)
 	}
 	// One child span per upstream call (no-op unless the request carries
@@ -111,10 +153,13 @@ func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch str
 	// span (DESIGN.md §13).
 	ctx, sp := obs.StartSpan(ctx, "shard["+strconv.Itoa(sc.index)+"] "+method+" "+pathq)
 	defer sp.End()
+	// Replica identity rides as an attribute, not in the span name: the
+	// name stays stable per range so cross-replica traces aggregate.
+	sp.SetAttr("replica", int64(sc.ordinal))
 	_, propagate := obs.RemoteParentFrom(ctx)
 	req, err := http.NewRequestWithContext(ctx, method, sc.baseURL+pathq, nil)
 	if err != nil {
-		sc.breaker.OnNeutral()
+		sc.onNeutral()
 		return nil, err
 	}
 	if ifNoneMatch != "" {
@@ -128,28 +173,28 @@ func (sc *shardClient) fetch(ctx context.Context, method, pathq, ifNoneMatch str
 	resp, err := sc.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
-			sc.breaker.OnNeutral()
+			sc.onNeutral()
 			return nil, ctx.Err()
 		}
-		sc.breaker.OnFailure()
+		sc.onFailure()
 		return nil, fmt.Errorf("%w: %v", errShardDown, err)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		if ctx.Err() != nil {
-			sc.breaker.OnNeutral()
+			sc.onNeutral()
 			return nil, ctx.Err()
 		}
-		sc.breaker.OnFailure()
+		sc.onFailure()
 		return nil, fmt.Errorf("%w: reading body: %v", errShardDown, err)
 	}
 	sp.SetAttr("status", int64(resp.StatusCode))
 	if resp.StatusCode >= http.StatusInternalServerError {
-		sc.breaker.OnFailure()
+		sc.onFailure()
 		return nil, fmt.Errorf("%w: %s answered %d", errShardDown, sc.baseURL, resp.StatusCode)
 	}
-	sc.breaker.OnSuccess()
+	sc.onSuccess()
 	if propagate {
 		if h := resp.Header.Get(obs.SpanHeader); h != "" {
 			var sum obs.SpanSummary

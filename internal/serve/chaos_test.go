@@ -129,9 +129,21 @@ func TestChaosSoak(t *testing.T) {
 	// Phase 1: clean warmup.
 	time.Sleep(30 * time.Millisecond)
 	// Phase 2: the fault window. Every block read now errors or comes
-	// back bit-flipped; the breaker must trip.
+	// back bit-flipped; the breaker must trip. The window is
+	// condition-based, not a fixed sleep: on a heavily loaded machine
+	// the worker goroutines may get scheduled for only slivers of a
+	// fixed window, so it stays open until the chaos has demonstrably
+	// reached the store and tripped the breaker (bounded; the
+	// assertions below report the failure if it never does).
 	flaky.SetEnabled(true)
-	time.Sleep(150 * time.Millisecond)
+	windowDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(windowDeadline) {
+		if v, ok := o.Registry.Sum(MetricBreakerTrips); ok && v >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(30 * time.Millisecond) // a few more faulted reads land as 500s
 	// Phase 3: faults clear; after the cooldown a probe closes the
 	// breaker again.
 	flaky.SetEnabled(false)

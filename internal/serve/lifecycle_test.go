@@ -203,6 +203,77 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 }
 
+// TestBreakerHalfOpenSingleProbeConcurrent pins the half-open admission
+// contract under contention: when the cooldown elapses with a stampede
+// of concurrent requests waiting, exactly one wins the probe slot per
+// resolution — everyone else short-circuits. The router's replica
+// picker depends on this (an open-breaker replica must cost at most one
+// in-flight probe, never a thundering herd against a struggling
+// backend).
+func TestBreakerHalfOpenSingleProbeConcurrent(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	b := newBreaker(1, time.Minute, obs.New().Registry)
+	b.now = func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return now }
+
+	b.Allow()
+	b.OnFailure() // threshold 1: open immediately
+	clockMu.Lock()
+	now = now.Add(61 * time.Second) // cooldown elapsed; next Allow half-opens
+	clockMu.Unlock()
+
+	stampede := func() (admitted int64) {
+		var n int64
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.Allow() {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return n
+	}
+
+	if n := stampede(); n != 1 {
+		t.Fatalf("half-open transition admitted %d concurrent probes, want exactly 1", n)
+	}
+	if state, _, _, _ := b.Snapshot(); state != "half-open" {
+		t.Fatalf("state after stampede = %s, want half-open", state)
+	}
+
+	// A neutral outcome releases the slot; the next stampede again
+	// admits exactly one.
+	b.OnNeutral()
+	if n := stampede(); n != 1 {
+		t.Fatalf("released probe slot admitted %d concurrent probes, want exactly 1", n)
+	}
+
+	// The probe succeeds: closed, and the whole stampede flows.
+	b.OnSuccess()
+	if n := stampede(); n != 32 {
+		t.Fatalf("closed breaker admitted %d of 32, want all", n)
+	}
+	// A failed probe from half-open re-opens: nobody gets through until
+	// the next cooldown.
+	b.Allow()
+	b.OnFailure()
+	clockMu.Lock()
+	now = now.Add(61 * time.Second)
+	clockMu.Unlock()
+	b.Allow() // take the probe slot
+	b.OnFailure()
+	if n := stampede(); n != 0 {
+		t.Fatalf("re-opened breaker admitted %d requests before cooldown, want 0", n)
+	}
+}
+
 // TestBreakerServesShortCircuits is the server-level breaker check:
 // consecutive backend failures turn 500s into immediate 503s with
 // Retry-After, /readyz goes not-ready, and recovery closes the loop.

@@ -41,11 +41,14 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -152,6 +155,14 @@ type Options struct {
 	// tests inject deterministic sequences. Nil uses the process-wide
 	// random source.
 	SpanIDs obs.IDSource
+
+	// Replica names this process within a replicated shard set. It rides
+	// the /v1/shard handshake payload so a router can tell two replicas
+	// of the same range apart (and refuse the same process listed
+	// twice). Empty gets a random 8-hex-digit ID at startup — replica
+	// identity only has to be unique within one fleet, not stable across
+	// restarts.
+	Replica string
 }
 
 // Server is the HTTP API over one opened dataset. It is safe for
@@ -178,6 +189,9 @@ type Server struct {
 	exemplars *obs.ExemplarRing
 	spanIDs   obs.IDSource
 	runtime   *obs.RuntimeStats
+
+	// Replica identity reported in the /v1/shard handshake (§14).
+	replica string
 }
 
 // endpointMetrics holds one endpoint's pre-resolved registry handles.
@@ -190,6 +204,17 @@ type endpointMetrics struct {
 // latencyBuckets spans the in-process serving range: cache hits land in
 // the low microseconds, cold block reads in the milliseconds.
 func latencyBuckets() []float64 { return obs.ExpBuckets(0.000001, 10, 8) }
+
+// randomReplicaID generates the default replica identity: 8 hex digits,
+// unique enough within one fleet. The PID fallback keeps two replicas on
+// one host distinguishable even if the random source fails.
+func randomReplicaID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	return hex.EncodeToString(b[:])
+}
 
 // New builds the server around a source.
 func New(src Source, opts Options) *Server {
@@ -214,6 +239,9 @@ func New(src Source, opts Options) *Server {
 	if opts.ExemplarCapacity == 0 {
 		opts.ExemplarCapacity = 32
 	}
+	if opts.Replica == "" {
+		opts.Replica = randomReplicaID()
+	}
 	reg := opts.Obs.Registry
 	s := &Server{
 		src:           src,
@@ -235,6 +263,7 @@ func New(src Source, opts Options) *Server {
 		exemplars: obs.NewExemplarRing(opts.ExemplarCapacity),
 		spanIDs:   opts.SpanIDs,
 		runtime:   obs.RegisterRuntime(reg),
+		replica:   opts.Replica,
 	}
 	if opts.BreakerThreshold > 0 {
 		s.breaker = newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, reg)
@@ -874,6 +903,7 @@ type shardResponse struct {
 	Shard      *shardRangeJSON `json:"shard,omitempty"`
 	Generation int64           `json:"generation"`
 	ASNCount   int             `json:"asnCount"`
+	Replica    string          `json:"replica"`
 }
 
 // handleShard reports this process's shard identity — the router's
@@ -881,7 +911,7 @@ type shardResponse struct {
 // than 404, so a router probe can distinguish "not a shard" from "not a
 // parallellives server at all".
 func (s *Server) handleShard(*http.Request) (any, *apiError) {
-	resp := shardResponse{Generation: s.generation(), ASNCount: s.src.ASNCount()}
+	resp := shardResponse{Generation: s.generation(), ASNCount: s.src.ASNCount(), Replica: s.replica}
 	if sh, ok := s.src.(Sharder); ok {
 		if si := sh.Shard(); si != nil {
 			resp.Sharded = true

@@ -87,9 +87,9 @@ echo "$metrics" | grep -q '^parallellives_fleet_shards 2$' \
     || { echo "fleet-smoke: parallellives_fleet_shards != 2" >&2; exit 1; }
 echo "$metrics" | grep -q '^parallellives_fleet_generation_skew 0$' \
     || { echo "fleet-smoke: generation skew != 0 on a fresh fleet" >&2; exit 1; }
-echo "$metrics" | grep -q '^parallellives_fleet_requests{shard="0"}' \
-    || { echo "fleet-smoke: no per-shard request rollup" >&2; exit 1; }
-echo "   both shards up, skew 0, per-shard rollup present"
+echo "$metrics" | grep -q '^parallellives_fleet_requests{shard="0",replica="0"}' \
+    || { echo "fleet-smoke: no per-replica request rollup" >&2; exit 1; }
+echo "   both shards up, skew 0, per-replica rollup present"
 
 echo "== slow-request exemplars"
 curl -sf "$R/v1/debug/slow" | jq -e \

@@ -23,6 +23,8 @@ echo "== go test -race (stream crash-equivalence property)"
 go test -race -count=1 -run TestCrashEquivalence ./internal/stream/
 echo "== go test -race (lifestore shard plan + shard files)"
 go test -race -count=1 -run 'TestShard|TestSaveSharded|TestOneShardPlan|TestOpenShard|TestOpenMapped' ./internal/lifestore/
-echo "== go test -race (router: unit + byte-equivalence + stitched traces + federated metrics)"
+echo "== go test -race (router: unit + replica failover/hedging/topology + byte-equivalence + stitched traces + federated metrics)"
 go test -race -count=1 ./internal/router/
+echo "== go test -race (loadgen: open-loop taxonomy + failover/hedge accounting)"
+go test -race -count=1 ./internal/loadgen/
 echo "verify: OK"
