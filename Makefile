@@ -42,14 +42,17 @@ chaos-serve:
 # Machine-readable perf trajectory: Pipeline/Lifestore/Serve benchmarks
 # (3 counts, -benchmem) distilled into BENCH_pipeline.json, including the
 # sequential vs -workers=N pipeline.Run comparison rows; plus
-# BENCH_delta.txt (% change vs the committed rows) and committed pprof
-# profiles of a small pipeline run under BENCH_profiles/.
+# BENCH_delta.txt (% change vs the committed rows, failing on a >5%
+# allocs/op regression unless BENCH_ALLOW_REGRESS=1), committed pprof
+# profiles of a small pipeline run under BENCH_profiles/, and the scale
+# ladder (3k -> 30k -> 106,873 ASNs) into BENCH_scale.json.
 bench:
 	./scripts/bench.sh
 
-# One-iteration bench pass so the harness can't rot (CI).
+# One-iteration bench pass so the harness can't rot (CI): full rows +
+# delta + regression gate, ladder reduced to the short 3k rung.
 bench-smoke:
-	BENCH_COUNT=1 BENCH_TIME=1x ./scripts/bench.sh
+	BENCH_COUNT=1 BENCH_TIME=1x BENCH_SCALE_SHORT=1 ./scripts/bench.sh
 
 # Sharded-tier smoke: snapshot → 4 shards → router, kill one shard and
 # prove degraded-then-recovered behaviour over live HTTP.

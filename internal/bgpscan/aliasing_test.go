@@ -1,0 +1,134 @@
+package bgpscan
+
+import (
+	"encoding/json"
+	"net/netip"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/dates"
+)
+
+// TestPooledScratchDoesNotAliasActivity pins the pooling contract: the
+// Activity returned by Finish must not share memory with the scanner's
+// recycled per-day scratch (the originSet pool, the sanitized-prefix
+// buffer, the synthetic update). After Finish we scribble over every
+// pooled structure we can reach and assert the serialized Activity is
+// byte-identical to the snapshot taken before the scribble.
+func TestPooledScratchDoesNotAliasActivity(t *testing.T) {
+	s := NewScannerWithVisibility(1)
+	day := dates.MustParse("2010-01-01")
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/16"),
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("2001:db8::/32"),
+	}
+	for d := 0; d < 8; d++ {
+		if err := s.BeginDay(day.AddDays(d)); err != nil {
+			t.Fatal(err)
+		}
+		for origin := asn.ASN(100); origin < 140; origin++ {
+			// Vary the prefix count per origin and day so several sets
+			// are in play and the pool is exercised across days.
+			n := 1 + int(origin+asn.ASN(d))%len(prefixes)
+			s.ObserveRoutes(prefixes[:n], []asn.ASN{1, 2, origin})
+			s.Observe(prefixes[d%len(prefixes)], []asn.ASN{3, 4, origin})
+		}
+		if err := s.EndDay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	act := s.Finish()
+	before, err := json.Marshal(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scribble every pooled originSet — both the free list and any sets
+	// still parked in dayOrigin from the final day.
+	scribbleSet := func(set *originSet) {
+		for i := range set.hs {
+			set.hs[i] = 0xdeadbeefdeadbeef
+		}
+		set.hs = append(set.hs, 1, 2, 3)
+		if set.m != nil {
+			for k := range set.m {
+				delete(set.m, k)
+			}
+			set.m[42] = struct{}{}
+		}
+	}
+	if len(s.setPool) == 0 && len(s.dayOrigin) == 0 {
+		t.Fatal("no pooled origin sets to scribble — pooling gone?")
+	}
+	for _, set := range s.setPool {
+		scribbleSet(set)
+	}
+	for _, set := range s.dayOrigin {
+		scribbleSet(set)
+	}
+	// Scribble the reusable sanitized-prefix buffer and synthetic update.
+	for i := range s.keep {
+		s.keep[i] = netip.MustParsePrefix("192.0.2.0/24")
+	}
+	for i := range s.upd.Path {
+		for j := range s.upd.Path[i].ASNs {
+			s.upd.Path[i].ASNs[j] = 65000
+		}
+	}
+
+	after, err := json.Marshal(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("Activity changed after scribbling pooled scanner scratch")
+	}
+}
+
+// TestPooledScratchDoesNotAliasPartial is the FinishPartial variant:
+// shard outputs feed MergeActivities later, so they too must be
+// independent of the recycled scratch.
+func TestPooledScratchDoesNotAliasPartial(t *testing.T) {
+	s := NewScanner() // paper default visibility: some ASNs stay invisible
+	day := dates.MustParse("2011-06-01")
+	p := netip.MustParsePrefix("10.2.0.0/16")
+	for d := 0; d < 4; d++ {
+		if err := s.BeginDay(day.AddDays(d)); err != nil {
+			t.Fatal(err)
+		}
+		// Origin 200 is seen by two peers (visible); 201 by one (invisible,
+		// but kept by FinishPartial).
+		s.Observe(p, []asn.ASN{1, 5, 200})
+		s.Observe(p, []asn.ASN{2, 5, 200})
+		s.Observe(p, []asn.ASN{1, 6, 201})
+		if err := s.EndDay(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	act := s.FinishPartial()
+	before, err := json.Marshal(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range s.setPool {
+		set.hs = set.hs[:cap(set.hs)]
+		for i := range set.hs {
+			set.hs[i] = ^uint64(0)
+		}
+	}
+	for _, set := range s.dayOrigin {
+		set.hs = set.hs[:cap(set.hs)]
+		for i := range set.hs {
+			set.hs[i] = ^uint64(0)
+		}
+	}
+	after, err := json.Marshal(act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("partial Activity changed after scribbling pooled scratch")
+	}
+}

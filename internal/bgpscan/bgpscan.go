@@ -148,10 +148,13 @@ type Scanner struct {
 
 	// Per-day state: for each ASN on a path, the set of distinct peer
 	// ASes that shared it (as a bitmask over registered peers), and for
-	// each origin the distinct prefixes announced.
+	// each origin the distinct prefixes announced. Origin sets are pooled
+	// (setPool) and reused day after day: BeginDay returns the previous
+	// day's sets to the pool, so steady-state days allocate nothing.
 	peerIdx   map[asn.ASN]int
 	dayPeers  map[asn.ASN]uint64
-	dayOrigin map[asn.ASN]map[netip.Prefix]struct{}
+	dayOrigin map[asn.ASN]*originSet
+	setPool   []*originSet
 
 	// Accumulated per-ASN runs.
 	building map[asn.ASN]*builder
@@ -172,6 +175,77 @@ type builder struct {
 	upstreams  map[asn.ASN]int64
 }
 
+// originSetSpill is the size at which an origin's per-day prefix set
+// migrates from the linear-scanned slice to a map. Almost every origin
+// announces far fewer distinct prefixes per day, so the slice path — one
+// cache line, no hashing — is the common case.
+const originSetSpill = 64
+
+// originSet accumulates the distinct prefixes one origin announced on one
+// day, as per-prefix FNV-1a hashes: a small linearly-deduplicated slice,
+// spilling to a map above originSetSpill. Distinct-prefix counting and
+// the order-independent XOR signature both work on the hashes, so the
+// prefixes themselves never need to be retained per day.
+type originSet struct {
+	hs []uint64
+	m  map[uint64]struct{}
+}
+
+// add inserts the hash of p if it is not already present.
+func (s *originSet) add(p netip.Prefix) {
+	h := prefixHash(p)
+	if s.m != nil {
+		s.m[h] = struct{}{}
+		return
+	}
+	for _, x := range s.hs {
+		if x == h {
+			return
+		}
+	}
+	if len(s.hs) >= originSetSpill {
+		s.m = make(map[uint64]struct{}, 2*originSetSpill)
+		for _, x := range s.hs {
+			s.m[x] = struct{}{}
+		}
+		s.m[h] = struct{}{}
+		s.hs = s.hs[:0]
+		return
+	}
+	s.hs = append(s.hs, h)
+}
+
+// count returns the number of distinct prefixes seen.
+func (s *originSet) count() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return len(s.hs)
+}
+
+// sig returns the order-independent XOR signature of the set.
+func (s *originSet) sig() uint64 {
+	var sig uint64
+	if s.m != nil {
+		for h := range s.m {
+			sig ^= h
+		}
+		return sig
+	}
+	for _, h := range s.hs {
+		sig ^= h
+	}
+	return sig
+}
+
+// reset readies the set for reuse, keeping the slice capacity and
+// dropping any spill map (spilling is rare; holding the buckets for every
+// pooled set would pin far more memory than rebuilding the odd map).
+func (s *originSet) reset() {
+	s.hs = s.hs[:0]
+	s.m = nil
+}
+
 // NewScanner returns a scanner with the paper's default visibility
 // threshold (>1 peer).
 func NewScanner() *Scanner { return NewScannerWithVisibility(MinPeerVisibility) }
@@ -187,7 +261,7 @@ func NewScannerWithVisibility(minPeers int) *Scanner {
 		minPeers:  minPeers,
 		peerIdx:   make(map[asn.ASN]int),
 		dayPeers:  make(map[asn.ASN]uint64),
-		dayOrigin: make(map[asn.ASN]map[netip.Prefix]struct{}),
+		dayOrigin: make(map[asn.ASN]*originSet),
 		building:  make(map[asn.ASN]*builder),
 		start:     dates.None,
 		end:       dates.None,
@@ -209,6 +283,10 @@ func (s *Scanner) BeginDay(d dates.Day) error {
 	s.inDay = true
 	clear(s.peerIdx)
 	clear(s.dayPeers)
+	for _, set := range s.dayOrigin {
+		set.reset()
+		s.setPool = append(s.setPool, set)
+	}
 	clear(s.dayOrigin)
 	return nil
 }
@@ -288,11 +366,16 @@ func (s *Scanner) observePath(prefixes []netip.Prefix, u *bgp.Update) {
 	if origin, ok := u.OriginAS(); ok {
 		set := s.dayOrigin[origin]
 		if set == nil {
-			set = make(map[netip.Prefix]struct{}, 4)
+			if n := len(s.setPool); n > 0 {
+				set = s.setPool[n-1]
+				s.setPool = s.setPool[:n-1]
+			} else {
+				set = &originSet{}
+			}
 			s.dayOrigin[origin] = set
 		}
 		for _, p := range prefixes {
-			set[p] = struct{}{}
+			set.add(p)
 		}
 		if up, ok := s.upstreamOf(u, origin); ok {
 			b := s.building[origin]
@@ -463,9 +546,9 @@ func (s *Scanner) EndDay() error {
 		} else {
 			b.days = append(b.days, intervals.Interval{Start: d, End: d})
 		}
-		if set := s.dayOrigin[a]; len(set) > 0 {
-			count := len(set)
-			sig := prefixSetSig(set)
+		if set := s.dayOrigin[a]; set != nil && set.count() > 0 {
+			count := set.count()
+			sig := set.sig()
 			if n := len(b.originDays); n > 0 && b.originDays[n-1].End+1 == d {
 				b.originDays[n-1].End = d
 			} else {
@@ -656,15 +739,6 @@ func MergeActivities(parts ...*Activity) *Activity {
 }
 
 func popcount(x uint64) int { return bits.OnesCount64(x) }
-
-// prefixSetSig computes an order-independent signature of a prefix set.
-func prefixSetSig(set map[netip.Prefix]struct{}) uint64 {
-	var sig uint64
-	for p := range set {
-		sig ^= prefixHash(p)
-	}
-	return sig
-}
 
 // prefixHash is a per-prefix FNV-1a hash.
 func prefixHash(p netip.Prefix) uint64 {

@@ -1,0 +1,56 @@
+package collector
+
+import (
+	"testing"
+)
+
+// TestIterArenaRecyclingPreservesObservations pins the day-arena
+// contract: within a day, every observation handed out by a
+// continuously-advanced iterator (whose path arena and noise buffers are
+// recycled day over day) must match what a fresh iterator advanced to
+// the same day produces. Divergence would mean the arena reuse corrupts
+// or cross-links the observations it backs.
+func TestIterArenaRecyclingPreservesObservations(t *testing.T) {
+	w := testWorld()
+	inf := New(w)
+
+	cont := inf.Iter()
+	for day := 0; day < 10 && cont.Next(); day++ {
+		fresh := inf.Iter()
+		for i := 0; i <= day; i++ {
+			if !fresh.Next() {
+				t.Fatalf("fresh iterator exhausted at day %d", i)
+			}
+		}
+		if cont.Day() != fresh.Day() {
+			t.Fatalf("day %d: %v != %v", day, cont.Day(), fresh.Day())
+		}
+		got, want := cont.Observations(), fresh.Observations()
+		if len(got) != len(want) {
+			t.Fatalf("day %v: %d observations, want %d", cont.Day(), len(got), len(want))
+		}
+		for i := range got {
+			if !equalObservation(got[i], want[i]) {
+				t.Fatalf("day %v obs %d: %+v != %+v", cont.Day(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func equalObservation(a, b Observation) bool {
+	if a.Collector != b.Collector || a.Peer != b.Peer ||
+		len(a.Prefixes) != len(b.Prefixes) || len(a.Path) != len(b.Path) {
+		return false
+	}
+	for i := range a.Prefixes {
+		if a.Prefixes[i] != b.Prefixes[i] {
+			return false
+		}
+	}
+	for i := range a.Path {
+		if a.Path[i] != b.Path[i] {
+			return false
+		}
+	}
+	return true
+}

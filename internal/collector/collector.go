@@ -186,17 +186,23 @@ func prefix6For(owner asn.ASN, i int) netip.Prefix {
 
 // pathFor builds the AS path a peer sees for a segment's announcements.
 func (inf *Infrastructure) pathFor(seg *worldsim.Segment, peer asn.ASN, d dates.Day) []asn.ASN {
-	path := make([]asn.ASN, 0, 5)
-	path = append(path, peer)
+	return inf.appendPath(make([]asn.ASN, 0, 5), seg, peer, d)
+}
+
+// appendPath appends the AS path a peer sees for a segment's
+// announcements to dst — the arena form of pathFor: the day iterator
+// carves every observation's path out of one reused buffer.
+func (inf *Infrastructure) appendPath(dst []asn.ASN, seg *worldsim.Segment, peer asn.ASN, d dates.Day) []asn.ASN {
+	dst = append(dst, peer)
 	if seg.Upstream != peer && seg.Upstream != seg.ASN {
 		// Occasionally route through an extra transit hop.
 		if inf.hash64(seg.ASN, d, uint32(peer))%5 == 0 {
 			mid := inf.world.TransitASNs[inf.hash64(seg.ASN, d, 7)%uint64(len(inf.world.TransitASNs)-1)]
 			if mid != peer && mid != seg.Upstream && mid != seg.ASN {
-				path = append(path, mid)
+				dst = append(dst, mid)
 			}
 		}
-		path = append(path, seg.Upstream)
+		dst = append(dst, seg.Upstream)
 	}
 	// Prepending: some origins announce with the origin repeated.
 	reps := 1
@@ -204,9 +210,9 @@ func (inf *Infrastructure) pathFor(seg *worldsim.Segment, peer asn.ASN, d dates.
 		reps = 2 + int(inf.hash64(seg.ASN, 0, 4)%2)
 	}
 	for i := 0; i < reps; i++ {
-		path = append(path, seg.ASN)
+		dst = append(dst, seg.ASN)
 	}
-	return path
+	return dst
 }
 
 // Iter walks the window day by day.
@@ -221,6 +227,13 @@ type Iter struct {
 	// segCache holds each active segment's announced prefix set (constant
 	// over the segment's life) and its outage schedule.
 	segCache map[int]*segState
+	// pathArena and noisePrefixes back the day's observation paths and
+	// noise prefix sets. Both reset (len only) at the start of each day:
+	// observations are consumed within their day, so the previous day's
+	// views are dead by then, and growth mid-day leaves already-taken
+	// views pointing at the old backing array, still valid and immutable.
+	pathArena     []asn.ASN
+	noisePrefixes []netip.Prefix
 }
 
 // segState is the cached per-segment rendering state.
@@ -276,6 +289,8 @@ func (it *Iter) Next() bool {
 	}
 	it.active = kept
 	it.obs = it.obs[:0]
+	it.pathArena = it.pathArena[:0]
+	it.noisePrefixes = it.noisePrefixes[:0]
 	it.buildObservations()
 	return true
 }
@@ -321,10 +336,12 @@ func (it *Iter) buildObservations() {
 				if peerAS == seg.ASN {
 					continue // a peer does not re-learn its own origin
 				}
+				start := len(it.pathArena)
+				it.pathArena = inf.appendPath(it.pathArena, seg, peerAS, d)
 				it.obs = append(it.obs, Observation{
 					Collector: ci, Peer: pi,
 					Prefixes: prefixes,
-					Path:     inf.pathFor(seg, peerAS, d),
+					Path:     it.pathArena[start:len(it.pathArena):len(it.pathArena)],
 				})
 			}
 		}
@@ -373,9 +390,14 @@ func (it *Iter) appendNoise() {
 	d := it.day
 	t := inf.world.TransitASNs
 	junkOrigin := asn.ASN(64700 + inf.hash64(0, d, 1)%100) // varies daily
-	mk := func(ci, pi int, prefix netip.Prefix, path []asn.ASN) {
+	mk := func(ci, pi int, prefix netip.Prefix, path ...asn.ASN) {
+		ps := len(it.noisePrefixes)
+		it.noisePrefixes = append(it.noisePrefixes, prefix)
+		as := len(it.pathArena)
+		it.pathArena = append(it.pathArena, path...)
 		it.obs = append(it.obs, Observation{Collector: ci, Peer: pi,
-			Prefixes: []netip.Prefix{prefix}, Path: path})
+			Prefixes: it.noisePrefixes[ps : ps+1 : ps+1],
+			Path:     it.pathArena[as:len(it.pathArena):len(it.pathArena)]})
 	}
 	// Too-long IPv4 prefix (/25..). Both peers see it, so only the
 	// prefix filter keeps it out.
@@ -384,13 +406,13 @@ func (it *Iter) appendNoise() {
 	long6, _ := netip.MustParseAddr("2001:db8:1:2:3::").Prefix(80)
 	for pi := 0; pi < 2; pi++ {
 		peerAS := inf.collectors[0].Peers[pi].AS
-		mk(0, pi, long, []asn.ASN{peerAS, t[0], junkOrigin})
-		mk(0, pi, short, []asn.ASN{peerAS, t[0], junkOrigin})
-		mk(0, pi, long6, []asn.ASN{peerAS, t[0], junkOrigin})
+		mk(0, pi, long, peerAS, t[0], junkOrigin)
+		mk(0, pi, short, peerAS, t[0], junkOrigin)
+		mk(0, pi, long6, peerAS, t[0], junkOrigin)
 		// Looped path: the same transit appears in two non-adjacent
 		// positions.
 		loop, _ := netip.AddrFrom4([4]byte{198, 18, byte(d % 250), 0}).Prefix(24)
-		mk(0, pi, loop, []asn.ASN{peerAS, t[0], t[1], t[0], junkOrigin})
+		mk(0, pi, loop, peerAS, t[0], t[1], t[0], junkOrigin)
 	}
 }
 

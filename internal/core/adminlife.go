@@ -58,12 +58,20 @@ func BuildAdminLifetimes(res *restore.Result) ([]AdminLifetime, AdminStats) {
 	return BuildAdminLifetimesParallel(res, 1)
 }
 
+// runScratch holds the reusable per-group partitions of appendLifetimes.
+// One scratch serves one goroutine's group loop: nothing built from it
+// outlives the call, so the backing arrays are recycled group to group.
+type runScratch struct {
+	delegated []restore.Run
+	reserved  []restore.Run
+}
+
 // appendLifetimes merges one ASN's runs into lifetimes.
-func appendLifetimes(out []AdminLifetime, group []restore.Run, stats *AdminStats) []AdminLifetime {
+func appendLifetimes(out []AdminLifetime, group []restore.Run, stats *AdminStats, sc *runScratch) []AdminLifetime {
 	// Select delegated runs in time order; keep reserved runs for the
 	// AfriNIC exception test.
-	var delegated []restore.Run
-	var reserved []restore.Run
+	delegated := sc.delegated[:0]
+	reserved := sc.reserved[:0]
 	for _, r := range group {
 		if r.Delegated() {
 			delegated = append(delegated, r)
@@ -73,6 +81,7 @@ func appendLifetimes(out []AdminLifetime, group []restore.Run, stats *AdminStats
 			stats.ReservedRunsSkipped++
 		}
 	}
+	sc.delegated, sc.reserved = delegated[:0], reserved[:0]
 	if len(delegated) == 0 {
 		return out
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/delegation"
+	"parallellives/internal/intervals"
+	"parallellives/internal/restore"
+)
+
+// TestRunScratchDoesNotAliasLifetimes pins the admin-builder scratch
+// contract: lifetimes appended by appendLifetimes must be independent of
+// the runScratch the partition loop recycles group over group.
+func TestRunScratchDoesNotAliasLifetimes(t *testing.T) {
+	asns := []asn.ASN{64500, 64501, 64502}
+	var sc runScratch
+	var stats AdminStats
+	var out []AdminLifetime
+	for i, a := range asns {
+		reg := d("2010-01-01").AddDays(i * 100)
+		group := []restore.Run{
+			run(a, asn.ARIN, delegation.StatusAllocated, "2010-01-01", intervals.New(reg, reg.AddDays(400)), false),
+			run(a, asn.ARIN, delegation.StatusReserved, "2010-01-01", intervals.New(reg.AddDays(401), reg.AddDays(450)), false),
+			run(a, asn.ARIN, delegation.StatusAllocated, "2010-01-01", intervals.New(reg.AddDays(451), reg.AddDays(900)), true),
+		}
+		out = appendLifetimes(out, group, &stats, &sc)
+	}
+
+	before, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, all := 0, sc.delegated[:cap(sc.delegated)]; i < len(all); i++ {
+		all[i] = restore.Run{}
+	}
+	for i, all := 0, sc.reserved[:cap(sc.reserved)]; i < len(all); i++ {
+		all[i] = restore.Run{}
+	}
+	after, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("admin lifetimes changed after scribbling the partition scratch")
+	}
+}
+
+// TestActivityColumnsReuseDoesNotAliasIndex pins the columnar-view
+// contract: an OpIndex built from an ActivityColumns must stay intact
+// when the same columns are reused for further timeouts, and must not
+// alias the columnar day arrays.
+func TestActivityColumnsReuseDoesNotAliasIndex(t *testing.T) {
+	act := buildActivity(map[asn.ASN][]intervals.Interval{
+		64500: {iv("2010-01-01", "2010-03-01"), iv("2010-06-01", "2010-08-01")},
+		64501: {iv("2011-01-01", "2011-01-05")},
+		64502: {iv("2012-01-01", "2012-02-01"), iv("2012-05-01", "2012-05-02"), iv("2013-01-01", "2013-06-01")},
+	})
+	cols := NewActivityColumns(act)
+	idx, err := cols.BuildOpLifetimes(context.Background(), 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := json.Marshal(idx.Lifetimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reuse the columns for other timeouts, then scribble the day arrays.
+	for _, to := range []int{0, 5, 10000} {
+		if _, err := cols.BuildOpLifetimes(context.Background(), to, 3); err != nil {
+			t.Fatal(err)
+		}
+		cols.GapDistribution()
+	}
+	for i := range cols.cols.Start {
+		cols.cols.Start[i] = 0
+		cols.cols.End[i] = 0
+	}
+
+	after, err := json.Marshal(idx.Lifetimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("op lifetimes changed after columns were reused and scribbled")
+	}
+	// The shared-index byASN subslices must still resolve correctly.
+	for a := asn.ASN(64500); a <= 64502; a++ {
+		for _, li := range idx.Of(a) {
+			if idx.Lifetimes[li].ASN != a {
+				t.Fatalf("index of %v points at lifetime of %v", a, idx.Lifetimes[li].ASN)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/bgpscan"
+	"parallellives/internal/intervals"
+	"parallellives/internal/parallel"
+)
+
+// ActivityColumns is the columnar (SoA) view of an Activity: every ASN's
+// day set flattened, in ascending ASN order, into one pair of parallel
+// start/end arrays with a row-offset table marking each ASN's range.
+// Building it costs one pass over the activity; afterwards every timeout
+// segmentation and gap walk reads two dense arrays front to back — no
+// per-ASN slice allocations, no pointer chasing — which is what makes
+// sweeping many candidate timeouts over one activity cheap.
+type ActivityColumns struct {
+	act  *bgpscan.Activity
+	asns []asn.ASN // ascending; one entry per ASN with activity
+	off  []int     // len(asns)+1; rows [off[i], off[i+1]) hold asns[i]'s set
+	cols intervals.Columns
+}
+
+// NewActivityColumns flattens act into columnar form.
+func NewActivityColumns(act *bgpscan.Activity) *ActivityColumns {
+	asns := make([]asn.ASN, 0, len(act.ASNs))
+	rows := 0
+	for a, aa := range act.ASNs {
+		asns = append(asns, a)
+		rows += len(aa.Days)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	ac := &ActivityColumns{act: act, asns: asns, off: make([]int, len(asns)+1)}
+	ac.cols.Grow(rows)
+	for i, a := range asns {
+		ac.off[i] = ac.cols.Len()
+		ac.cols.AppendSet(act.ASNs[a].Days)
+	}
+	ac.off[len(asns)] = ac.cols.Len()
+	return ac
+}
+
+// GapDistribution returns every per-ASN activity gap length in days,
+// sorted ascending — identical to the package-level GapDistribution, but
+// walking the flat columns with exactly one output allocation.
+func (ac *ActivityColumns) GapDistribution() []int {
+	// Each ASN with k rows contributes k-1 gaps.
+	total := ac.cols.Len() - len(ac.asns)
+	if total < 0 {
+		total = 0
+	}
+	out := make([]int, 0, total)
+	for gi := range ac.asns {
+		out = ac.cols.AppendGaps(out, ac.off[gi], ac.off[gi+1])
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BuildOpLifetimes segments the columnar activity into operational
+// lifetimes with the inactivity timeout, sharded across workers. Output
+// is bit-identical to the sequential builder for any worker count: ASNs
+// are ascending, shards are contiguous ranges of them, and shard outputs
+// concatenate in shard order.
+func (ac *ActivityColumns) BuildOpLifetimes(ctx context.Context, timeout, workers int) (*OpIndex, error) {
+	shards := parallel.Shards(len(ac.asns), workers)
+	parts := make([][]OpLifetime, len(shards))
+	if err := parallel.ForEach(ctx, len(shards), workers, func(_ context.Context, si int) error {
+		// A segment consumes at least one row, so the shard's row count
+		// bounds its lifetime count: one allocation per shard.
+		out := make([]OpLifetime, 0, ac.off[shards[si].Hi]-ac.off[shards[si].Lo])
+		start, end := ac.cols.Start, ac.cols.End
+		for gi := shards[si].Lo; gi < shards[si].Hi; gi++ {
+			lo, hi := ac.off[gi], ac.off[gi+1]
+			if lo == hi {
+				continue
+			}
+			a := ac.asns[gi]
+			cur := intervals.Interval{Start: start[lo], End: end[lo]}
+			for r := lo + 1; r < hi; r++ {
+				if start[r].Sub(cur.End)-1 > timeout {
+					out = append(out, OpLifetime{ASN: a, Span: cur})
+					cur = intervals.Interval{Start: start[r], End: end[r]}
+				} else {
+					cur.End = end[r]
+				}
+			}
+			out = append(out, OpLifetime{ASN: a, Span: cur})
+		}
+		parts[si] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	idx := &OpIndex{
+		Timeout:   timeout,
+		Activity:  ac.act,
+		Lifetimes: make([]OpLifetime, 0, total),
+		byASN:     make(map[asn.ASN][]int, len(ac.asns)),
+	}
+	for _, p := range parts {
+		idx.Lifetimes = append(idx.Lifetimes, p...)
+	}
+	// Lifetimes are globally ASN-sorted, so each ASN's indices are one
+	// contiguous run: the per-ASN index slices all view one shared
+	// sequential array instead of growing a small slice per ASN.
+	seq := make([]int, total)
+	for i := range seq {
+		seq[i] = i
+	}
+	for i := 0; i < total; {
+		j := i
+		for j < total && idx.Lifetimes[j].ASN == idx.Lifetimes[i].ASN {
+			j++
+		}
+		idx.byASN[idx.Lifetimes[i].ASN] = seq[i:j:j]
+		i = j
+	}
+	return idx, nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"parallellives/internal/asn"
@@ -52,12 +53,7 @@ func (idx *OpIndex) ASNs() int { return len(idx.byASN) }
 // GapDistribution returns every per-ASN activity gap length (in days)
 // across the raw activity — the red CDF of Figure 3.
 func GapDistribution(act *bgpscan.Activity) []int {
-	var out []int
-	for _, a := range act.ASNs {
-		out = append(out, a.Days.GapLengths()...)
-	}
-	sort.Ints(out)
-	return out
+	return NewActivityColumns(act).GapDistribution()
 }
 
 // TimeoutSensitivity evaluates one candidate timeout value for Figure 3
@@ -77,11 +73,14 @@ type TimeoutSensitivity struct {
 
 // SweepTimeouts computes the Figure 3 series for each candidate timeout.
 // admin supplies the administrative lifetimes used by the blue curve.
+// The activity is flattened into columnar form once; every candidate
+// timeout then re-segments the same two day arrays.
 func SweepTimeouts(act *bgpscan.Activity, admin *AdminIndex, timeouts []int) []TimeoutSensitivity {
-	gaps := GapDistribution(act)
+	cols := NewActivityColumns(act)
+	gaps := cols.GapDistribution()
 	out := make([]TimeoutSensitivity, 0, len(timeouts))
 	for _, to := range timeouts {
-		idx := BuildOpLifetimes(act, to)
+		idx, _ := cols.BuildOpLifetimes(context.Background(), to, 1)
 		below := sort.SearchInts(gaps, to+1)
 		frac := 0.0
 		if len(gaps) > 0 {

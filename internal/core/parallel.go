@@ -71,8 +71,9 @@ func BuildAdminLifetimesParallelContext(ctx context.Context, res *restore.Result
 	parts := make([][]AdminLifetime, len(shards))
 	partStats := make([]AdminStats, len(shards))
 	if err := parallel.ForEach(ctx, len(shards), workers, func(_ context.Context, si int) error {
+		var sc runScratch // one partition scratch per shard, reused per group
 		for _, g := range groups[shards[si].Lo:shards[si].Hi] {
-			parts[si] = appendLifetimes(parts[si], runs[g.Lo:g.Hi], &partStats[si])
+			parts[si] = appendLifetimes(parts[si], runs[g.Lo:g.Hi], &partStats[si], &sc)
 		}
 		return nil
 	}); err != nil {
@@ -130,39 +131,12 @@ func BuildOpLifetimesParallel(act *bgpscan.Activity, timeout, workers int) *OpIn
 }
 
 // BuildOpLifetimesParallelContext is BuildOpLifetimesParallel with
-// cooperative cancellation (ctx's error is the only possible one).
+// cooperative cancellation (ctx's error is the only possible one). The
+// segmentation runs over a columnar view of the activity built here;
+// callers sweeping many timeouts over one activity should build the
+// ActivityColumns once and call its BuildOpLifetimes directly.
 func BuildOpLifetimesParallelContext(ctx context.Context, act *bgpscan.Activity, timeout, workers int) (*OpIndex, error) {
-	asns := make([]asn.ASN, 0, len(act.ASNs))
-	for a := range act.ASNs {
-		asns = append(asns, a)
-	}
-	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
-
-	shards := parallel.Shards(len(asns), workers)
-	parts := make([][]OpLifetime, len(shards))
-	if err := parallel.ForEach(ctx, len(shards), workers, func(_ context.Context, si int) error {
-		for _, a := range asns[shards[si].Lo:shards[si].Hi] {
-			for _, seg := range act.ASNs[a].Days.SplitByTimeout(timeout) {
-				parts[si] = append(parts[si], OpLifetime{ASN: a, Span: seg})
-			}
-		}
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-
-	idx := &OpIndex{
-		Timeout:  timeout,
-		Activity: act,
-		byASN:    make(map[asn.ASN][]int, len(act.ASNs)),
-	}
-	for _, p := range parts {
-		for _, l := range p {
-			idx.byASN[l.ASN] = append(idx.byASN[l.ASN], len(idx.Lifetimes))
-			idx.Lifetimes = append(idx.Lifetimes, l)
-		}
-	}
-	return idx, nil
+	return NewActivityColumns(act).BuildOpLifetimes(ctx, timeout, workers)
 }
 
 // AnalyzeParallel is Analyze with the admin-side classification sharded

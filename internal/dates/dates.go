@@ -124,11 +124,22 @@ func (d Day) String() string {
 // Compact renders the date as YYYYMMDD (the delegation-file date format),
 // or the conventional placeholder "00000000" for None.
 func (d Day) Compact() string {
+	var buf [8]byte
+	return string(d.AppendCompact(buf[:0]))
+}
+
+// AppendCompact appends the YYYYMMDD form of d to dst and returns the
+// extended slice — the allocation-free form of Compact for render loops
+// that serialize one line per record.
+func (d Day) AppendCompact(dst []byte) []byte {
 	if d == None {
-		return "00000000"
+		return append(dst, "00000000"...)
 	}
 	y, m, dd := d.YMD()
-	return fmt.Sprintf("%04d%02d%02d", y, m, dd)
+	return append(dst,
+		byte('0'+y/1000%10), byte('0'+y/100%10), byte('0'+y/10%10), byte('0'+y%10),
+		byte('0'+m/10), byte('0'+m%10),
+		byte('0'+dd/10), byte('0'+dd%10))
 }
 
 var errBadDate = errors.New("dates: malformed date")
@@ -162,7 +173,7 @@ func IsLeap(year int) bool {
 	return year%4 == 0 && (year%100 != 0 || year%400 == 0)
 }
 
-func digits(s string) (int, bool) {
+func digits[T string | []byte](s T) (int, bool) {
 	n := 0
 	for i := 0; i < len(s); i++ {
 		c := s[i]
@@ -191,11 +202,17 @@ func Parse(s string) (Day, error) {
 // ParseCompact parses YYYYMMDD, the date format used inside RIR delegation
 // files. The all-zero placeholder "00000000" parses to None with no error,
 // matching how the files use it for resources with unknown dates.
-func ParseCompact(s string) (Day, error) {
+func ParseCompact(s string) (Day, error) { return parseCompact(s) }
+
+// ParseCompactBytes is ParseCompact over a byte slice, allocating only on
+// the error path.
+func ParseCompactBytes(s []byte) (Day, error) { return parseCompact(s) }
+
+func parseCompact[T string | []byte](s T) (Day, error) {
 	if len(s) != 8 {
 		return None, fmt.Errorf("%w: %q", errBadDate, s)
 	}
-	if s == "00000000" {
+	if string(s) == "00000000" {
 		return None, nil
 	}
 	y, ok1 := digits(s[:4])

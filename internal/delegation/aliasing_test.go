@@ -1,0 +1,42 @@
+package delegation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParsedFileDoesNotAliasInput pins the Parser contract: the parsed
+// File (including its interned strings) must be fully independent of the
+// input buffer, which callers like the registry text source recycle as a
+// renderer scratch. We parse, render the file once, scribble the whole
+// input buffer, and assert the file still renders identically.
+func TestParsedFileDoesNotAliasInput(t *testing.T) {
+	input := []byte("2|ripencc|20200101|4|19930101|20200101|+0000\n" +
+		"ripencc|*|asn|*|3|summary\n" +
+		"ripencc|FR|asn|3215|1|19950401|allocated|opaque-one\n" +
+		"ripencc|DE|asn|3320|2|19950601|allocated|opaque-two\n" +
+		"ripencc|ZZ|asn|64496|1||reserved\n")
+
+	var p Parser
+	f, errs := p.ParseLenient(input)
+	if f == nil || len(errs) != 0 {
+		t.Fatalf("parse failed: %v", errs)
+	}
+	var rd Renderer
+	before := append([]byte(nil), rd.Render(f)...)
+
+	for i := range input {
+		input[i] = '#'
+	}
+	// The parser's interning map and field scratch are also reused across
+	// files; push several other files through to recycle them.
+	for i := 0; i < 5; i++ {
+		p.ParseLenient([]byte("2|arin|20200102|1|19930101|20200102|+0000\n" +
+			"arin|US|asn|701|1|19900801|assigned|other-org\n"))
+	}
+
+	after := rd.Render(f)
+	if !bytes.Equal(before, after) {
+		t.Fatal("parsed file changed after input buffer was scribbled and parser reused")
+	}
+}

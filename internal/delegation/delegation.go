@@ -20,12 +20,11 @@
 package delegation
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 
 	"parallellives/internal/asn"
 	"parallellives/internal/dates"
@@ -81,29 +80,32 @@ type Record struct {
 
 // Line renders the record in the given format.
 func (r Record) Line(extended bool) string {
-	var b strings.Builder
-	b.WriteString(r.Registry.Token())
-	b.WriteByte('|')
-	b.WriteString(r.CC)
-	b.WriteString("|asn|")
-	b.WriteString(r.ASN.String())
-	b.WriteByte('|')
-	b.WriteString(strconv.Itoa(r.Count))
-	b.WriteByte('|')
-	if r.Date == dates.None && (r.Status == StatusAvailable || r.Status == StatusReserved) {
-		// Available/reserved rows conventionally carry an empty date in
-		// some registries' files; we emit the zero placeholder.
-		b.WriteString("00000000")
-	} else {
-		b.WriteString(r.Date.Compact())
-	}
-	b.WriteByte('|')
-	b.WriteString(r.Status.String())
+	return string(r.AppendLine(nil, extended))
+}
+
+// AppendLine appends the record's file line (without trailing newline) to
+// dst and returns the extended slice. This is the allocation-free form of
+// Line the render loop uses: one day's file serializes into a single
+// reused buffer.
+func (r Record) AppendLine(dst []byte, extended bool) []byte {
+	dst = append(dst, r.Registry.Token()...)
+	dst = append(dst, '|')
+	dst = append(dst, r.CC...)
+	dst = append(dst, "|asn|"...)
+	dst = strconv.AppendUint(dst, uint64(r.ASN), 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendInt(dst, int64(r.Count), 10)
+	dst = append(dst, '|')
+	// Available/reserved rows conventionally carry an empty date in some
+	// registries' files; AppendCompact emits the zero placeholder for None.
+	dst = r.Date.AppendCompact(dst)
+	dst = append(dst, '|')
+	dst = append(dst, r.Status.String()...)
 	if extended {
-		b.WriteByte('|')
-		b.WriteString(r.OpaqueID)
+		dst = append(dst, '|')
+		dst = append(dst, r.OpaqueID...)
 	}
-	return b.String()
+	return dst
 }
 
 // Summary is one per-type summary line.
@@ -153,32 +155,100 @@ func Parse(r io.Reader) (*File, error) {
 // than stopping. The returned file contains every line that parsed. A nil
 // file is returned only when the header itself is unusable.
 func ParseLenient(r io.Reader) (*File, []LineError) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, []LineError{{Line: 0, Err: err}}
+	}
+	return ParseLenientBytes(data)
+}
+
+// ParseLenientBytes is ParseLenient over an in-memory file, the form the
+// render→reparse round trip feeds. A fresh Parser is used; callers
+// re-parsing many files should hold a Parser to share its interned
+// strings across calls.
+func ParseLenientBytes(data []byte) (*File, []LineError) {
+	var p Parser
+	return p.ParseLenient(data)
+}
+
+// Parser parses delegation files from bytes, interning the small repeated
+// string fields (country codes, opaque org ids, header tokens) so that
+// re-parsing a day series allocates per *distinct* string, not per record.
+// The zero value is ready to use; a Parser must not be shared between
+// goroutines. Parsed files never alias the input bytes — every retained
+// string is a copy — so callers may reuse their input buffer immediately.
+type Parser struct {
+	intern map[string]string
+	fields [][]byte
+}
+
+// str interns one field, allocating only the first time a value is seen.
+func (p *Parser) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := p.intern[string(b)]; ok { // no-alloc map lookup
+		return s
+	}
+	if p.intern == nil {
+		p.intern = make(map[string]string, 64)
+	}
+	s := string(b)
+	p.intern[s] = s
+	return s
+}
+
+// split cuts line into '|'-separated fields in p's reused scratch.
+func (p *Parser) split(line []byte) [][]byte {
+	f := p.fields[:0]
+	for {
+		i := bytes.IndexByte(line, '|')
+		if i < 0 {
+			f = append(f, line)
+			break
+		}
+		f = append(f, line[:i])
+		line = line[i+1:]
+	}
+	p.fields = f
+	return f
+}
+
+// ParseLenient parses one in-memory delegation file leniently, collecting
+// per-line errors rather than stopping; see the package-level ParseLenient.
+func (p *Parser) ParseLenient(data []byte) (*File, []LineError) {
 	var errs []LineError
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var f *File
 	lineNo := 0
-	for sc.Scan() {
+	for len(data) > 0 {
 		lineNo++
-		line := strings.TrimRight(sc.Text(), "\r")
-		if line == "" || strings.HasPrefix(line, "#") {
+		var line []byte
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			line, data = data, nil
+		}
+		for len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
 		if f == nil {
-			hdr, err := parseHeader(line)
+			hdr, err := p.parseHeader(line)
 			if err != nil {
-				errs = append(errs, LineError{Line: lineNo, Text: line, Err: err})
+				errs = append(errs, LineError{Line: lineNo, Text: string(line), Err: err})
 				continue
 			}
 			f = hdr
+			// Size the record slice off the line count left: every
+			// remaining line is at most one record.
+			f.ASNs = make([]Record, 0, bytes.Count(data, []byte{'\n'})+1)
 			continue
 		}
-		if err := parseLine(f, line); err != nil {
-			errs = append(errs, LineError{Line: lineNo, Text: line, Err: err})
+		if err := p.parseLine(f, line); err != nil {
+			errs = append(errs, LineError{Line: lineNo, Text: string(line), Err: err})
 		}
-	}
-	if err := sc.Err(); err != nil {
-		errs = append(errs, LineError{Line: lineNo, Err: err})
 	}
 	if f == nil {
 		errs = append(errs, LineError{Line: 0, Err: fmt.Errorf("delegation: no header line")})
@@ -186,96 +256,162 @@ func ParseLenient(r io.Reader) (*File, []LineError) {
 	return f, errs
 }
 
-func parseHeader(line string) (*File, error) {
-	fields := strings.Split(line, "|")
+// parseRIR maps a registry token field to an RIR without allocating.
+func parseRIR(tok []byte) (asn.RIR, error) {
+	for _, r := range asn.All() {
+		if string(tok) == r.Token() {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("asn: unknown registry %q", tok)
+}
+
+// parseStatus maps a status token field to a Status without allocating.
+func parseStatus(tok []byte) (Status, error) {
+	for i, n := range statusNames {
+		if string(tok) == n {
+			return Status(i), nil
+		}
+	}
+	return 0, fmt.Errorf("delegation: unknown status %q", tok)
+}
+
+// atoi parses a decimal field without allocating; it accepts exactly what
+// strconv.Atoi accepts for the non-negative values delegation files carry.
+func atoi(b []byte) (int, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// parseASN parses the start column as an unsigned 32-bit AS number,
+// rejecting signs and overflow exactly as asn.Parse does.
+func parseASN(b []byte) (asn.ASN, bool) {
+	if len(b) == 0 || len(b) > 10 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	if n > 0xffffffff {
+		return 0, false
+	}
+	return asn.ASN(n), true
+}
+
+func (p *Parser) parseHeader(line []byte) (*File, error) {
+	fields := p.split(line)
 	if len(fields) != 7 {
 		return nil, fmt.Errorf("delegation: header has %d fields, want 7", len(fields))
 	}
-	rir, err := asn.ParseRIR(fields[1])
+	rir, err := parseRIR(fields[1])
 	if err != nil {
 		return nil, err
 	}
-	records, err := strconv.Atoi(fields[3])
-	if err != nil {
-		return nil, fmt.Errorf("delegation: bad record count: %w", err)
+	records, ok := atoi(fields[3])
+	if !ok {
+		return nil, fmt.Errorf("delegation: bad record count %q", fields[3])
 	}
-	start, err := dates.ParseCompact(fields[4])
+	start, err := dates.ParseCompactBytes(fields[4])
 	if err != nil {
 		return nil, fmt.Errorf("delegation: bad start date: %w", err)
 	}
-	end, err := dates.ParseCompact(fields[5])
+	end, err := dates.ParseCompactBytes(fields[5])
 	if err != nil {
 		return nil, fmt.Errorf("delegation: bad end date: %w", err)
 	}
 	return &File{
-		Version:   fields[0],
+		Version:   p.str(fields[0]),
 		Registry:  rir,
-		Serial:    fields[2],
+		Serial:    p.str(fields[2]),
 		Records:   records,
 		Start:     start,
 		End:       end,
-		UTCOffset: fields[6],
+		UTCOffset: p.str(fields[6]),
 	}, nil
 }
 
-func parseLine(f *File, line string) error {
-	fields := strings.Split(line, "|")
-	if len(fields) >= 6 && fields[1] == "*" && fields[3] == "*" {
+func (p *Parser) parseLine(f *File, line []byte) error {
+	fields := p.split(line)
+	if len(fields) >= 6 && string(fields[1]) == "*" && string(fields[3]) == "*" {
 		// Summary line: registry|*|type|*|count|summary
-		count, err := strconv.Atoi(fields[4])
-		if err != nil {
-			return fmt.Errorf("delegation: bad summary count: %w", err)
+		count, ok := atoi(fields[4])
+		if !ok {
+			return fmt.Errorf("delegation: bad summary count %q", fields[4])
 		}
-		rir, err := asn.ParseRIR(fields[0])
+		rir, err := parseRIR(fields[0])
 		if err != nil {
 			return err
 		}
-		f.Summaries = append(f.Summaries, Summary{Registry: rir, Type: fields[2], Count: count})
+		f.Summaries = append(f.Summaries, Summary{Registry: rir, Type: p.str(fields[2]), Count: count})
 		return nil
 	}
 	if len(fields) < 7 {
 		return fmt.Errorf("delegation: record has %d fields, want >= 7", len(fields))
 	}
 	typ := fields[2]
-	if typ != "asn" {
-		if typ != "ipv4" && typ != "ipv6" {
+	if string(typ) != "asn" {
+		if string(typ) != "ipv4" && string(typ) != "ipv6" {
 			return fmt.Errorf("delegation: unknown resource type %q", typ)
 		}
-		f.Other = append(f.Other, line)
+		f.Other = append(f.Other, string(line))
 		return nil
 	}
-	rir, err := asn.ParseRIR(fields[0])
+	rir, err := parseRIR(fields[0])
 	if err != nil {
 		return err
 	}
-	a, err := asn.Parse(fields[3])
-	if err != nil {
-		return err
+	av, ok := parseASN(fields[3])
+	if !ok {
+		return fmt.Errorf("asn: invalid ASN %q", fields[3])
 	}
-	count, err := strconv.Atoi(fields[4])
-	if err != nil || count < 1 {
+	count, ok := atoi(fields[4])
+	if !ok || count < 1 {
 		return fmt.Errorf("delegation: bad value column %q", fields[4])
 	}
 	var date dates.Day
-	if fields[5] == "" {
+	if len(fields[5]) == 0 {
 		date = dates.None
-	} else if date, err = dates.ParseCompact(fields[5]); err != nil {
+	} else if date, err = dates.ParseCompactBytes(fields[5]); err != nil {
 		return err
 	}
-	status, err := ParseStatus(fields[6])
+	status, err := parseStatus(fields[6])
 	if err != nil {
 		return err
 	}
 	rec := Record{
 		Registry: rir,
-		CC:       fields[1],
-		ASN:      a,
+		CC:       p.str(fields[1]),
+		ASN:      asn.ASN(av),
 		Count:    count,
 		Date:     date,
 		Status:   status,
 	}
 	if len(fields) >= 8 {
-		rec.OpaqueID = fields[7]
+		rec.OpaqueID = p.str(fields[7])
 		f.Extended = true
 	}
 	f.ASNs = append(f.ASNs, rec)
@@ -285,52 +421,70 @@ func parseLine(f *File, line string) error {
 // WriteTo serializes the file. Records are emitted in ascending ASN order
 // for determinism; the header record count is recomputed from contents.
 func (f *File) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var n int64
-	write := func(s string) error {
-		m, err := bw.WriteString(s)
-		n += int64(m)
-		if err != nil {
-			return err
-		}
-		m, err = bw.WriteString("\n")
-		n += int64(m)
-		return err
-	}
+	var rd Renderer
+	n, err := w.Write(rd.Render(f))
+	return int64(n), err
+}
 
-	recs := make([]Record, len(f.ASNs))
-	copy(recs, f.ASNs)
+// Renderer serializes files into a reused buffer. The render→reparse
+// round trip serializes every file-day of a registry; holding one
+// Renderer makes that loop allocation-free after warm-up. The zero value
+// is ready to use; a Renderer must not be shared between goroutines.
+type Renderer struct {
+	buf  []byte
+	recs []Record
+}
+
+// Render returns f in its textual delegation-file form. The returned
+// slice is the Renderer's internal buffer: it is valid only until the
+// next Render call and must not be retained or mutated.
+func (rd *Renderer) Render(f *File) []byte {
+	rd.recs = append(rd.recs[:0], f.ASNs...)
+	recs := rd.recs
 	sort.Slice(recs, func(i, j int) bool { return recs[i].ASN < recs[j].ASN })
 
-	total := len(recs) + len(f.Other)
-	header := fmt.Sprintf("%s|%s|%s|%d|%s|%s|%s",
-		f.Version, f.Registry.Token(), f.Serial, total,
-		f.Start.Compact(), f.End.Compact(), f.UTCOffset)
-	if err := write(header); err != nil {
-		return n, err
+	b := rd.buf[:0]
+	// header: version|registry|serial|records|startdate|enddate|UTCoffset
+	b = append(b, f.Version...)
+	b = append(b, '|')
+	b = append(b, f.Registry.Token()...)
+	b = append(b, '|')
+	b = append(b, f.Serial...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(len(recs)+len(f.Other)), 10)
+	b = append(b, '|')
+	b = f.Start.AppendCompact(b)
+	b = append(b, '|')
+	b = f.End.AppendCompact(b)
+	b = append(b, '|')
+	b = append(b, f.UTCOffset...)
+	b = append(b, '\n')
+	appendSummary := func(b []byte, r asn.RIR, typ string, count int) []byte {
+		b = append(b, r.Token()...)
+		b = append(b, "|*|"...)
+		b = append(b, typ...)
+		b = append(b, "|*|"...)
+		b = strconv.AppendInt(b, int64(count), 10)
+		b = append(b, "|summary\n"...)
+		return b
 	}
 	if len(f.Summaries) == 0 {
 		// Synthesize the asn summary when the caller did not provide one.
-		if err := write(fmt.Sprintf("%s|*|asn|*|%d|summary", f.Registry.Token(), len(recs))); err != nil {
-			return n, err
-		}
+		b = appendSummary(b, f.Registry, "asn", len(recs))
 	}
 	for _, s := range f.Summaries {
-		if err := write(fmt.Sprintf("%s|*|%s|*|%d|summary", s.Registry.Token(), s.Type, s.Count)); err != nil {
-			return n, err
-		}
+		b = appendSummary(b, s.Registry, s.Type, s.Count)
 	}
 	for _, r := range recs {
-		if err := write(r.Line(f.Extended)); err != nil {
-			return n, err
-		}
+		b = r.AppendLine(b, f.Extended)
+		b = append(b, '\n')
 	}
 	for _, line := range f.Other {
-		if err := write(line); err != nil {
-			return n, err
-		}
+		b = append(b, line...)
+		b = append(b, '\n')
 	}
-	return n, bw.Flush()
+	rd.buf = b
+	return b
 }
 
 // DelegatedASNs returns the individual ASNs covered by delegated

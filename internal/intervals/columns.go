@@ -1,0 +1,87 @@
+package intervals
+
+import "parallellives/internal/dates"
+
+// Columns is the structure-of-arrays form of many interval sequences
+// flattened into parallel start/end day arrays. Aggregations that walk
+// millions of intervals — timeout segmentation, gap statistics — touch
+// two dense day arrays instead of chasing one small heap slice per ASN,
+// and reuse one backing allocation for the whole corpus.
+//
+// Rows are grouped by the caller (typically one contiguous row range per
+// ASN, tracked in an external offset table); within a group rows must
+// keep the Set invariants: ascending, disjoint, non-adjacent. The AoS
+// Interval stays the boundary type — At converts a row back.
+type Columns struct {
+	Start []dates.Day
+	End   []dates.Day
+}
+
+// Len returns the number of rows.
+func (c *Columns) Len() int { return len(c.Start) }
+
+// Reset empties the columns, keeping their backing arrays for reuse.
+func (c *Columns) Reset() {
+	c.Start = c.Start[:0]
+	c.End = c.End[:0]
+}
+
+// Grow ensures capacity for n additional rows.
+func (c *Columns) Grow(n int) {
+	if cap(c.Start)-len(c.Start) < n {
+		next := make([]dates.Day, len(c.Start), len(c.Start)+n)
+		copy(next, c.Start)
+		c.Start = next
+	}
+	if cap(c.End)-len(c.End) < n {
+		next := make([]dates.Day, len(c.End), len(c.End)+n)
+		copy(next, c.End)
+		c.End = next
+	}
+}
+
+// Append adds one interval as a new row.
+func (c *Columns) Append(iv Interval) {
+	c.Start = append(c.Start, iv.Start)
+	c.End = append(c.End, iv.End)
+}
+
+// AppendSet adds every interval of a normalized set as consecutive rows.
+func (c *Columns) AppendSet(s Set) {
+	for _, iv := range s {
+		c.Start = append(c.Start, iv.Start)
+		c.End = append(c.End, iv.End)
+	}
+}
+
+// At returns row i as an interval.
+func (c *Columns) At(i int) Interval { return Interval{Start: c.Start[i], End: c.End[i]} }
+
+// AppendGaps appends to dst the lengths, in days, of the gaps between
+// consecutive rows of [lo, hi) — the columnar equivalent of GapLengths
+// for the set stored in that row range, allocating only when dst grows.
+func (c *Columns) AppendGaps(dst []int, lo, hi int) []int {
+	for r := lo + 1; r < hi; r++ {
+		dst = append(dst, c.Start[r].Sub(c.End[r-1])-1)
+	}
+	return dst
+}
+
+// AppendSegments appends to dst the timeout-bridged segments of rows
+// [lo, hi) — the columnar equivalent of Set.SplitByTimeout for the set
+// stored in that row range, allocating only when dst grows.
+func (c *Columns) AppendSegments(dst []Interval, lo, hi, timeout int) []Interval {
+	if lo >= hi {
+		return dst
+	}
+	cur := Interval{Start: c.Start[lo], End: c.End[lo]}
+	for r := lo + 1; r < hi; r++ {
+		if c.Start[r].Sub(cur.End)-1 > timeout {
+			dst = append(dst, cur)
+			cur = Interval{Start: c.Start[r], End: c.End[r]}
+		} else {
+			cur.End = c.End[r]
+		}
+	}
+	return append(dst, cur)
+}

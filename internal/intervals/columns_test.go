@@ -1,0 +1,74 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+
+	"parallellives/internal/dates"
+)
+
+// TestColumnsMatchSetAlgebra proves the columnar walks reproduce the AoS
+// set operations exactly: for random sets, AppendSegments equals
+// SplitByTimeout and AppendGaps equals GapLengths, row range by row
+// range, across a spread of timeouts.
+func TestColumnsMatchSetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := dates.MustParse("2004-01-01")
+
+	var cols Columns
+	type rng2 struct{ lo, hi int }
+	var ranges []rng2
+	var sets []Set
+	for i := 0; i < 200; i++ {
+		var days []dates.Day
+		d := base.AddDays(rng.Intn(50))
+		for n := rng.Intn(40); n > 0; n-- {
+			d = d.AddDays(1 + rng.Intn(60))
+			days = append(days, d)
+		}
+		s := FromDays(days)
+		lo := cols.Len()
+		cols.AppendSet(s)
+		ranges = append(ranges, rng2{lo: lo, hi: cols.Len()})
+		sets = append(sets, s)
+	}
+
+	for i, s := range sets {
+		lo, hi := ranges[i].lo, ranges[i].hi
+		for r := lo; r < hi; r++ {
+			if cols.At(r) != s[r-lo] {
+				t.Fatalf("set %d row %d: %v != %v", i, r, cols.At(r), s[r-lo])
+			}
+		}
+		gotGaps := cols.AppendGaps(nil, lo, hi)
+		wantGaps := s.GapLengths()
+		if len(gotGaps) != len(wantGaps) {
+			t.Fatalf("set %d: %d gaps, want %d", i, len(gotGaps), len(wantGaps))
+		}
+		for k := range gotGaps {
+			if gotGaps[k] != wantGaps[k] {
+				t.Fatalf("set %d gap %d: %d != %d", i, k, gotGaps[k], wantGaps[k])
+			}
+		}
+		for _, timeout := range []int{0, 1, 5, 30, 100, 10000} {
+			got := cols.AppendSegments(nil, lo, hi, timeout)
+			want := s.SplitByTimeout(timeout)
+			if len(got) != len(want) {
+				t.Fatalf("set %d timeout %d: %d segments, want %d", i, timeout, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("set %d timeout %d seg %d: %v != %v", i, timeout, k, got[k], want[k])
+				}
+			}
+		}
+	}
+
+	// Empty row ranges yield nothing.
+	if got := cols.AppendSegments(nil, 3, 3, 30); got != nil {
+		t.Fatalf("empty range segments = %v", got)
+	}
+	if got := cols.AppendGaps(nil, 3, 3); got != nil {
+		t.Fatalf("empty range gaps = %v", got)
+	}
+}

@@ -51,6 +51,14 @@ func NewExemplarRing(capacity int) *ExemplarRing {
 // Offer submits one finished request. Nil-safe.
 func (r *ExemplarRing) Offer(e Exemplar) { r.offer(e, nil) }
 
+// Arming reports whether the slow side is still filling: until the ring
+// has seen cap requests, every offer is admitted, so callers should
+// capture full detail (span trees) up front. Once the floor is set,
+// steady-state traffic is rejected with one atomic load and callers can
+// skip capture work for requests they expect to be fast — late outliers
+// are still admitted, just with outcome-only detail. Nil-safe.
+func (r *ExemplarRing) Arming() bool { return r != nil && r.floor.Load() == 0 }
+
 // OfferLazy submits one finished request but defers building the span
 // summary to fill, which only runs when the request survives the
 // admission fast path — so the per-request cost of capture on a hot,

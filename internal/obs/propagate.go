@@ -60,7 +60,13 @@ func (sc SpanContext) Traceparent() string {
 // false and the request is served untraced — a malformed header must
 // never change the response.
 func ParseTraceparent(v string) (SpanContext, bool) {
-	parts := strings.Split(strings.TrimSpace(v), "-")
+	v = strings.TrimSpace(v)
+	if v == "" {
+		// The common case — no trace context on the request — must not
+		// allocate: this runs on every request the server answers.
+		return SpanContext{}, false
+	}
+	parts := strings.Split(v, "-")
 	if len(parts) != 4 || parts[0] != "00" || !isHexID(parts[3], 2) {
 		return SpanContext{}, false
 	}

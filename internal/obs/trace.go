@@ -174,6 +174,16 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
+// StartSpanf is StartSpan with a formatted name. The formatting is
+// skipped entirely when no tracer is attached, so instrumented hot paths
+// cost one context lookup — not an fmt.Sprintf — with observability off.
+func StartSpanf(ctx context.Context, format string, args ...any) (context.Context, *Span) {
+	if TracerFrom(ctx) == nil {
+		return ctx, nil
+	}
+	return StartSpan(ctx, fmt.Sprintf(format, args...))
+}
+
 // SpanFrom returns the context's current span, or nil. Nil-safe callers
 // can interrogate it for trace identity without starting a child.
 func SpanFrom(ctx context.Context) *Span {

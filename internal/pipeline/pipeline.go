@@ -384,7 +384,7 @@ func scan(ctx context.Context, b *Base, m *runMetrics) (*bgpscan.Activity, OpAcc
 
 	err := parallel.ForEach(ctx, len(shards), workers, func(ctx context.Context, si int) error {
 		r := shards[si]
-		_, sp := obs.StartSpan(ctx, fmt.Sprintf("bgpscan.shard[%d]", si))
+		_, sp := obs.StartSpanf(ctx, "bgpscan.shard[%d]", si)
 		defer sp.End()
 		s := bgpscan.NewScannerWithVisibility(opts.Visibility)
 		s.Quarantine = opts.FaultPolicy == Degrade

@@ -1,0 +1,57 @@
+package registry
+
+import (
+	"bytes"
+	"testing"
+
+	"parallellives/internal/asn"
+	"parallellives/internal/delegation"
+)
+
+// TestTextSourceFilesDoNotAliasScratch pins the textSource pooling
+// contract: the parsed files a snapshot yields must be independent of
+// the source's reused renderer, parser and build scratch. We capture a
+// day's files, drain many more days through the same source (recycling
+// all three), scribble the scratch directly, and assert the captured
+// files render to the same bytes as before.
+func TestTextSourceFilesDoNotAliasScratch(t *testing.T) {
+	w := smallWorld(t)
+	a := Build(w)
+	src := a.TextSource(asn.RIPENCC).(*textSource)
+
+	// Find the first day with a regular file.
+	var held *delegation.File
+	for held == nil {
+		snap, ok := src.Next()
+		if !ok {
+			t.Fatal("source exhausted before yielding a file")
+		}
+		held = snap.Regular
+	}
+	var rd delegation.Renderer
+	before := append([]byte(nil), rd.Render(held)...)
+
+	// Drain more days through the same source: every Next reuses the
+	// renderer buffer, the parser's field scratch and the file scratch.
+	for i := 0; i < 30; i++ {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	// Scribble the build scratch directly for good measure.
+	for i := range src.scratch.recs {
+		src.scratch.recs[i] = delegation.Record{}
+	}
+	for i := range src.scratch.summaries {
+		src.scratch.summaries[i] = delegation.Summary{}
+	}
+	for i := range src.scratch.occupied {
+		src.scratch.occupied[i] = 0
+	}
+	src.scratch.file = delegation.File{}
+
+	after := rd.Render(held)
+	if !bytes.Equal(before, after) {
+		t.Fatal("held snapshot file changed after source scratch was recycled and scribbled")
+	}
+}

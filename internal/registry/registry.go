@@ -173,13 +173,28 @@ func (a *Archive) File(r asn.RIR, d dates.Day, extended bool) *delegation.File {
 }
 
 func (a *Archive) buildFile(r asn.RIR, d dates.Day, extended bool) *delegation.File {
-	f := &delegation.File{
+	return a.buildFileScratch(r, d, extended, nil)
+}
+
+// buildFileScratch is buildFile with the record slices built inside
+// caller-owned scratch (which may be nil). The returned file aliases the
+// scratch's backing arrays, so the caller must be done with the file
+// before reusing the scratch — the contract the render→reparse text
+// source relies on to build each day's transient file without fresh
+// allocations.
+func (a *Archive) buildFileScratch(r asn.RIR, d dates.Day, extended bool, sc *fileScratch) *delegation.File {
+	if sc == nil {
+		sc = &fileScratch{}
+	}
+	f := &sc.file
+	*f = delegation.File{
 		Version:   "2",
 		Registry:  r,
 		Serial:    d.Compact(),
 		End:       d,
 		UTCOffset: "+0000",
 		Extended:  extended,
+		ASNs:      sc.recs[:0],
 	}
 	earliest := d
 	for _, sp := range a.spans[r] {
@@ -212,24 +227,37 @@ func (a *Archive) buildFile(r asn.RIR, d dates.Day, extended bool) *delegation.F
 	}
 	f.Start = earliest
 	if extended {
-		a.appendAvailable(f, r, d)
+		a.appendAvailable(f, sc, r, d)
 	}
+	sc.recs = f.ASNs[:0]
 	f.Records = len(f.ASNs)
-	f.Summaries = []delegation.Summary{{Registry: r, Type: "asn", Count: len(f.ASNs)}}
+	f.Summaries = append(sc.summaries[:0], delegation.Summary{Registry: r, Type: "asn", Count: len(f.ASNs)})
+	sc.summaries = f.Summaries[:0]
 	return f
+}
+
+// fileScratch holds the reusable backing state for buildFileScratch: the
+// transient File value itself plus its record, summary and
+// occupied-ASN slices. One scratch serves one goroutine's day loop.
+type fileScratch struct {
+	file      delegation.File
+	recs      []delegation.Record
+	summaries []delegation.Summary
+	occupied  []asn.ASN
 }
 
 // appendAvailable adds aggregated available-pool block records, the
 // extended format's "comprehensive picture" of unallocated resources.
-func (a *Archive) appendAvailable(f *delegation.File, r asn.RIR, d dates.Day) {
+func (a *Archive) appendAvailable(f *delegation.File, sc *fileScratch, r asn.RIR, d dates.Day) {
 	// Collect the ASNs currently occupied (delegated or reserved).
-	occupied := make([]asn.ASN, 0, len(f.ASNs))
+	occupied := sc.occupied[:0]
 	for _, rec := range f.ASNs {
 		for i := 0; i < rec.Count; i++ {
 			occupied = append(occupied, rec.ASN+asn.ASN(i))
 		}
 	}
 	sort.Slice(occupied, func(i, j int) bool { return occupied[i] < occupied[j] })
+	sc.occupied = occupied[:0]
 
 	emit := func(lo, hi asn.ASN) {
 		// Walk the pool range, emitting the gaps between occupied ASNs.

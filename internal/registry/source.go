@@ -77,12 +77,16 @@ func (s *directSource) Next() (Snapshot, bool) {
 
 // textSource serializes each file to delegation-file text and re-parses
 // it leniently — the full wire-format round trip, including corrupt days
-// whose mangled bytes fail to parse.
+// whose mangled bytes fail to parse. The renderer, parser and build
+// scratch are reused across days: a source is consumed by exactly one
+// goroutine, and the parsed files it yields never alias the scratch.
 type textSource struct {
-	a   *Archive
-	rir asn.RIR
-	day dates.Day
-	buf bytes.Buffer
+	a       *Archive
+	rir     asn.RIR
+	day     dates.Day
+	rend    delegation.Renderer
+	parser  delegation.Parser
+	scratch fileScratch
 }
 
 // TextSource returns a Source that round-trips every file through its
@@ -116,18 +120,14 @@ func (s *textSource) roundTrip(d dates.Day, extended bool) (f *delegation.File, 
 		// Corrupt files exist on disk but do not survive parsing; the
 		// pipeline treats them like missing days while counting them as
 		// corrupt retrievals.
-		f, _ := delegation.ParseLenient(bytes.NewReader(s.a.CorruptBytes(s.rir, d, extended)))
+		f, _ := s.parser.ParseLenient(s.a.CorruptBytes(s.rir, d, extended))
 		if f != nil && len(f.ASNs) > 0 {
 			return f, false
 		}
 		return nil, true
 	}
-	f = s.a.buildFile(s.rir, d, extended)
-	s.buf.Reset()
-	if _, err := f.WriteTo(&s.buf); err != nil {
-		return nil, true
-	}
-	parsed, _ := delegation.ParseLenient(bytes.NewReader(s.buf.Bytes()))
+	f = s.a.buildFileScratch(s.rir, d, extended, &s.scratch)
+	parsed, _ := s.parser.ParseLenient(s.rend.Render(f))
 	return parsed, parsed == nil
 }
 

@@ -2,13 +2,40 @@ package serve
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 )
 
-// cached is one stored response body with its content type.
+// cached is one stored response body with its content type, plus the
+// validator rendered for it and the generation it belongs to — carrying
+// the ETag with the entry lets a cache hit revalidate or respond without
+// rebuilding the string.
 type cached struct {
 	contentType string
 	body        []byte
+	etag        string
+	gen         int64
+
+	// Prebuilt single-value header slices, rendered once when the entry
+	// is stored so a cache hit writes its headers without allocating.
+	// Shared across responses and never mutated after construction; nil
+	// on entries built inline for one response (error bodies), which
+	// take the allocating path in writeBody.
+	typeHdr []string
+	lenHdr  []string
+	etagHdr []string
+}
+
+// newCached builds a cache-ready entry with its header values rendered
+// up front.
+func newCached(contentType string, body []byte, etag string, gen int64) cached {
+	c := cached{contentType: contentType, body: body, etag: etag, gen: gen}
+	c.typeHdr = []string{contentType}
+	c.lenHdr = []string{strconv.Itoa(len(body))}
+	if etag != "" {
+		c.etagHdr = []string{etag}
+	}
+	return c
 }
 
 // lru is a fixed-capacity least-recently-used response cache. It is safe

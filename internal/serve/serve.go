@@ -329,7 +329,23 @@ var etagCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 // be answered before the handler runs — and so the router can recognise
 // which generation a shard's response came from without re-reading it.
 func EtagFor(gen int64, key string) string {
-	return fmt.Sprintf("\"g%d-%08x\"", gen, crc32.Checksum([]byte(key), etagCastagnoli))
+	// Renders `"g<gen>-<crc32c(key)>"` by hand, hashing the key without a
+	// []byte conversion: this runs once per cacheable request, and
+	// fmt.Sprintf alone costs more than the rest of a cache-hit response.
+	sum := ^uint32(0)
+	for i := 0; i < len(key); i++ {
+		sum = etagCastagnoli[byte(sum)^key[i]] ^ (sum >> 8)
+	}
+	sum = ^sum
+	var scratch [40]byte
+	b := append(scratch[:0], '"', 'g')
+	b = strconv.AppendInt(b, gen, 10)
+	b = append(b, '-')
+	for shift := 28; shift >= 0; shift -= 4 {
+		b = append(b, "0123456789abcdef"[(sum>>uint(shift))&0xf])
+	}
+	b = append(b, '"')
+	return string(b)
 }
 
 // generation reports the serving snapshot's generation for validators:
@@ -377,7 +393,8 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 		// runs exactly the pre-tracing path.
 		remote, traced := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
 		var span *obs.Span
-		if s.exemplars != nil || traced {
+		var status int // set at every write site below; read by the untraced exemplar defer
+		if traced || s.exemplars.Arming() {
 			ctx := obs.WithTracer(r.Context(), obs.NewTracerWithIDs(nil, s.spanIDs))
 			if traced {
 				ctx = obs.WithRemoteParent(ctx, remote)
@@ -418,20 +435,60 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 					TraceID:        span.TraceID(),
 				}, func() obs.SpanSummary { return obs.Summarize(span) })
 			}()
+		} else if s.exemplars != nil {
+			// Steady state with the ring's floor set: untraced requests skip
+			// the tracer entirely and offer an outcome-only exemplar — one
+			// atomic load rejects the typical request, and a late outlier is
+			// still admitted (without a span tree, which only the arming
+			// phase and traced requests capture). The status is tracked in a
+			// local rather than a writer wrapper: every response below is
+			// written by this function, and the wrapper allocation is the
+			// kind of per-request cost this branch exists to avoid.
+			defer func() {
+				d := time.Since(start)
+				m.latency.Observe(d.Seconds())
+				if status == 0 {
+					// Every normal path records a status, so zero means a
+					// panic is unwinding and the recovery middleware owns
+					// the 500.
+					status = http.StatusInternalServerError
+				}
+				s.exemplars.OfferLazy(obs.Exemplar{
+					CapturedUnixNs: start.UnixNano(),
+					Endpoint:       label,
+					Path:           key,
+					Status:         status,
+					DurationNs:     d.Nanoseconds(),
+				}, nil)
+			}()
 		} else {
 			defer func() { m.latency.Observe(time.Since(start).Seconds()) }()
 		}
 		var etag string
+		var gen int64
 		if cacheable {
-			etag = EtagFor(s.generation(), key)
-			if r.Header.Get("If-None-Match") == etag {
-				w.Header().Set("ETag", etag)
-				w.WriteHeader(http.StatusNotModified)
+			gen = s.generation()
+			if c, ok := s.cache.get(key); ok && c.gen == gen {
+				// Hit: the entry carries its validator and header values,
+				// so the hot path renders no strings at all.
+				w.Header()["Etag"] = c.etagHdr
+				if r.Header.Get("If-None-Match") == c.etag {
+					status = http.StatusNotModified
+					w.WriteHeader(http.StatusNotModified)
+					return
+				}
+				status = http.StatusOK
+				writeBody(w, http.StatusOK, c)
 				return
 			}
-			if c, ok := s.cache.get(key); ok {
+			// Miss (or an entry from a generation the flush hasn't caught
+			// yet — the put below replaces it): render the validator once
+			// and answer 304 without running the handler if it matches.
+			etag = EtagFor(gen, key)
+			if r.Header.Get("If-None-Match") == etag {
 				w.Header().Set("ETag", etag)
-				writeBody(w, http.StatusOK, c)
+				status = http.StatusNotModified
+				w.WriteHeader(http.StatusNotModified)
 				return
 			}
 		}
@@ -442,20 +499,23 @@ func (s *Server) wrap(label string, cacheable bool, fn func(*http.Request) (any,
 				retryAfterHeader(w, apiErr.retryAfter)
 			}
 			body, _ := json.Marshal(map[string]string{"error": apiErr.msg})
+			status = apiErr.code
 			writeBody(w, apiErr.code, cached{contentType: "application/json", body: body})
 			return
 		}
 		body, err := json.Marshal(payload)
 		if err != nil {
 			m.errors.Inc()
+			status = http.StatusInternalServerError
 			http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
-		c := cached{contentType: "application/json", body: body}
+		c := newCached("application/json", body, etag, gen)
 		if cacheable {
 			s.cache.put(key, c)
-			w.Header().Set("ETag", etag)
+			w.Header()["Etag"] = c.etagHdr
 		}
+		status = http.StatusOK
 		writeBody(w, http.StatusOK, c)
 	}
 }
@@ -526,8 +586,17 @@ func (s *Server) wrapRaw(label string, fn http.HandlerFunc) http.HandlerFunc {
 }
 
 func writeBody(w http.ResponseWriter, status int, c cached) {
-	w.Header().Set("Content-Type", c.contentType)
-	w.Header().Set("Content-Length", strconv.Itoa(len(c.body)))
+	h := w.Header()
+	if c.typeHdr != nil {
+		// Cache-ready entries carry their header values prebuilt (the
+		// canonical key spellings below match what Header.Set stores), so
+		// the hit path writes headers without rendering anything.
+		h["Content-Type"] = c.typeHdr
+		h["Content-Length"] = c.lenHdr
+	} else {
+		h.Set("Content-Type", c.contentType)
+		h.Set("Content-Length", strconv.Itoa(len(c.body)))
+	}
 	w.WriteHeader(status)
 	w.Write(c.body)
 }

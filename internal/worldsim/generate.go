@@ -264,9 +264,14 @@ func (g *generator) buildHistoric(r asn.RIR) {
 			life.Alloc = intervals.New(reg, g.cfg.End)
 			life.Open = true
 		default:
-			// Dies somewhere inside the window.
+			// Dies somewhere inside the window. Late-2003 registrations
+			// can postdate an early death day; clamp to a one-day life
+			// rather than an inverted interval.
 			endOffset := g.rng.Intn(g.cfg.End.Sub(g.cfg.Start))
 			end := g.cfg.Start.AddDays(endOffset + 1)
+			if end < reg {
+				end = reg
+			}
 			life.Alloc = intervals.New(reg, end)
 			life.QuarantineDays = 30 + g.rng.Intn(150)
 			g.maybeScheduleReuse(&life)

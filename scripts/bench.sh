@@ -36,16 +36,26 @@ if git show "HEAD:$OUT" > "$prev" 2>/dev/null; then
     have_prev=1
 fi
 
-echo "== go test -bench 'Pipeline|Lifestore|Serve' -benchmem -count $COUNT ${BENCHTIME:+-benchtime $BENCHTIME}"
+# BENCH_TIME caps only the root-package pipeline runs (seconds per
+# iteration); the micro-benchmarks in internal/ always run at the go
+# default benchtime — at -benchtime 1x their single iteration would be
+# all first-request setup cost, which would trip the allocs/op gate on
+# numbers that mean nothing.
+echo "== go test -bench 'Pipeline|Lifestore|Serve' -benchmem -count $COUNT ${BENCHTIME:+-benchtime $BENCHTIME (root pkg only)}"
 if [ -n "$BENCHTIME" ]; then
     go test -run '^$' -bench 'Pipeline|Lifestore|Serve' -benchmem \
-        -count "$COUNT" -benchtime "$BENCHTIME" ./... | tee "$tmp"
+        -count "$COUNT" -benchtime "$BENCHTIME" . | tee "$tmp"
 else
     go test -run '^$' -bench 'Pipeline|Lifestore|Serve' -benchmem \
-        -count "$COUNT" ./... | tee "$tmp"
+        -count "$COUNT" . | tee "$tmp"
 fi
+go test -run '^$' -bench 'Pipeline|Lifestore|Serve' -benchmem \
+    -count "$COUNT" ./internal/... | tee -a "$tmp"
 
-awk '
+# distill_rows: go test -bench output on stdin -> one JSON row per
+# benchmark (best ns/op of the repeated counts) on stdout.
+distill_rows() {
+    awk '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""
@@ -70,7 +80,10 @@ END {
             name, best[name], b, a, (i < n ? "," : "")
     }
     printf "}\n"
-}' "$tmp" > "$OUT"
+}'
+}
+
+distill_rows < "$tmp" > "$OUT"
 
 echo "bench: wrote $OUT"
 
@@ -95,6 +108,33 @@ if [ "$have_prev" = 1 ]; then
     }' "$prev" "$OUT" > "$DELTA"
     cat "$DELTA"
     echo "bench: wrote $DELTA (vs committed $OUT)"
+
+    # Allocation regression gate: allocs/op is deterministic enough to
+    # gate on (unlike ns/op on a noisy box). Any benchmark whose
+    # allocs/op grew more than 5% over the committed rows fails the run;
+    # BENCH_ALLOW_REGRESS=1 records the new rows anyway, for PRs that
+    # knowingly trade allocations for something else.
+    bad="$(awk '
+    /ns_per_op/ {
+        split($0, q, "\""); name = q[2]
+        al = $0; sub(/.*"allocs_per_op": /, "", al); sub(/[},].*/, "", al)
+        if (FNR == NR) { pal[name] = al; next }
+        if (!(name in pal) || al == "null" || pal[name] == "null") next
+        if (pal[name] + 0 > 0 && (al - pal[name]) * 100.0 / pal[name] > 5)
+            printf "  %s allocs/op %s -> %s (%+.1f%%)\n", \
+                name, pal[name], al, (al - pal[name]) * 100.0 / pal[name]
+    }' "$prev" "$OUT")"
+    if [ -n "$bad" ]; then
+        if [ "${BENCH_ALLOW_REGRESS:-0}" = 1 ]; then
+            echo "bench: allocs/op regression >5% ALLOWED (BENCH_ALLOW_REGRESS=1):"
+            echo "$bad"
+        else
+            echo "bench: FAIL — allocs/op regression >5% vs committed $OUT:"
+            echo "$bad"
+            echo "bench: rerun with BENCH_ALLOW_REGRESS=1 to record anyway"
+            exit 1
+        fi
+    fi
 else
     echo "BENCH_delta no committed $OUT to compare against" > "$DELTA"
     echo "bench: no committed $OUT; skipped delta"
@@ -104,3 +144,31 @@ echo "== profiled pipeline run -> $PROFDIR"
 go run ./cmd/parallellives -scale 0.01 -start 2004-01-01 -end 2007-01-01 \
     -experiments "" -profile-out "$PROFDIR" >/dev/null
 echo "bench: wrote $PROFDIR/{cpu,heap,allocs}.pprof"
+
+# --- Scale ladder --------------------------------------------------------
+# BenchmarkScaleLadder grows the pipeline toward the paper's 106,873
+# ASNs x 6,354 days: rung=3k and rung=30k run the full window,
+# rung=106873 runs paper-scale ASNs over a reduced window. One iteration
+# per rung x worker count, distilled into BENCH_scale.json, so both
+# regressions and the remaining paper-scale gap stay visible PR over PR.
+# Knobs: BENCH_SKIP_SCALE=1 skips the ladder entirely;
+# BENCH_SCALE_SHORT=1 (CI smoke) runs only the reduced 3k rung to prove
+# the harness still works, without overwriting the committed ladder.
+SCALE_OUT="BENCH_scale.json"
+if [ "${BENCH_SKIP_SCALE:-0}" = 1 ]; then
+    echo "bench: BENCH_SKIP_SCALE=1; skipped scale ladder"
+elif [ "${BENCH_SCALE_SHORT:-0}" = 1 ]; then
+    echo "== go test -bench ScaleLadder -short (smoke: reduced 3k rung only)"
+    go test -run '^$' -bench 'ScaleLadder' -benchmem -count 1 -benchtime 1x -short -timeout 1h . | tee "$tmp"
+    rows="$(distill_rows < "$tmp" | grep -c ns_per_op || true)"
+    if [ "$rows" -lt 1 ]; then
+        echo "bench: FAIL — scale ladder smoke produced no rows"
+        exit 1
+    fi
+    echo "bench: scale ladder smoke OK ($rows row(s)); committed $SCALE_OUT untouched"
+else
+    echo "== go test -bench ScaleLadder -benchmem -count 1 -benchtime 1x"
+    go test -run '^$' -bench 'ScaleLadder' -benchmem -count 1 -benchtime 1x -timeout 6h . | tee "$tmp"
+    distill_rows < "$tmp" > "$SCALE_OUT"
+    echo "bench: wrote $SCALE_OUT"
+fi

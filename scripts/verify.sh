@@ -11,6 +11,9 @@ echo "== go test"
 go test ./...
 echo "== go test -race (faults, bgpscan, serve, obs incl. exemplar-ring hammer, parallel)"
 go test -race ./internal/faults/ ./internal/bgpscan/ ./internal/serve/ ./internal/obs/ ./internal/parallel/
+echo "== go test -race (pool/arena aliasing properties: bgpscan, registry, delegation, collector, core, intervals)"
+go test -race -count=1 -run 'TestPooledScratch|TestTextSourceFilesDoNotAliasScratch|TestParsedFileDoesNotAliasInput|TestIterArenaRecyclingPreservesObservations|TestRunScratchDoesNotAliasLifetimes|TestActivityColumnsReuseDoesNotAliasIndex|TestColumnsMatchSetAlgebra' \
+	./internal/bgpscan/ ./internal/registry/ ./internal/delegation/ ./internal/collector/ ./internal/core/ ./internal/intervals/
 echo "== go test -race -short (pipeline)"
 go test -race -short ./internal/pipeline/
 echo "== go test -race (parallel/sequential equivalence property)"
